@@ -1,0 +1,23 @@
+"""E9 — ablation: Algorithm 1's priority range vs the duplicate event D.
+
+Section 2 draws priorities from ``{1 .. ceil(R n^2/eps)}`` precisely so that
+the probability of *any* duplicate priority across all rounds is at most
+``eps/2``.  Shrinking the range must raise the duplicate rate toward 1 while
+the paper's range keeps it under the budget.
+"""
+
+from repro.analysis.paper import e9_priority_range_ablation
+
+
+def test_e9_priority_range_ablation(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e9_priority_range_ablation(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    # The paper-range row must respect the eps/2 duplicate budget.
+    paper_row = [row for row in table.rows if row[0] == "paper"][0]
+    assert paper_row[2] <= 0.25 + 0.1

@@ -1,0 +1,22 @@
+"""E10 — ablation: Algorithm 2's tuned write probabilities.
+
+Compares four schedules: the self-consistent tuned ``p_i = 1/sqrt(x_{i-1})``
+(what Lemma 3's proof uses), equation (3) exactly as printed in the paper
+(off by a bounded factor — see repro.core.probabilities), fixed ``p = 1/2``
+and fixed ``p = 1/sqrt(n)``.  The tuned schedules must crush the survivor
+count within ``ceil(log log n)`` rounds; fixed ``1/2`` cannot.
+"""
+
+from repro.analysis.paper import e10_p_schedule_ablation
+
+
+def test_e10_p_schedule_ablation(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e10_p_schedule_ablation(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    by_label = {row[0]: row for row in table.rows}
+    # The tuned schedule's survivors at the switch sit far below fixed-1/2's.
+    assert by_label["tuned (ours)"][1] < by_label["fixed 1/2"][1]

@@ -1,0 +1,45 @@
+"""E12 — adopt-commit cost vs the number of possible values m.
+
+Corollary 2's discussion: consensus cost is conciliator + adopt-commit, and
+for large m the adopt-commit dominates.  The register-model flag object
+grows ~3 log2 m steps (the paper's [9] would give O(log m / log log m));
+the snapshot object is O(1) regardless of m.
+"""
+
+from repro.analysis.paper import e12_adopt_commit_cost
+
+
+def test_e12_adopt_commit_cost_table(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e12_adopt_commit_cost(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+
+
+def test_e12_flag_ac_run_wall_time(benchmark):
+    """Micro-benchmark: a full n-process flag adopt-commit, n=16, m=4096."""
+    from repro.adoptcommit.encoders import IntEncoder
+    from repro.adoptcommit.flag_ac import FlagAdoptCommit
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RandomSchedule
+    from repro.runtime.simulator import run_programs
+
+    n, m = 16, 4096
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        seeds = SeedTree(seed)
+        ac = FlagAdoptCommit(n, IntEncoder(m))
+        programs = [lambda ctx: ac.invoke(ctx, ctx.input_value)] * n
+        return run_programs(
+            programs,
+            RandomSchedule(n, seeds.child("schedule").seed),
+            seeds,
+            inputs=[pid % m for pid in range(n)],
+        )
+
+    result = benchmark(run_once)
+    assert result.completed

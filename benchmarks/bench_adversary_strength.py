@@ -1,0 +1,26 @@
+"""E18 — Section 5's 'strength of the adversary', measured.
+
+A content-aware scheduler (sees pending read/write intents — power the
+oblivious model forbids) pushes Algorithm 2 below its 1-eps floor, while
+Algorithm 1's uniform update/scan pattern gives it nothing to exploit.
+This is the experimental form of the paper's remark that the sifting
+protocol needs at least a content-oblivious adversary.
+"""
+
+from repro.analysis.paper import e18_adversary_strength
+
+
+def test_e18_adversary_strength(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e18_adversary_strength(scale=bench_scale), rounds=1,
+        iterations=1,
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    rates = {(row[0], row[1]): row[2] for row in table.rows}
+    sifting_attacked = rates[("Alg 2 (sifting)",
+                              "readers-first (content-aware)")]
+    sifting_oblivious = rates[("Alg 2 (sifting)",
+                               "random (oblivious-equivalent)")]
+    assert sifting_attacked < sifting_oblivious

@@ -1,0 +1,39 @@
+"""E8 — the introduction's comparison: log log n sifting vs log n baseline.
+
+The DoublingCILConciliator reproduces the prior state of the art's O(log n)
+individual step complexity; the sifting conciliator must win from the
+crossover (~n=64, once its eps-tail constant is amortized) with a gap that
+widens as n grows.
+"""
+
+from repro.analysis.paper import e8_baseline_comparison
+
+
+def test_e8_sifting_vs_doubling_cil(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e8_baseline_comparison(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+
+
+def test_e8_baseline_run_wall_time(benchmark):
+    """Micro-benchmark: one doubling-CIL execution at n=512."""
+    from repro.baselines.doubling_cil import DoublingCILConciliator
+    from repro.core.conciliator import run_conciliator
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RandomSchedule
+
+    n = 512
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        seeds = SeedTree(seed)
+        conciliator = DoublingCILConciliator(n)
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+        return run_conciliator(conciliator, list(range(n)), schedule, seeds)
+
+    result = benchmark(run_once)
+    assert result.completed

@@ -1,0 +1,39 @@
+"""E5 — Theorem 3: the CIL-embedded conciliator's three guarantees.
+
+Agreement probability >= 1/8, worst-case individual steps bounded by the
+inner conciliator's O(log log n), and expected *total* steps O(n) — the
+total/n column staying flat as n grows is the linear-total-work claim.
+"""
+
+from repro.analysis.paper import e5_cil_embedded
+
+
+def test_e5_cil_embedded_guarantees(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e5_cil_embedded(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    benchmark.extra_info["total_per_n_at_max"] = table.rows[-1][6]
+    assert table.shape_holds, table.render()
+
+
+def test_e5_embedded_run_wall_time(benchmark):
+    """Micro-benchmark: one Algorithm 3 execution at n=256."""
+    from repro.core.cil_embedded import CILEmbeddedConciliator
+    from repro.core.conciliator import run_conciliator
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RandomSchedule
+
+    n = 256
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        seeds = SeedTree(seed)
+        conciliator = CILEmbeddedConciliator(n)
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+        return run_conciliator(conciliator, list(range(n)), schedule, seeds)
+
+    result = benchmark(run_once)
+    assert result.completed

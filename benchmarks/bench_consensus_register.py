@@ -1,0 +1,43 @@
+"""E7 — Corollaries 2/3: register-model consensus cost in n and in m.
+
+Three sweeps: steps vs n at fixed m (nearly flat — the log log n term),
+steps vs m at fixed n (grows with the adopt-commit's log m term), and the
+Corollary 3 linear-total-work variant (total/n flat).
+"""
+
+from repro.analysis.paper import e7_register_consensus
+
+
+def test_e7_register_consensus_sweeps(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e7_register_consensus(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    # Shape detail: the m-sweep's mean steps must increase with m.
+    m_rows = [row for row in table.rows if row[0] == "sweep-m"]
+    means = [row[3] for row in m_rows]
+    assert means == sorted(means)
+
+
+def test_e7_consensus_run_wall_time(benchmark):
+    """Micro-benchmark: one register-consensus execution at n=128, m=8."""
+    from repro.core.consensus import register_consensus, run_consensus
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RandomSchedule
+
+    n, m = 128, 8
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        seeds = SeedTree(seed)
+        protocol = register_consensus(n, value_domain=range(m))
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+        return run_consensus(
+            protocol, [pid % m for pid in range(n)], schedule, seeds
+        )
+
+    result = benchmark(run_once)
+    assert result.agreement

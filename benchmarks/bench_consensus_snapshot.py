@@ -1,0 +1,37 @@
+"""E6 — Corollary 1: snapshot-model consensus in O(log* n) expected steps.
+
+Alternates Algorithm 1 (eps = 1/2) with the O(1) snapshot adopt-commit; the
+normalized cost (mean steps over single-phase cost) staying ~constant as n
+grows is the O(log* n) shape, since the phase cost itself is 2 log* n + O(1).
+"""
+
+from repro.analysis.paper import e6_snapshot_consensus
+
+
+def test_e6_snapshot_consensus_scaling(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e6_snapshot_consensus(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+
+
+def test_e6_consensus_run_wall_time(benchmark):
+    """Micro-benchmark: one full snapshot-consensus execution at n=64."""
+    from repro.core.consensus import run_consensus, snapshot_consensus
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RandomSchedule
+
+    n = 64
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        seeds = SeedTree(seed)
+        protocol = snapshot_consensus(n)
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+        return run_consensus(protocol, list(range(n)), schedule, seeds)
+
+    result = benchmark(run_once)
+    assert result.agreement

@@ -1,0 +1,39 @@
+"""E3 — Lemmas 3/4 decay figure: sifting-conciliator survivor curve.
+
+Regenerates the per-round mean excess-personae series for Algorithm 2 and
+compares it against ``x_i = 2^(2-2^(1-i)) (n-1)^(2^-i)`` up to the switch
+round and the geometric ``(3/4)^j`` tail afterwards.
+"""
+
+from repro.analysis.paper import e3_sifting_decay
+
+
+def test_e3_sifting_decay_curve(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e3_sifting_decay(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    benchmark.extra_info["final_excess"] = table.rows[-1][1]
+    assert table.shape_holds, table.render()
+
+
+def test_e3_sifting_run_wall_time(benchmark):
+    """Micro-benchmark: one full Algorithm 2 execution at n=1024."""
+    from repro.core.conciliator import run_conciliator
+    from repro.core.sifting_conciliator import SiftingConciliator
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RandomSchedule
+
+    n = 1024
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        seeds = SeedTree(seed)
+        conciliator = SiftingConciliator(n)
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+        return run_conciliator(conciliator, list(range(n)), schedule, seeds)
+
+    result = benchmark(run_once)
+    assert result.completed

@@ -1,0 +1,39 @@
+"""E1 — Lemma 1 decay figure: snapshot-conciliator survivor curve.
+
+Regenerates the per-round mean excess-personae series for Algorithm 1 and
+compares it against the analytic bound ``E[X_i] <= f^(i)(n-1)`` with
+``f(x) = min(ln(x+1), x/2)``.
+"""
+
+from repro.analysis.paper import e1_snapshot_decay
+
+
+def test_e1_snapshot_decay_curve(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e1_snapshot_decay(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    benchmark.extra_info["final_excess"] = table.rows[-1][1]
+    assert table.shape_holds, table.render()
+
+
+def test_e1_single_round_collapse_wall_time(benchmark):
+    """Micro-benchmark: one full Algorithm 1 execution at n=64."""
+    from repro.core.conciliator import run_conciliator
+    from repro.core.snapshot_conciliator import SnapshotConciliator
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RandomSchedule
+
+    n = 64
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        seeds = SeedTree(seed)
+        conciliator = SnapshotConciliator(n)
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+        return run_conciliator(conciliator, list(range(n)), schedule, seeds)
+
+    result = benchmark(run_once)
+    assert result.completed

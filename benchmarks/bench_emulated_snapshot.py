@@ -1,0 +1,48 @@
+"""E15 — the price of the unit-cost snapshot assumption.
+
+Algorithm 1 rerun on wait-free register-emulated snapshots (Afek et al.
+construction): same agreement behaviour, Theta(n)-factor more steps,
+growing with n — the gap the paper's "practically irrelevant but
+theoretically significant" remark refers to.
+"""
+
+from repro.analysis.paper import e15_emulated_snapshot_cost
+
+
+def test_e15_emulated_snapshot_cost(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e15_emulated_snapshot_cost(scale=bench_scale), rounds=1,
+        iterations=1,
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    ratios = [row[3] for row in table.rows]
+    assert ratios[-1] > 10 * 1  # at n=32 the emulation is >10x unit cost
+
+
+def test_e15_emulated_scan_wall_time(benchmark):
+    """Micro-benchmark: one emulated update+scan pair at n=16."""
+    from repro.memory.emulated_snapshot import EmulatedSnapshot
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RoundRobinSchedule
+    from repro.runtime.simulator import run_programs
+
+    n = 16
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        snapshot = EmulatedSnapshot(n)
+
+        def program(ctx):
+            yield from snapshot.update_program(ctx, ctx.pid)
+            view = yield from snapshot.scan_program(ctx)
+            return view
+
+        return run_programs(
+            [program] * n, RoundRobinSchedule(n), SeedTree(seed)
+        )
+
+    result = benchmark(run_once)
+    assert result.completed

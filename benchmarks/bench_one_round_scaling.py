@@ -1,0 +1,24 @@
+"""E13 — survivors after one layer of computation (conclusions, §5).
+
+The paper's open lower-bound question conjectures Omega(log n) survivors
+after one snapshot layer and Omega(n^c) after one register layer.  From the
+upper-bound side: one Algorithm 1 round leaves ~H_n survivors and one
+Algorithm 2 round ~2 sqrt(n) — logarithmic vs power-law growth.
+"""
+
+from repro.analysis.paper import e13_one_round_scaling
+
+
+def test_e13_one_round_survivor_scaling(benchmark, record_experiment,
+                                        bench_scale):
+    table = benchmark.pedantic(
+        lambda: e13_one_round_scaling(scale=bench_scale), rounds=1,
+        iterations=1,
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    # The qualitative gap: at n=1024 the register model retains far more
+    # values after one layer than the snapshot model.
+    last = table.rows[-1]
+    assert last[3] > 4 * last[1]

@@ -1,0 +1,23 @@
+"""E20 — the consensus framework's geometric phase-count engine.
+
+Section 1.2's cost argument: each (conciliator, adopt-commit) phase
+succeeds with probability >= 1 - eps independently of the past, so phase
+counts are dominated by a geometric distribution and the expected cost of
+consensus is O(one phase).  This bench measures the phase-count tail
+against the eps^k bound.
+"""
+
+from repro.analysis.paper import e20_phase_distribution
+
+
+def test_e20_phase_distribution(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e20_phase_distribution(scale=bench_scale), rounds=1,
+        iterations=1,
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    # The k=1 tail (more than one phase needed) must respect eps + slack.
+    first = table.rows[0]
+    assert first[1] <= first[2] + 0.08

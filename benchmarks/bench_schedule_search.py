@@ -1,0 +1,20 @@
+"""E19 — adversarial schedule search cannot break the oblivious floor.
+
+The theorems hold for *every* fixed schedule, so a hill-climb that mutates
+explicit schedules to minimize measured agreement must plateau at or above
+1 - eps (up to sampling noise) — in contrast to E18, where one step beyond
+obliviousness collapses the guarantee.
+"""
+
+from repro.analysis.paper import e19_worst_schedule_search
+
+
+def test_e19_worst_schedule_search(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e19_worst_schedule_search(scale=bench_scale), rounds=1,
+        iterations=1,
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    assert all(row[5] for row in table.rows)

@@ -1,0 +1,30 @@
+"""E4 — Theorem 2: sifting conciliator over the (n, eps) grid.
+
+Agreement probability must clear ``1 - eps`` and every process must take
+exactly ``ceil(log2 log2 n) + ceil(log_{4/3}(8/eps))`` steps — the headline
+``O(log log n + log(1/eps))`` result.
+"""
+
+from repro.analysis.paper import e4_sifting_conciliator
+
+
+def test_e4_sifting_conciliator_grid(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e4_sifting_conciliator(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+
+
+def test_e4_step_count_is_doubly_logarithmic(benchmark):
+    """The measured step count's n-dependence: quadrupling the exponent of
+    n adds O(1) rounds."""
+    from repro.analysis.theory import sifting_step_count
+
+    def build_series():
+        return [sifting_step_count(n, 0.5) for n in (16, 256, 65536, 2**32)]
+
+    series = benchmark(build_series)
+    deltas = [series[i + 1] - series[i] for i in range(len(series) - 1)]
+    assert deltas == [1, 1, 1]

@@ -1,0 +1,30 @@
+"""E2 — Theorem 1: snapshot conciliator over the (n, eps) grid.
+
+Agreement probability must clear ``1 - eps`` and every process must take
+exactly ``2(log* n + ceil(log2(1/eps)) + 1)`` steps.
+"""
+
+from repro.analysis.paper import e2_snapshot_conciliator
+
+
+def test_e2_snapshot_conciliator_grid(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e2_snapshot_conciliator(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+
+
+def test_e2_scan_cost_scaling(benchmark):
+    """Micro-benchmark: wall time of a unit-cost scan grows with n (the
+    simulator pays O(n) real time for the model's 1 charged step)."""
+    from repro.memory.snapshot import SnapshotObject
+    from repro.runtime.operations import Scan, Update
+
+    n = 256
+    snapshot = SnapshotObject(n)
+    for pid in range(n):
+        snapshot.apply(Update(snapshot, pid), pid=pid)
+
+    benchmark(lambda: snapshot.apply(Scan(snapshot), pid=0))

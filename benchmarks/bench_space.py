@@ -1,0 +1,20 @@
+"""E17 — register-width accounting (footnote 2 and the Section 3 remark).
+
+Exact widths in bits: footnote 2's indirection strips the value field from
+Algorithm 1's snapshot components; omitting the analysis-only origin id
+leaves Algorithm 2's round registers at O(log log n + log m) bits.
+"""
+
+from repro.analysis.paper import e17_register_width
+
+
+def test_e17_register_widths(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e17_register_width(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    # The sifting register without ids barely grows over 2^8 -> 2^32.
+    widths = [row[4] for row in table.rows]
+    assert widths[-1] - widths[0] <= 4

@@ -1,0 +1,39 @@
+"""E14 — sifting test-and-set (the conclusions' sibling problem).
+
+Algorithm 2 shares its skeleton with the Alistarh-Aspnes test-and-set;
+this bench runs that protocol: unique winner in every execution, an
+O(log log n) filter, and O(1) expected survivors entering the backup.
+"""
+
+from repro.analysis.paper import e14_test_and_set
+
+
+def test_e14_sifting_test_and_set(benchmark, record_experiment, bench_scale):
+    table = benchmark.pedantic(
+        lambda: e14_test_and_set(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_experiment(table)
+    benchmark.extra_info["experiment"] = table.experiment_id
+    assert table.shape_holds, table.render()
+    assert all(row[1] == 0 for row in table.rows), "unique winner violated"
+
+
+def test_e14_tas_run_wall_time(benchmark):
+    """Micro-benchmark: one full test-and-set execution at n=128."""
+    from repro.runtime.rng import SeedTree
+    from repro.runtime.scheduler import RandomSchedule
+    from repro.runtime.simulator import run_programs
+    from repro.tas.sifting_tas import SiftingTestAndSet
+
+    n = 128
+    counter = iter(range(10**9))
+
+    def run_once():
+        seed = next(counter)
+        seeds = SeedTree(seed)
+        tas = SiftingTestAndSet(n)
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+        return run_programs([tas.program] * n, schedule, seeds)
+
+    result = benchmark(run_once)
+    assert result.completed

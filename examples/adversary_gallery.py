@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Adversary gallery: conciliator agreement rates per adversary family.
+
+A conciliator's probabilistic-agreement guarantee must hold for *every*
+oblivious adversary strategy.  This example pits all three of the paper's
+conciliators (plus the naive straw man) against six adversary families and
+prints the measured agreement rate per cell.
+
+Two things to look for in the output:
+
+- every paper conciliator clears its guaranteed floor in every column
+  (1 - eps = 0.5 for Algorithms 1 and 2; 1/8 for Algorithm 3);
+- the naive write-then-read conciliator collapses under the "blocks"
+  adversary (solo runs let every process see only itself), demonstrating
+  that adversary-independent agreement is a real property, not a default.
+
+Run:  python examples/adversary_gallery.py
+"""
+
+from repro.analysis.experiments import run_conciliator_trials
+from repro.analysis.tables import render_table
+from repro.baselines.naive_conciliator import NaiveConciliator
+from repro.core.cil_embedded import CILEmbeddedConciliator
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+
+N = 16
+TRIALS = 60
+FAMILIES = ["round-robin", "reversed", "random", "blocks", "front-runner"]
+
+CONCILIATORS = [
+    ("Alg 1 (snapshot)", 0.5, lambda: SnapshotConciliator(N)),
+    ("Alg 2 (sifting)", 0.5, lambda: SiftingConciliator(N)),
+    ("Alg 3 (CIL+sifter)", 1 / 8, lambda: CILEmbeddedConciliator(N)),
+    ("naive baseline", 0.0, lambda: NaiveConciliator(N)),
+]
+
+
+def main() -> None:
+    rows = []
+    for label, floor, factory in CONCILIATORS:
+        row = [label, floor if floor else "none"]
+        for family in FAMILIES:
+            stats = run_conciliator_trials(
+                factory,
+                list(range(N)),
+                schedule_family=family,
+                trials=TRIALS,
+                master_seed=hash((label, family)) % (2**31),
+            )
+            row.append(round(stats.agreement_rate, 2))
+        rows.append(row)
+
+    print(render_table(
+        ["conciliator", "floor"] + FAMILIES,
+        rows,
+        title=f"agreement rate by adversary family (n={N}, {TRIALS} trials/cell)",
+    ))
+    print()
+    print("Every paper conciliator holds its floor in every column; the")
+    print("naive baseline shows what losing adversary-independence looks like.")
+
+
+if __name__ == "__main__":
+    main()

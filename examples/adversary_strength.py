@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Why obliviousness matters: scheduling power vs agreement probability.
+
+Section 5 of the paper stresses that the new conciliators assume the
+adversary cannot see what processes are about to do.  This example makes
+that assumption load-bearing before your eyes, in three acts:
+
+1. friendly **oblivious** adversaries (fixed schedules): the sifting
+   conciliator clears its 1-eps floor in every family;
+2. an **optimized but still oblivious** adversary: hill-climbing over fixed
+   schedules to minimize agreement — it can bruise the rate but never break
+   the floor, because Theorem 2 quantifies over every fixed schedule;
+3. a **content-aware** adversary that peeks at pending operations and runs
+   would-be readers first: the sift never happens and agreement collapses
+   below the floor — while Algorithm 1, whose round pattern is identical
+   for every process, gives the same adversary nothing to exploit.
+
+Run:  python examples/adversary_strength.py
+"""
+
+from repro.analysis.experiments import run_conciliator_trials
+from repro.analysis.plots import bar_chart
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.runtime.adaptive import (
+    PendingKindAdversary,
+    RandomAdaptiveAdversary,
+    run_adaptive_programs,
+)
+from repro.runtime.rng import SeedTree
+from repro.workloads.search import search_worst_schedule
+
+N = 16
+TRIALS = 50
+
+
+def adaptive_rate(factory, make_adversary) -> float:
+    agreed = 0
+    for trial in range(TRIALS):
+        conciliator = factory()
+        result = run_adaptive_programs(
+            [conciliator.program] * N,
+            make_adversary(trial),
+            SeedTree(trial),
+            inputs=list(range(N)),
+        )
+        agreed += result.agreement
+    return agreed / TRIALS
+
+
+def main() -> None:
+    print("== act 1: friendly oblivious adversaries ==")
+    labels, rates = [], []
+    for family in ("round-robin", "random", "blocks", "front-runner"):
+        stats = run_conciliator_trials(
+            lambda: SiftingConciliator(N), list(range(N)),
+            schedule_family=family, trials=TRIALS, master_seed=1,
+        )
+        labels.append(family)
+        rates.append(stats.agreement_rate)
+    print(bar_chart(labels, rates, width=30))
+    print()
+
+    print("== act 2: an oblivious adversary that optimizes its schedule ==")
+    result = search_worst_schedule(
+        lambda: SiftingConciliator(N),
+        list(range(N)),
+        steps_per_process=SiftingConciliator(N).rounds,
+        generations=12,
+        trials_per_eval=8,
+        master_seed=2,
+    )
+    print(f"after {result.evaluations} candidate schedules, worst found "
+          f"agreement = {result.agreement_rate:.2f} "
+          f"(floor 0.50 — bruised, not broken)")
+    print()
+
+    print("== act 3: one step beyond oblivious ==")
+    sift_random = adaptive_rate(
+        lambda: SiftingConciliator(N), lambda t: RandomAdaptiveAdversary(t)
+    )
+    sift_aware = adaptive_rate(
+        lambda: SiftingConciliator(N),
+        lambda t: PendingKindAdversary(["read"]),
+    )
+    snap_aware = adaptive_rate(
+        lambda: SnapshotConciliator(N),
+        lambda t: PendingKindAdversary(["scan"]),
+    )
+    print(bar_chart(
+        ["sifting / random", "sifting / content-aware",
+         "snapshot / content-aware"],
+        [sift_random, sift_aware, snap_aware],
+        width=30,
+    ))
+    print()
+    print("The content-aware scheduler runs pending readers before writers,")
+    print("so sifting rounds pass with empty registers: nobody ever adopts,")
+    print(f"and agreement falls to {sift_aware:.2f} — below the 0.50 floor")
+    print("that held against every oblivious schedule above.  Algorithm 1's")
+    print("uniform update/scan pattern is immune by construction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Adopt-commit interface and result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List
+
+from repro.runtime.operations import Operation
+from repro.runtime.process import ProcessContext
+
+__all__ = ["COMMIT", "ADOPT", "AdoptCommitResult", "AdoptCommitObject",
+           "check_coherence", "check_convergence"]
+
+COMMIT = "commit"
+ADOPT = "adopt"
+
+
+@dataclass(frozen=True)
+class AdoptCommitResult:
+    """The ``(decision, value)`` pair returned by ``AdoptCommit(v)``."""
+
+    decision: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.decision not in (COMMIT, ADOPT):
+            raise ValueError(f"decision must be commit/adopt, got {self.decision!r}")
+
+    @property
+    def committed(self) -> bool:
+        return self.decision == COMMIT
+
+
+class AdoptCommitObject:
+    """A one-shot adopt-commit object.
+
+    Each process calls :meth:`invoke` at most once, as a sub-program
+    (``result = yield from ac.invoke(ctx, v)``).  Implementations own their
+    shared memory; a fresh instance is a fresh object.
+    """
+
+    name: str
+    n: int
+
+    def invoke(
+        self, ctx: ProcessContext, value: Any
+    ) -> Generator[Operation, Any, AdoptCommitResult]:
+        """Run ``AdoptCommit(value)`` on behalf of ``ctx``'s process."""
+        raise NotImplementedError
+
+    def step_bound(self) -> int:
+        """Worst-case number of charged steps for one invocation."""
+        raise NotImplementedError
+
+
+def check_convergence(inputs: List[Any], results: List[AdoptCommitResult]) -> bool:
+    """Spec predicate: identical inputs must all yield (commit, input)."""
+    if len(set(inputs)) != 1:
+        return True
+    expected = inputs[0]
+    return all(r.committed and r.value == expected for r in results)
+
+
+def check_coherence(results: List[AdoptCommitResult]) -> bool:
+    """Spec predicate: any commit forces every result to carry that value."""
+    committed = {r.value for r in results if r.committed}
+    if not committed:
+        return True
+    if len(committed) > 1:
+        return False
+    (value,) = committed
+    return all(r.value == value for r in results)

@@ -1,0 +1,78 @@
+"""Register-model adopt-commit via collects: the O(n) reference object.
+
+Identical logic to :class:`~repro.adoptcommit.snapshot_ac.SnapshotAdoptCommit`
+but each "scan" is a *collect* — reading n single-writer registers one at a
+time.  Collects are not atomic, yet the two-phase argument survives (the
+classical Gafni construction): whichever of two conflicting processes
+announces second sees the other's value in phase A, so at most one value is
+tagged ``single``; and a committer's phase-B entry, written before its
+collect, is seen by every process whose own phase-B write came after the
+committer's collect.
+
+Cost: 2 writes + 2n reads.  Included as the no-snapshot baseline for the
+adopt-commit cost experiment (E12) and as an oracle implementation for
+differential testing of the cheaper objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.adoptcommit.base import (
+    ADOPT,
+    COMMIT,
+    AdoptCommitObject,
+    AdoptCommitResult,
+)
+from repro.memory.register import AtomicRegister
+from repro.runtime.operations import Operation, Read, Write
+from repro.runtime.process import ProcessContext
+
+__all__ = ["CollectAdoptCommit"]
+
+_SINGLE = "single"
+_MULTI = "multi"
+
+
+class CollectAdoptCommit(AdoptCommitObject):
+    """Adopt-commit from per-process registers and collects; O(n) steps."""
+
+    def __init__(self, n: int, name: str = "collect-ac"):
+        self.name = name
+        self.n = n
+        self._phase_a: List[AtomicRegister] = [
+            AtomicRegister(f"{name}.A[{pid}]") for pid in range(n)
+        ]
+        self._phase_b: List[AtomicRegister] = [
+            AtomicRegister(f"{name}.B[{pid}]") for pid in range(n)
+        ]
+
+    def step_bound(self) -> int:
+        return 2 + 2 * self.n
+
+    def invoke(
+        self, ctx: ProcessContext, value: Any
+    ) -> Generator[Operation, Any, AdoptCommitResult]:
+        yield Write(self._phase_a[ctx.pid], value)
+        seen = set()
+        for register in self._phase_a:
+            component = yield Read(register)
+            if component is not None:
+                seen.add(component)
+        tag = _SINGLE if seen == {value} else _MULTI
+
+        yield Write(self._phase_b[ctx.pid], (tag, value))
+        entries = []
+        for register in self._phase_b:
+            entry = yield Read(register)
+            if entry is not None:
+                entries.append(entry)
+        singles = {entry_value for entry_tag, entry_value in entries
+                   if entry_tag == _SINGLE}
+
+        if singles == {value} and all(entry_tag == _SINGLE
+                                      for entry_tag, _ in entries):
+            return AdoptCommitResult(COMMIT, value)
+        if singles:
+            return AdoptCommitResult(ADOPT, next(iter(singles)))
+        return AdoptCommitResult(ADOPT, value)

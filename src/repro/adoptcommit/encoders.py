@@ -1,0 +1,95 @@
+"""Value encoders: map a finite value domain to fixed-length digit strings.
+
+The register-model adopt-commit (:mod:`repro.adoptcommit.flag_ac`) announces
+a value by raising one flag per digit position.  Its cost is
+``O(d * b)`` for ``d`` digits in base ``b``, so the encoding determines the
+step complexity: base 2 gives the ``O(log m)`` object used throughout.
+
+Encoders must be *injective* and *agreed in advance* (they are part of the
+object's code, not its execution), which is why the register-model
+corollaries of the paper require the number of possible input values ``m``
+to be known.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ValueEncoder", "IntEncoder", "DomainEncoder"]
+
+
+class ValueEncoder:
+    """Base class: injective value -> digit-tuple encoding."""
+
+    base: int
+    digits: int
+
+    def encode(self, value: Any) -> Tuple[int, ...]:
+        """Return ``value``'s digit tuple (length :attr:`digits`)."""
+        raise NotImplementedError
+
+    @property
+    def domain_size(self) -> int:
+        """Number of encodable values ``m``."""
+        return self.base ** self.digits
+
+
+class IntEncoder(ValueEncoder):
+    """Encodes integers ``0 .. m-1`` in base ``b`` (default binary).
+
+    ``IntEncoder(m)`` uses ``ceil(log2 m)`` binary digits, giving the
+    ``O(log m)`` adopt-commit cost quoted in DESIGN.md.
+    """
+
+    def __init__(self, m: int, base: int = 2):
+        if m < 1:
+            raise ConfigurationError(f"domain size must be >= 1, got {m}")
+        if base < 2:
+            raise ConfigurationError(f"base must be >= 2, got {base}")
+        self.m = m
+        self.base = base
+        digits = 0
+        capacity = 1
+        while capacity < m:
+            capacity *= base
+            digits += 1
+        self.digits = digits
+
+    def encode(self, value: Any) -> Tuple[int, ...]:
+        if not isinstance(value, int) or not 0 <= value < self.m:
+            raise ConfigurationError(
+                f"IntEncoder({self.m}) cannot encode {value!r}"
+            )
+        out: List[int] = []
+        remaining = value
+        for _ in range(self.digits):
+            out.append(remaining % self.base)
+            remaining //= self.base
+        return tuple(out)
+
+
+class DomainEncoder(ValueEncoder):
+    """Encodes an explicit finite domain of arbitrary hashable values.
+
+    The domain order is fixed at construction; all processes must construct
+    the object with the same domain (it is shared code).
+    """
+
+    def __init__(self, domain: Sequence[Hashable], base: int = 2):
+        values = list(domain)
+        if not values:
+            raise ConfigurationError("domain must be non-empty")
+        if len(set(values)) != len(values):
+            raise ConfigurationError("domain contains duplicate values")
+        self._index = {value: i for i, value in enumerate(values)}
+        self._inner = IntEncoder(len(values), base=base)
+        self.base = base
+        self.digits = self._inner.digits
+        self.domain = values
+
+    def encode(self, value: Any) -> Tuple[int, ...]:
+        if value not in self._index:
+            raise ConfigurationError(f"value {value!r} not in encoder domain")
+        return self._inner.encode(self._index[value])

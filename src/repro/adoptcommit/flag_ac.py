@@ -1,0 +1,121 @@
+"""Register-model adopt-commit from digit flags plus a proposal register.
+
+Construction (one flag register per (digit position, digit value), one
+proposal register):
+
+1. *Announce*: raise the flag for each digit of my value (``d`` writes).
+2. *First conflict pass*: read every flag that a **different** value would
+   have raised; a raised one means a conflicting value is around.
+3. If clean: write my value to ``proposal``, then run a **second conflict
+   pass**.  Clean again -> ``(commit, v)``; dirty -> ``(adopt, v)``.
+4. If the first pass was dirty: read ``proposal``; return ``(adopt, u)`` for
+   the proposal value ``u`` if present, else ``(adopt, v)``.
+
+Why coherence holds (the subtle property): suppose P returns
+``(commit, v)`` — both of P's passes were clean.  Any process Q whose value
+``w`` differs from ``v`` differs at some digit ``i``.  Had Q raised
+``flag[i][w_i]`` before P's *second* pass read it, P would have seen it; so
+Q's announce finishes after P's second pass begins, hence after **all** of
+P's announces and after P's ``proposal`` write.  Q's own first pass (which
+runs after Q's announce) therefore sees P's ``flag[i][v_i]`` raised and Q
+takes the dirty branch — so no process with a value other than ``v`` ever
+writes ``proposal``, and Q's subsequent ``proposal`` read (which happens
+after P's write) returns ``v``.  Every process therefore leaves with ``v``.
+
+Cost: ``d`` writes + at most ``2 d (b-1)`` flag reads + 2 proposal
+operations.  With the default binary encoding this is ``O(log m)`` for ``m``
+values and exactly ``<= 5`` steps for the binary object used by
+Algorithm 3's combine stage.  (The paper's reference object [9] achieves
+``O(log m / log log m)``; see DESIGN.md for the substitution note.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.adoptcommit.base import (
+    ADOPT,
+    COMMIT,
+    AdoptCommitObject,
+    AdoptCommitResult,
+)
+from repro.adoptcommit.encoders import DomainEncoder, ValueEncoder
+from repro.memory.register import AtomicRegister
+from repro.runtime.operations import Operation, Read, Write
+from repro.runtime.process import ProcessContext
+
+__all__ = ["FlagAdoptCommit", "BinaryAdoptCommit"]
+
+
+class FlagAdoptCommit(AdoptCommitObject):
+    """Adopt-commit for a finite encoded value domain over registers."""
+
+    def __init__(self, n: int, encoder: ValueEncoder, name: str = "flag-ac"):
+        self.name = name
+        self.n = n
+        self.encoder = encoder
+        self._flags: List[List[AtomicRegister]] = [
+            [
+                AtomicRegister(f"{name}.flag[{position}][{digit}]", initial=False)
+                for digit in range(encoder.base)
+            ]
+            for position in range(encoder.digits)
+        ]
+        self._proposal = AtomicRegister(f"{name}.proposal")
+
+    def step_bound(self) -> int:
+        d, b = self.encoder.digits, self.encoder.base
+        return d + 2 * d * (b - 1) + 2
+
+    def invoke(
+        self, ctx: ProcessContext, value: Any
+    ) -> Generator[Operation, Any, AdoptCommitResult]:
+        digits = self.encoder.encode(value)
+
+        # Phase 1: announce my digits.
+        for position, digit in enumerate(digits):
+            yield Write(self._flags[position][digit], True)
+
+        # Phase 2: first conflict pass.
+        conflict = yield from self._conflict_pass(digits)
+        if conflict:
+            proposed = yield Read(self._proposal)
+            if proposed is not None:
+                return AdoptCommitResult(ADOPT, proposed)
+            return AdoptCommitResult(ADOPT, value)
+
+        # Phase 3: clean so far — propose, then confirm with a second pass.
+        yield Write(self._proposal, value)
+        conflict = yield from self._conflict_pass(digits)
+        if conflict:
+            return AdoptCommitResult(ADOPT, value)
+        return AdoptCommitResult(COMMIT, value)
+
+    def _conflict_pass(
+        self, digits: tuple
+    ) -> Generator[Operation, Any, bool]:
+        """Read every flag a differing value would raise; True if any set.
+
+        Stops at the first raised flag: the coherence argument only needs
+        *clean* passes to have read everything, and a clean pass never stops
+        early.
+        """
+        for position, digit in enumerate(digits):
+            for other in range(self.encoder.base):
+                if other == digit:
+                    continue
+                raised = yield Read(self._flags[position][other])
+                if raised:
+                    return True
+        return False
+
+
+class BinaryAdoptCommit(FlagAdoptCommit):
+    """The O(1) binary adopt-commit used by Algorithm 3's combine stage.
+
+    Domain is ``{0, 1}``; worst case 5 steps (1 announce write, 2 conflict
+    reads, 1 proposal write, 1 proposal read).
+    """
+
+    def __init__(self, n: int, name: str = "binary-ac"):
+        super().__init__(n, DomainEncoder([0, 1]), name=name)

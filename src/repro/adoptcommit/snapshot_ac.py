@@ -1,0 +1,77 @@
+"""Snapshot-model adopt-commit: Gafni-style two-phase construction.
+
+This is the O(1) object the paper invokes in Corollary 1 ("adopt-commit
+objects can be implemented using O(1) snapshot operations [16]").  It costs
+exactly 4 steps per process and supports arbitrary (hashable) input values,
+which is what lets the snapshot-model consensus handle an unbounded input
+range.
+
+Construction, over two snapshot objects A and B:
+
+1. ``update A[p] <- v``; ``scan A``.  Tag ``single`` if every non-empty
+   component equals ``v``, else ``multi``.
+2. ``update B[p] <- (tag, v)``; ``scan B``.
+   - all non-empty entries are ``(single, v)``  ->  ``(commit, v)``
+   - some entry is ``(single, u)``              ->  ``(adopt, u)``
+   - otherwise                                  ->  ``(adopt, own v)``
+
+Safety hinges on two classical facts, both of which the test suite checks
+directly on traces: at most one value ever carries the ``single`` tag
+(whoever updates A second sees the other's value), and a committer's B-scan
+showing only ``(single, v)`` forces every later B-scan to contain that
+entry, because B components are never overwritten.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.adoptcommit.base import (
+    ADOPT,
+    COMMIT,
+    AdoptCommitObject,
+    AdoptCommitResult,
+)
+from repro.memory.snapshot import SnapshotObject
+from repro.runtime.operations import Operation, Scan, Update
+from repro.runtime.process import ProcessContext
+
+__all__ = ["SnapshotAdoptCommit"]
+
+_SINGLE = "single"
+_MULTI = "multi"
+
+
+class SnapshotAdoptCommit(AdoptCommitObject):
+    """Adopt-commit in 4 unit-cost snapshot operations."""
+
+    def __init__(self, n: int, name: str = "snapshot-ac"):
+        self.name = name
+        self.n = n
+        self._phase_a = SnapshotObject(n, f"{name}.A")
+        self._phase_b = SnapshotObject(n, f"{name}.B")
+
+    def step_bound(self) -> int:
+        return 4
+
+    def invoke(
+        self, ctx: ProcessContext, value: Any
+    ) -> Generator[Operation, Any, AdoptCommitResult]:
+        yield Update(self._phase_a, value)
+        view_a = yield Scan(self._phase_a)
+        seen = {component for component in view_a if component is not None}
+        tag = _SINGLE if seen == {value} else _MULTI
+
+        yield Update(self._phase_b, (tag, value))
+        view_b = yield Scan(self._phase_b)
+        entries = [entry for entry in view_b if entry is not None]
+        singles = {entry_value for entry_tag, entry_value in entries
+                   if entry_tag == _SINGLE}
+
+        if singles == {value} and all(entry_tag == _SINGLE
+                                      for entry_tag, _ in entries):
+            return AdoptCommitResult(COMMIT, value)
+        if singles:
+            # At most one value is ever tagged single; adopt it.
+            return AdoptCommitResult(ADOPT, next(iter(singles)))
+        return AdoptCommitResult(ADOPT, value)

@@ -1,0 +1,50 @@
+"""Analysis: the paper's predicted curves, statistics, and sweep runners."""
+
+from repro.analysis.stats import (
+    SampleSummary,
+    mean,
+    sample_std,
+    summarize,
+    wilson_interval,
+)
+from repro.analysis.tables import format_float, render_table
+from repro.analysis.theory import (
+    cil_total_steps_bound,
+    doubling_cil_step_bound,
+    harmonic,
+    markov_disagreement_bound,
+    sifting_decay_bound,
+    sifting_step_count,
+    snapshot_decay_bound,
+    snapshot_step_count,
+)
+from repro.analysis.experiments import (
+    ConciliatorTrialStats,
+    ConsensusTrialStats,
+    decay_series,
+    run_conciliator_trials,
+    run_consensus_trials,
+)
+
+__all__ = [
+    "SampleSummary",
+    "mean",
+    "sample_std",
+    "summarize",
+    "wilson_interval",
+    "render_table",
+    "format_float",
+    "harmonic",
+    "snapshot_decay_bound",
+    "sifting_decay_bound",
+    "snapshot_step_count",
+    "sifting_step_count",
+    "doubling_cil_step_bound",
+    "cil_total_steps_bound",
+    "markov_disagreement_bound",
+    "ConciliatorTrialStats",
+    "ConsensusTrialStats",
+    "run_conciliator_trials",
+    "run_consensus_trials",
+    "decay_series",
+]

@@ -1,0 +1,223 @@
+"""Generic experiment sweeps: repeated trials with fresh seeds/adversaries.
+
+Every benchmark and most integration tests funnel through these runners,
+which enforce the experimental hygiene the model requires:
+
+- each trial gets its own branch of the master seed tree;
+- the adversary's schedule is drawn from the ``"schedule"`` branch and the
+  algorithm from the ``"algorithm"`` branch, so they stay independent;
+- a *fresh* protocol instance is built per trial (shared objects are
+  one-shot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import SampleSummary, summarize, wilson_interval
+from repro.core.conciliator import Conciliator, run_conciliator
+from repro.core.consensus import ConsensusProtocol, run_consensus
+from repro.errors import ConfigurationError
+from repro.runtime.results import RunResult
+from repro.runtime.rng import SeedTree
+from repro.workloads.schedules import make_schedule
+
+__all__ = [
+    "ConciliatorTrialStats",
+    "ConsensusTrialStats",
+    "run_conciliator_trials",
+    "run_consensus_trials",
+    "decay_series",
+]
+
+
+@dataclass(frozen=True)
+class ConciliatorTrialStats:
+    """Aggregates over repeated conciliator executions."""
+
+    n: int
+    trials: int
+    agreement_count: int
+    individual_steps: SampleSummary
+    total_steps: SampleSummary
+    validity_failures: int
+
+    @property
+    def agreement_rate(self) -> float:
+        return self.agreement_count / self.trials
+
+    @property
+    def agreement_interval(self) -> Tuple[float, float]:
+        """95% Wilson interval for the agreement probability."""
+        return wilson_interval(self.agreement_count, self.trials)
+
+
+@dataclass(frozen=True)
+class ConsensusTrialStats:
+    """Aggregates over repeated consensus executions."""
+
+    n: int
+    trials: int
+    agreement_failures: int
+    validity_failures: int
+    individual_steps: SampleSummary
+    total_steps: SampleSummary
+    phases: SampleSummary
+
+    @property
+    def all_safe(self) -> bool:
+        """Consensus must *never* violate agreement or validity."""
+        return self.agreement_failures == 0 and self.validity_failures == 0
+
+
+def _trial_schedule(family: str, n: int, trial_seeds: SeedTree):
+    return make_schedule(family, n, trial_seeds.child("schedule"))
+
+
+def run_conciliator_trials(
+    factory: Callable[[], Conciliator],
+    inputs: Sequence[Any],
+    *,
+    schedule_family: str = "random",
+    trials: int = 100,
+    master_seed: int = 0,
+    allow_partial: Optional[bool] = None,
+) -> ConciliatorTrialStats:
+    """Run ``trials`` independent executions of a conciliator.
+
+    ``allow_partial`` defaults to True exactly for the crash adversary (its
+    victims never finish); agreement and validity are then judged on the
+    finished processes, as the wait-free model demands.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if allow_partial is None:
+        allow_partial = schedule_family == "crash-half"
+    seeds = SeedTree(master_seed)
+    input_map = dict(enumerate(inputs))
+    agreement_count = 0
+    validity_failures = 0
+    individual: List[float] = []
+    total: List[float] = []
+    for trial in range(trials):
+        trial_seeds = seeds.child(f"trial-{trial}")
+        conciliator = factory()
+        schedule = _trial_schedule(schedule_family, conciliator.n, trial_seeds)
+        result = _run_one_conciliator(
+            conciliator, inputs, schedule, trial_seeds, allow_partial
+        )
+        agreement_count += result.agreement
+        validity_failures += not result.validity_holds(input_map)
+        individual.append(float(result.max_individual_steps))
+        total.append(float(result.total_steps))
+    return ConciliatorTrialStats(
+        n=len(inputs),
+        trials=trials,
+        agreement_count=agreement_count,
+        individual_steps=summarize(individual),
+        total_steps=summarize(total),
+        validity_failures=validity_failures,
+    )
+
+
+def _run_one_conciliator(
+    conciliator: Conciliator,
+    inputs: Sequence[Any],
+    schedule,
+    trial_seeds: SeedTree,
+    allow_partial: bool,
+) -> RunResult:
+    from repro.runtime.simulator import run_programs
+
+    programs = [conciliator.program] * len(inputs)
+    return run_programs(
+        programs,
+        schedule,
+        trial_seeds,
+        inputs=list(inputs),
+        allow_partial=allow_partial,
+    )
+
+
+def run_consensus_trials(
+    factory: Callable[[], ConsensusProtocol],
+    inputs: Sequence[Any],
+    *,
+    schedule_family: str = "random",
+    trials: int = 50,
+    master_seed: int = 0,
+    allow_partial: Optional[bool] = None,
+) -> ConsensusTrialStats:
+    """Run ``trials`` independent consensus executions and check safety."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if allow_partial is None:
+        allow_partial = schedule_family == "crash-half"
+    seeds = SeedTree(master_seed)
+    input_map = dict(enumerate(inputs))
+    agreement_failures = 0
+    validity_failures = 0
+    individual: List[float] = []
+    total: List[float] = []
+    phases: List[float] = []
+    for trial in range(trials):
+        trial_seeds = seeds.child(f"trial-{trial}")
+        protocol = factory()
+        schedule = _trial_schedule(schedule_family, protocol.n, trial_seeds)
+        from repro.runtime.simulator import run_programs
+
+        programs = [protocol.program] * protocol.n
+        result = run_programs(
+            programs,
+            schedule,
+            trial_seeds,
+            inputs=list(inputs),
+            allow_partial=allow_partial,
+        )
+        agreement_failures += not result.agreement
+        validity_failures += not result.validity_holds(input_map)
+        individual.append(float(result.max_individual_steps))
+        total.append(float(result.total_steps))
+        if protocol.phases_used:
+            phases.append(float(max(protocol.phases_used.values())))
+    return ConsensusTrialStats(
+        n=len(inputs),
+        trials=trials,
+        agreement_failures=agreement_failures,
+        validity_failures=validity_failures,
+        individual_steps=summarize(individual),
+        total_steps=summarize(total),
+        phases=summarize(phases if phases else [0.0]),
+    )
+
+
+def decay_series(
+    factory: Callable[[], Conciliator],
+    inputs: Sequence[Any],
+    *,
+    schedule_family: str = "random",
+    trials: int = 50,
+    master_seed: int = 0,
+) -> List[float]:
+    """Mean distinct-survivor counts ``Y_i`` per round across trials.
+
+    Entry ``i`` is the average, over trials, of the number of distinct
+    personae held by processes after completing round ``i+1`` — the measured
+    counterpart of the decay bounds in Lemmas 1 and 3/4.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    seeds = SeedTree(master_seed)
+    sums: Dict[int, float] = {}
+    rounds_seen = 0
+    for trial in range(trials):
+        trial_seeds = seeds.child(f"trial-{trial}")
+        conciliator = factory()
+        schedule = _trial_schedule(schedule_family, conciliator.n, trial_seeds)
+        run_conciliator(conciliator, inputs, schedule, trial_seeds)
+        series = conciliator.survivor_series()
+        rounds_seen = max(rounds_seen, len(series))
+        for index, count in enumerate(series):
+            sums[index] = sums.get(index, 0.0) + count
+    return [sums.get(index, 0.0) / trials for index in range(rounds_seen)]

@@ -1,0 +1,211 @@
+"""Interval-based linearizability checking (Wing & Gong style).
+
+The primitive objects in :mod:`repro.memory` execute in one atomic step, so
+their correctness reduces to sequential checks along the trace.  The
+*derived* objects — :class:`~repro.memory.emulated_snapshot.EmulatedSnapshot`
+and :class:`~repro.memory.bounded_max_register.BoundedMaxRegister` — take
+many steps per operation, so concurrent operations genuinely overlap and
+atomicity becomes **linearizability**: there must exist a total order of
+the operations, consistent with real-time precedence, that is legal for the
+sequential specification.
+
+This module provides:
+
+- :class:`HistoryOp` — an operation with its invocation/response interval;
+- sequential specifications for max registers and snapshots;
+- :func:`is_linearizable` — the classic Wing-Gong backtracking search with
+  memoization on (remaining-operations, abstract-state);
+- :func:`count_and_run` — a generator wrapper that measures how many
+  charged steps a sub-program consumed, which tests use to reconstruct
+  operation intervals from traces.
+
+The search is exponential in the worst case; it is intended for the small
+histories (a handful of processes, a few ops each) that the property tests
+generate, where it is exact and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Generator, Hashable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "HistoryOp",
+    "ILLEGAL",
+    "SequentialSpec",
+    "MaxRegisterSpec",
+    "SnapshotSpec",
+    "RegisterSpec",
+    "is_linearizable",
+    "count_and_run",
+]
+
+
+@dataclass(frozen=True)
+class HistoryOp:
+    """One completed operation with its real-time interval.
+
+    ``start`` and ``end`` are global step indices of the operation's first
+    and last charged steps (inclusive).  Operation A *precedes* B iff
+    ``A.end < B.start``; otherwise they are concurrent and may linearize in
+    either order.
+    """
+
+    pid: int
+    kind: str
+    value: Any
+    result: Any
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError(
+                f"operation interval [{self.start}, {self.end}] is inverted"
+            )
+
+    def precedes(self, other: "HistoryOp") -> bool:
+        return self.end < other.start
+
+
+#: Sentinel returned by specs for an illegal transition.  A dedicated
+#: object (rather than None) because None is a legitimate state value
+#: (e.g. an unwritten register).
+ILLEGAL = object()
+
+
+class SequentialSpec:
+    """A sequential object specification for the linearizability search."""
+
+    def initial_state(self) -> Hashable:
+        raise NotImplementedError
+
+    def apply(self, state: Hashable, op: HistoryOp) -> Any:
+        """Return the post-state if ``op`` is legal in ``state``, else
+        the :data:`ILLEGAL` sentinel."""
+        raise NotImplementedError
+
+
+class MaxRegisterSpec(SequentialSpec):
+    """Max register: writes raise the max; reads return it.
+
+    ``initial`` mirrors the implementation convention (0 for the bounded
+    tree register, None for the unbounded one).
+    """
+
+    def __init__(self, initial: Any = 0):
+        self._initial = initial
+
+    def initial_state(self) -> Hashable:
+        return self._initial
+
+    def apply(self, state: Hashable, op: HistoryOp) -> Any:
+        if op.kind == "write":
+            if state is None or op.value > state:
+                return op.value
+            return state
+        if op.kind == "read":
+            return state if op.result == state else ILLEGAL
+        raise ConfigurationError(f"max register spec: unknown op {op.kind!r}")
+
+
+class RegisterSpec(SequentialSpec):
+    """Plain read/write register."""
+
+    def __init__(self, initial: Any = None):
+        self._initial = initial
+
+    def initial_state(self) -> Hashable:
+        return self._initial
+
+    def apply(self, state: Hashable, op: HistoryOp) -> Any:
+        if op.kind == "write":
+            return op.value
+        if op.kind == "read":
+            return state if op.result == state else ILLEGAL
+        raise ConfigurationError(f"register spec: unknown op {op.kind!r}")
+
+
+class SnapshotSpec(SequentialSpec):
+    """n-component single-writer snapshot: updates set, scans read all."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError(f"snapshot spec needs n >= 1, got {n}")
+        self.n = n
+
+    def initial_state(self) -> Hashable:
+        return (None,) * self.n
+
+    def apply(self, state: Hashable, op: HistoryOp) -> Any:
+        components = list(state)
+        if op.kind == "update":
+            components[op.pid] = op.value
+            return tuple(components)
+        if op.kind == "scan":
+            return state if tuple(op.result) == state else ILLEGAL
+        raise ConfigurationError(f"snapshot spec: unknown op {op.kind!r}")
+
+
+def is_linearizable(history: List[HistoryOp], spec: SequentialSpec) -> bool:
+    """Decide whether ``history`` linearizes under ``spec``.
+
+    Implements the Wing-Gong search: repeatedly pick a *minimal* operation
+    (one not preceded by any other remaining operation), apply it to the
+    abstract state, and recurse; memoize failed (remaining, state) pairs.
+    All operations in the history must be complete (this library's runs
+    either finish or are cut at a known point; incomplete ops should be
+    dropped by the caller, which only weakens the check).
+    """
+    operations = tuple(history)
+    failed: set = set()
+
+    def search(remaining: FrozenSet[int], state: Hashable) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, state)
+        if key in failed:
+            return False
+        for index in remaining:
+            candidate = operations[index]
+            blocked = any(
+                operations[other].precedes(candidate)
+                for other in remaining
+                if other != index
+            )
+            if blocked:
+                continue
+            next_state = spec.apply(state, candidate)
+            if next_state is ILLEGAL:
+                continue
+            if search(remaining - {index}, next_state):
+                return True
+        failed.add(key)
+        return False
+
+    return search(frozenset(range(len(operations))), spec.initial_state())
+
+
+def count_and_run(
+    subprogram: Generator,
+) -> Generator[Any, Any, Tuple[Any, int]]:
+    """Run a sub-program, returning ``(result, charged_steps)``.
+
+    Used by tests to reconstruct operation intervals: wrap each logical
+    operation of a derived object, accumulate per-process step offsets, and
+    map them to global step indices through the recorded trace.
+    """
+    steps = 0
+    try:
+        request = next(subprogram)
+    except StopIteration as stop:
+        return stop.value, 0
+    while True:
+        response = yield request
+        steps += 1
+        try:
+            request = subprogram.send(response)
+        except StopIteration as stop:
+            return stop.value, steps

@@ -1,0 +1,127 @@
+"""Plain-text charts for terminals: sparklines and log-scale bar charts.
+
+The repository has no plotting dependencies, but decay curves and scaling
+series read much better as pictures than as digits.  These helpers render
+compact ASCII/Unicode charts used by the CLI's ``decay`` command and the
+examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "bar_chart", "series_plot"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence as a one-line sparkline.
+
+    Values are scaled between the sequence min and max; a constant
+    sequence renders at the lowest level.
+    """
+    if not values:
+        raise ConfigurationError("sparkline of empty sequence")
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Render horizontal bars with right-aligned labels and values.
+
+    ``log_scale=True`` sizes bars by log10(1 + value), which keeps multiple
+    orders of magnitude readable (e.g. E15's emulation ratios).
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not labels:
+        raise ConfigurationError("bar chart of empty data")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    if any(value < 0 for value in values):
+        raise ConfigurationError("bar chart values must be non-negative")
+
+    def magnitude(value: float) -> float:
+        return math.log10(1.0 + value) if log_scale else value
+
+    scale_max = max(magnitude(value) for value in values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar_length = int(round(magnitude(value) / scale_max * width))
+        bar = "█" * bar_length if bar_length else "▏"
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_plot(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    *,
+    height: int = 10,
+    y_label: str = "",
+) -> str:
+    """Render one or more numeric series as a small scatter grid.
+
+    Each series gets a marker (``*``, ``o``, ``x``, ``+``); points share the
+    x axis by index.  Intended for decay curves (measured vs bound).
+    """
+    if not series:
+        raise ConfigurationError("series plot of empty data")
+    markers = "*ox+#@"
+    length = max(len(values) for _, values in series)
+    if length == 0:
+        raise ConfigurationError("series plot needs at least one point")
+    all_values = [value for _, values in series for value in values]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+    grid = [[" "] * length for _ in range(height)]
+    for series_index, (_, values) in enumerate(series):
+        marker = markers[series_index % len(markers)]
+        for x, value in enumerate(values):
+            row = int((high - value) / (high - low) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            if grid[row][x] == " ":
+                grid[row][x] = marker
+            elif grid[row][x] != marker:
+                grid[row][x] = "&"  # overlapping series
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{high:8.2f} ┤"
+        elif row_index == height - 1:
+            prefix = f"{low:8.2f} ┤"
+        else:
+            prefix = " " * 8 + " │"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "└" + "─" * length)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {name}" for i, (name, _) in enumerate(series)
+    )
+    if y_label:
+        legend = f"{legend}   (y: {y_label})"
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Exact mathematics of the record process behind Lemma 1.
+
+Footnote 3 of the paper notes that one round of Algorithm 1 "is very
+similar to counting left-to-right maxima or outstanding values of a random
+permutation" (Renyi's records).  Under the fully *sequential* schedule this
+similarity is an identity: process j's scan sees exactly personae
+1..j, so persona j survives iff its priority is a prefix maximum — the
+number of survivors equals the number of **records** of the priority
+sequence.  (Tests exploit this to check the simulator against closed-form
+mathematics exactly, not just against upper bounds.)
+
+The record count R_m of a uniform random permutation of m elements has
+
+    P(R_m = k) = c(m, k) / m!
+
+where ``c(m, k)`` are the unsigned Stirling numbers of the first kind,
+with mean ``H_m`` (the harmonic number — the quantity Lemma 1's proof
+bounds by linearity of expectation) and variance ``H_m - H_m^(2)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "stirling_first_unsigned",
+    "record_pmf",
+    "record_mean",
+    "record_variance",
+    "count_records",
+]
+
+
+@lru_cache(maxsize=None)
+def _stirling_row(m: int) -> tuple:
+    """Row m of the unsigned Stirling-first-kind triangle, c(m, 0..m)."""
+    if m == 0:
+        return (1,)
+    previous = _stirling_row(m - 1)
+    row = [0] * (m + 1)
+    for k in range(m + 1):
+        from_lower = previous[k - 1] if 1 <= k <= m else 0
+        same = previous[k] * (m - 1) if k <= m - 1 else 0
+        row[k] = from_lower + same
+    return tuple(row)
+
+
+def stirling_first_unsigned(m: int, k: int) -> int:
+    """Unsigned Stirling number of the first kind ``c(m, k)``.
+
+    Counts permutations of m elements with exactly k cycles — equivalently
+    (by Foata's correspondence) with exactly k records.
+    """
+    if m < 0 or k < 0:
+        raise ConfigurationError("Stirling numbers need m, k >= 0")
+    if k > m:
+        return 0
+    return _stirling_row(m)[k]
+
+
+def record_pmf(m: int) -> List[Fraction]:
+    """Exact distribution of the record count: entry k = P(R_m = k).
+
+    Index 0 is P(R_m = 0), which is zero for m >= 1 (the first element is
+    always a record).
+    """
+    if m < 0:
+        raise ConfigurationError(f"m must be >= 0, got {m}")
+    row = _stirling_row(m)
+    factorial = 1
+    for value in range(2, m + 1):
+        factorial *= value
+    return [Fraction(row[k], factorial) for k in range(m + 1)]
+
+
+def record_mean(m: int) -> Fraction:
+    """``E[R_m] = H_m`` exactly (as a Fraction)."""
+    if m < 0:
+        raise ConfigurationError(f"m must be >= 0, got {m}")
+    return sum((Fraction(1, j) for j in range(1, m + 1)), Fraction(0))
+
+
+def record_variance(m: int) -> Fraction:
+    """``Var[R_m] = H_m - H_m^(2)`` exactly."""
+    if m < 0:
+        raise ConfigurationError(f"m must be >= 0, got {m}")
+    h1 = record_mean(m)
+    h2 = sum((Fraction(1, j * j) for j in range(1, m + 1)), Fraction(0))
+    return h1 - h2
+
+
+def count_records(sequence: Sequence[float]) -> int:
+    """Number of left-to-right maxima (records) of a sequence."""
+    count = 0
+    best = None
+    for value in sequence:
+        if best is None or value > best:
+            best = value
+            count += 1
+    return count

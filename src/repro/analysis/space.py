@@ -1,0 +1,104 @@
+"""Register-width accounting (footnote 2 and the Section 3 remark).
+
+The paper makes two space observations that never affect step complexity
+but matter for realisability:
+
+- **Footnote 2** (Algorithm 1): storing whole personae makes snapshot
+  components as wide as the input domain; replacing each input value with
+  the id of the process holding it shrinks a component to
+  ``O(log n log* n)`` bits (the id plus R priorities), at the cost of one
+  level of indirection.
+- **Section 3** (Algorithm 2): including the originating id in each persona
+  costs ``O(log n + log m)`` bits per register; since the id is only used
+  by the analysis, dropping it leaves the chooseWrite bits and the value:
+  ``O(log log n + log m)`` bits.
+
+This module computes those widths exactly for given parameters, and can
+also measure the *actual* encoded size of a persona produced by the
+library, so experiment E16 can put measured next to predicted.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.persona import Persona
+from repro.core.rounds import (
+    sifting_rounds,
+    snapshot_priority_range,
+    snapshot_rounds,
+)
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "bits_for",
+    "snapshot_component_bits",
+    "sifting_register_bits",
+    "measured_persona_bits",
+]
+
+
+def bits_for(count: int) -> int:
+    """Bits needed to address ``count`` distinct values (>= 1)."""
+    if count < 1:
+        raise ConfigurationError(f"bits_for needs count >= 1, got {count}")
+    return max(1, math.ceil(math.log2(count))) if count > 1 else 1
+
+
+def snapshot_component_bits(
+    n: int, epsilon: float, value_bits: int, *, indirection: bool = False
+) -> int:
+    """Width in bits of one Algorithm 1 snapshot component.
+
+    Plain: the input value plus R priorities.  With footnote 2's
+    indirection the value field is replaced by an origin id (``log n``
+    bits); the value itself lives once in a per-process announce register.
+    """
+    if value_bits < 0:
+        raise ConfigurationError("value_bits must be >= 0")
+    rounds = snapshot_rounds(n, epsilon)
+    priority_bits = rounds * bits_for(
+        snapshot_priority_range(n, epsilon, rounds)
+    )
+    id_bits = bits_for(n)
+    if indirection:
+        return id_bits + priority_bits
+    return value_bits + id_bits + priority_bits
+
+
+def sifting_register_bits(
+    n: int, epsilon: float, value_bits: int, *, include_origin: bool = True
+) -> int:
+    """Width in bits of one Algorithm 2 round register.
+
+    A persona is the value, one chooseWrite bit per round, the combine
+    coin, and (optionally — Section 3 notes it is only needed by the
+    analysis) the origin id.
+    """
+    if value_bits < 0:
+        raise ConfigurationError("value_bits must be >= 0")
+    rounds = sifting_rounds(n, epsilon)
+    width = value_bits + rounds + 1  # value + chooseWrite bits + coin
+    if include_origin:
+        width += bits_for(n)
+    return width
+
+
+def measured_persona_bits(persona: Persona, value_bits: int, n: int) -> int:
+    """Exact encoded size of a concrete persona under the natural encoding.
+
+    Priorities are encoded with ``bits_for(max_priority_range)`` each — we
+    use the actual values' magnitude bound from the persona itself —
+    chooseWrite entries as single bits, the coin as one bit, and the origin
+    as ``bits_for(n)``.
+    """
+    priority_bits = sum(
+        max(1, value.bit_length()) for value in persona.priorities
+    )
+    return (
+        value_bits
+        + bits_for(n)
+        + priority_bits
+        + len(persona.write_bits)
+        + 1
+    )

@@ -1,0 +1,89 @@
+"""Small statistics helpers for experiment reporting.
+
+Only what the harness needs: sample means/deviations and Wilson score
+intervals for agreement probabilities.  Wilson intervals are used (rather
+than normal approximations) because agreement rates sit near 1.0, where the
+normal interval is badly behaved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["mean", "sample_std", "wilson_interval", "SampleSummary", "summarize"]
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not samples:
+        raise ConfigurationError("mean of empty sample")
+    return sum(samples) / len(samples)
+
+
+def sample_std(samples: Sequence[float]) -> float:
+    """Bessel-corrected sample standard deviation (0.0 for size < 2)."""
+    if not samples:
+        raise ConfigurationError("std of empty sample")
+    if len(samples) < 2:
+        return 0.0
+    center = mean(samples)
+    variance = sum((value - center) ** 2 for value in samples) / (len(samples) - 1)
+    return math.sqrt(variance)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ConfigurationError(f"wilson interval needs trials > 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes {successes} outside [0, {trials}]"
+        )
+    proportion = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (proportion + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(
+            proportion * (1 - proportion) / trials
+            + z * z / (4 * trials * trials)
+        )
+        / denominator
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Five-number-ish summary of a numeric sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> SampleSummary:
+    """Summarize a non-empty numeric sample."""
+    if not samples:
+        raise ConfigurationError("summarize of empty sample")
+    return SampleSummary(
+        count=len(samples),
+        mean=mean(samples),
+        std=sample_std(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+    )

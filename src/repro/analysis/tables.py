@@ -1,0 +1,53 @@
+"""Aligned-text table rendering for benchmark and example output.
+
+The benchmark harness reproduces the paper's claims as printed tables
+("paper" column vs "measured" column); this module keeps that formatting in
+one place so every experiment reads the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["render_table", "format_float"]
+
+
+def format_float(value: Any, digits: int = 3) -> str:
+    """Format numbers compactly; pass other values through as str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+    digits: int = 3,
+) -> str:
+    """Render an aligned monospace table with optional title."""
+    text_rows: List[List[str]] = [
+        [format_float(cell, digits) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)

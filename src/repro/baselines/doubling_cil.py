@@ -1,0 +1,65 @@
+"""The O(log n) probabilistic-write conciliator (prior state of the art).
+
+This is the conciliator extracted from the Chor–Israeli–Li protocol in the
+style of Aspnes'12 [5]: each process alternates reads of a single proposal
+register with writes whose probability doubles each iteration,
+``p_k = min(1, 2^(k-1) / (2n))``.  A process leaves as soon as it reads a
+non-empty register (adopting that value) or after it writes.
+
+Properties (all exercised by tests and experiment E8):
+
+- termination in at most ``ceil(log2(2n)) + 1`` iterations — once ``p_k``
+  reaches 1 the process writes for sure, so individual step complexity is
+  ``Theta(log n)`` worst case;
+- validity — only inputs are ever written;
+- constant-probability agreement against an oblivious adversary: the first
+  write happens at an iteration where the total write probability mass
+  spent so far is a constant, so with constant probability no second value
+  is written before every remaining process reads.
+
+The point of the paper is that Algorithms 1 and 2 beat this ``log n`` with
+``log* n`` and ``log log n`` respectively.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator
+
+from repro.core.conciliator import Conciliator
+from repro.core.persona import Persona
+from repro.memory.register import AtomicRegister
+from repro.runtime.operations import Operation, Read, Write
+from repro.runtime.process import ProcessContext
+
+__all__ = ["DoublingCILConciliator"]
+
+
+class DoublingCILConciliator(Conciliator):
+    """CIL with doubling write probabilities: O(log n) individual steps."""
+
+    def __init__(self, n: int, name: str = "doubling-cil"):
+        super().__init__(n, name)
+        self.proposal = AtomicRegister(f"{name}.proposal")
+        # After this many iterations the write probability has reached 1.
+        self.max_iterations = max(1, math.ceil(math.log2(2 * n)) + 1)
+
+    def step_bound(self) -> int:
+        """Worst-case individual steps: one read + one maybe-write per
+        iteration."""
+        return 2 * self.max_iterations
+
+    def persona_program(
+        self, ctx: ProcessContext, input_value: Any
+    ) -> Generator[Operation, Any, Persona]:
+        mine = Persona(value=input_value, origin=ctx.pid, coin=ctx.rng.randrange(2))
+        iteration = 1
+        while True:
+            seen = yield Read(self.proposal)
+            if seen is not None:
+                return seen
+            write_probability = min(1.0, (2.0 ** (iteration - 1)) / (2.0 * self.n))
+            if ctx.rng.random() < write_probability:
+                yield Write(self.proposal, mine)
+                return mine
+            iteration += 1

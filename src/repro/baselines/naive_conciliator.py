@@ -1,0 +1,42 @@
+"""A deliberately weak straw-man conciliator, for contrast in tests/benches.
+
+Every process writes its value to one shared register and then reads it,
+returning whatever it sees (2 steps).  Termination and validity hold, but
+agreement only happens when the adversary is kind: under a round-robin
+schedule everyone returns the last writer's value, while under a
+"write-all-then-read-own" explicit schedule every process can keep its own
+value.  Its role is to demonstrate, in experiments and property tests, that
+probabilistic agreement *for every adversary strategy* — the conciliator
+guarantee — is a real property that naive protocols lack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.conciliator import Conciliator
+from repro.core.persona import Persona
+from repro.memory.register import AtomicRegister
+from repro.runtime.operations import Operation, Read, Write
+from repro.runtime.process import ProcessContext
+
+__all__ = ["NaiveConciliator"]
+
+
+class NaiveConciliator(Conciliator):
+    """Write-then-read on one register; agreement at the adversary's mercy."""
+
+    def __init__(self, n: int, name: str = "naive-conciliator"):
+        super().__init__(n, name)
+        self.register = AtomicRegister(f"{name}.r")
+
+    def step_bound(self) -> int:
+        return 2
+
+    def persona_program(
+        self, ctx: ProcessContext, input_value: Any
+    ) -> Generator[Operation, Any, Persona]:
+        mine = Persona(value=input_value, origin=ctx.pid, coin=ctx.rng.randrange(2))
+        yield Write(self.register, mine)
+        seen = yield Read(self.register)
+        return seen if seen is not None else mine

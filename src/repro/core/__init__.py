@@ -1,0 +1,69 @@
+"""The paper's contribution: conciliators and consensus built from them."""
+
+from repro.core.cil import CILConciliator
+from repro.core.cil_embedded import CILEmbeddedConciliator, INNER_EPSILON
+from repro.core.compose import ChainedConciliator
+from repro.core.conciliator import Conciliator, run_conciliator
+from repro.core.emulated_conciliator import EmulatedSnapshotConciliator
+from repro.core.indirect_conciliator import IndirectSnapshotConciliator
+from repro.core.consensus import (
+    ConsensusProtocol,
+    register_consensus,
+    run_consensus,
+    snapshot_consensus,
+)
+from repro.core.persona import Persona
+from repro.core.probabilities import (
+    SIFT_TAIL_FACTOR,
+    iterate_snapshot_f,
+    paper_sift_p,
+    sift_p,
+    sift_p_schedule,
+    sift_x,
+    snapshot_f,
+)
+from repro.core.rounds import (
+    ceil_log2,
+    ceil_log_log,
+    cil_write_probability,
+    log_star,
+    sifting_rounds,
+    sifting_switch_round,
+    snapshot_priority_range,
+    snapshot_rounds,
+)
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+
+__all__ = [
+    "Persona",
+    "Conciliator",
+    "run_conciliator",
+    "SnapshotConciliator",
+    "EmulatedSnapshotConciliator",
+    "IndirectSnapshotConciliator",
+    "ChainedConciliator",
+    "SiftingConciliator",
+    "CILConciliator",
+    "CILEmbeddedConciliator",
+    "INNER_EPSILON",
+    "ConsensusProtocol",
+    "snapshot_consensus",
+    "register_consensus",
+    "run_consensus",
+    "log_star",
+    "ceil_log2",
+    "ceil_log_log",
+    "snapshot_rounds",
+    "snapshot_priority_range",
+    "sifting_rounds",
+    "sifting_switch_round",
+    "cil_write_probability",
+    "sift_x",
+    "sift_p",
+    "sift_p_schedule",
+    "paper_sift_p",
+    "snapshot_f",
+    "iterate_snapshot_f",
+    "SIFT_TAIL_FACTOR",
+]

@@ -1,0 +1,64 @@
+"""The Chor–Israeli–Li proposal-register conciliator (Section 4's outer loop).
+
+A single multi-writer register ``proposal`` starts empty.  Each process
+loops: read ``proposal`` and return its value if non-empty; otherwise write
+its own value there with probability ``1/(4n)`` (and otherwise just loop).
+
+In isolation this is a conciliator with constant agreement probability:
+once some process writes, each of the other ``n - 1`` processes overwrites
+with probability at most ``1/(4n)`` before escaping, so by a union bound the
+first value survives alone with probability ``> 3/4``.  Total work is O(n)
+expected (each loop iteration independently shuts the protocol down with
+probability ``1/(4n)``), but *individual* step complexity is unbounded —
+which is exactly the gap Algorithm 3 closes by embedding a fast conciliator
+in the idle branch.
+
+The standalone class exists as a baseline (experiment E8) and as the
+reference for testing the embedded version's outer mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.core.conciliator import Conciliator
+from repro.core.persona import Persona
+from repro.core.rounds import cil_write_probability
+from repro.memory.register import AtomicRegister
+from repro.runtime.operations import Operation, Read, Write
+from repro.runtime.process import ProcessContext
+
+__all__ = ["CILConciliator"]
+
+
+class CILConciliator(Conciliator):
+    """The bare CIL loop as a standalone conciliator."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        write_probability: Optional[float] = None,
+        name: str = "cil-conciliator",
+    ):
+        super().__init__(n, name)
+        self.write_probability = (
+            write_probability
+            if write_probability is not None
+            else cil_write_probability(n)
+        )
+        self.proposal = AtomicRegister(f"{name}.proposal")
+
+    def persona_program(
+        self, ctx: ProcessContext, input_value: Any
+    ) -> Generator[Operation, Any, Persona]:
+        # The CIL mechanism flips per-step coins rather than per-value coins;
+        # personae here exist only so the combine-stage coin can travel.
+        mine = Persona(value=input_value, origin=ctx.pid, coin=ctx.rng.randrange(2))
+        while True:
+            seen = yield Read(self.proposal)
+            if seen is not None:
+                return seen
+            if ctx.rng.random() < self.write_probability:
+                yield Write(self.proposal, mine)
+                return mine

@@ -1,0 +1,57 @@
+"""Conciliator composition: chaining to boost agreement probability.
+
+If conciliators C1, ..., Ck are run in sequence — each stage's output value
+becomes the next stage's input — the chain is itself a conciliator, and its
+disagreement probability is at most the *product* of the stages': once some
+stage produces agreement, every later stage receives identical inputs and
+validity forces it to preserve them.
+
+This gives a second route (besides shrinking eps inside one conciliator) to
+high-probability agreement, and a building block for mixing models — e.g. a
+cheap sifting stage followed by a snapshot stage.  The independence needed
+for the product bound holds because each stage draws fresh persona coins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Sequence
+
+from repro.core.conciliator import Conciliator
+from repro.core.persona import Persona
+from repro.errors import ConfigurationError
+from repro.runtime.operations import Operation
+from repro.runtime.process import ProcessContext
+
+__all__ = ["ChainedConciliator"]
+
+
+class ChainedConciliator(Conciliator):
+    """Sequential composition of conciliators over the same n processes."""
+
+    def __init__(self, stages: Sequence[Conciliator], name: str = "chained"):
+        stages = list(stages)
+        if not stages:
+            raise ConfigurationError("a chain needs at least one stage")
+        n = stages[0].n
+        for stage in stages:
+            if stage.n != n:
+                raise ConfigurationError(
+                    f"stage {stage.name} built for n={stage.n}, chain has n={n}"
+                )
+        super().__init__(n, name)
+        self.stages: List[Conciliator] = stages
+
+    def step_bound(self) -> int:
+        """Worst-case steps: the sum over stages (when each defines one)."""
+        return sum(stage.step_bound() for stage in self.stages)
+
+    def persona_program(
+        self, ctx: ProcessContext, input_value: Any
+    ) -> Generator[Operation, Any, Persona]:
+        value = input_value
+        persona = None
+        for stage in self.stages:
+            persona = yield from stage.persona_program(ctx, value)
+            value = persona.value
+        assert persona is not None
+        return persona

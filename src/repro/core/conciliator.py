@@ -1,0 +1,116 @@
+"""Conciliator interface and run helpers.
+
+A **conciliator** (Section 1.2) keeps consensus's termination and validity
+but weakens agreement to *probabilistic agreement*: for some fixed
+``delta > 0`` and any adversary strategy, all return values are equal with
+probability at least ``delta``.
+
+Implementations expose two layers:
+
+- :meth:`Conciliator.persona_program` — the real protocol, operating on
+  :class:`~repro.core.persona.Persona` bundles and returning the surviving
+  persona.  Algorithm 3 embeds inner conciliators at this layer so coin bits
+  travel with values.
+- :meth:`Conciliator.program` — the public entry point used as a process
+  program: reads ``ctx.input_value``, runs the persona program, returns the
+  bare value.
+
+Conciliators also record, for experiment E1/E3, the persona each process
+holds after each round (*local* bookkeeping — no shared-memory operations,
+hence free in the step measure and invisible to the protocol itself).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.core.persona import Persona
+from repro.runtime.operations import Operation
+from repro.runtime.process import ProcessContext
+from repro.runtime.results import RunResult
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import Schedule
+from repro.runtime.simulator import run_programs
+
+__all__ = ["Conciliator", "run_conciliator"]
+
+
+class Conciliator:
+    """Base class for conciliator protocols."""
+
+    name: str
+    n: int
+
+    def __init__(self, n: int, name: str):
+        self.n = n
+        self.name = name
+        # _after_round[i][pid] = persona held by pid after finishing round i.
+        self._after_round: Dict[int, Dict[int, Persona]] = {}
+        # _initial[pid] = the persona pid generated before round 1.
+        self._initial: Dict[int, Persona] = {}
+
+    def persona_program(
+        self, ctx: ProcessContext, input_value: Any
+    ) -> Generator[Operation, Any, Persona]:
+        """The protocol itself; yields operations, returns a persona."""
+        raise NotImplementedError
+
+    def program(
+        self, ctx: ProcessContext
+    ) -> Generator[Operation, Any, Any]:
+        """Process program: run the conciliator on ``ctx.input_value``."""
+        persona = yield from self.persona_program(ctx, ctx.input_value)
+        return persona.value
+
+    # ----- instrumentation -------------------------------------------------
+
+    def _record_round(self, round_index: int, pid: int, persona: Persona) -> None:
+        self._after_round.setdefault(round_index, {})[pid] = persona
+
+    def _record_initial(self, pid: int, persona: Persona) -> None:
+        self._initial[pid] = persona
+
+    def personae_entering_round(self, round_index: int) -> List[Persona]:
+        """Distinct personae held at the start of ``round_index`` (0-based)."""
+        if round_index == 0:
+            personae = self._initial.values()
+        else:
+            personae = self._after_round.get(round_index - 1, {}).values()
+        return list(set(personae))
+
+    def survivors_after_round(self, round_index: int) -> int:
+        """Distinct personae held by processes after ``round_index``.
+
+        This is the random variable ``Y_i`` of Lemmas 1 and 2, measured at
+        each process's own round boundary.
+        """
+        personae = self._after_round.get(round_index, {})
+        return len(set(personae.values()))
+
+    def survivor_series(self) -> List[int]:
+        """``Y_i`` for every recorded round, in round order."""
+        return [
+            self.survivors_after_round(index)
+            for index in sorted(self._after_round)
+        ]
+
+
+def run_conciliator(
+    conciliator: Conciliator,
+    inputs: Sequence[Any],
+    schedule: Schedule,
+    seeds: SeedTree,
+    *,
+    record_trace: bool = False,
+    step_limit: int = 50_000_000,
+) -> RunResult:
+    """Run one conciliator execution: every process proposes its input."""
+    programs = [conciliator.program] * len(inputs)
+    return run_programs(
+        programs,
+        schedule,
+        seeds,
+        inputs=list(inputs),
+        record_trace=record_trace,
+        step_limit=step_limit,
+    )

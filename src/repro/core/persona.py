@@ -1,0 +1,118 @@
+"""Personae: input values bundled with pre-flipped randomness.
+
+The central trick of the paper (Section 1, "personae") is that against an
+*oblivious* adversary, a process can generate every coin its value will ever
+need **up front**, attach them to the value, and let the bundle propagate as
+other processes adopt the value.  All copies of a persona then behave
+identically in every round, so the number of *distinct surviving personae*
+— not the number of processes — becomes the measure of progress.
+
+A :class:`Persona` is immutable and hashable, so survivor counting is just
+``len(set(...))``.  The originating process id is included, as in Section 3:
+"the id value is not used by the algorithm and can be omitted in an actual
+implementation", but including it guarantees that personae generated
+independently are distinct even if their coins collide, which keeps the
+analysis (and our survivor counting) clean.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Persona"]
+
+
+@dataclass(frozen=True)
+class Persona:
+    """An input value plus all randomness it will ever use.
+
+    Attributes:
+        value: the input value being proposed.  Must be hashable.
+        origin: pid of the process that created the persona.
+        priorities: per-round random priorities (Algorithm 1).  Empty for
+            personae that never enter the snapshot conciliator.
+        write_bits: per-round chooseWrite coin flips (Algorithm 2).  Empty
+            for personae that never enter the sifting conciliator.
+        coin: the combine-stage shared-coin bit (Algorithm 3).
+    """
+
+    value: Any
+    origin: int
+    priorities: Tuple[int, ...] = ()
+    write_bits: Tuple[bool, ...] = ()
+    coin: int = 0
+
+    def __post_init__(self) -> None:
+        if self.coin not in (0, 1):
+            raise ConfigurationError(f"persona coin must be 0 or 1, got {self.coin}")
+
+    @staticmethod
+    def for_snapshot(
+        value: Any,
+        origin: int,
+        rng: random.Random,
+        rounds: int,
+        priority_range: int,
+    ) -> "Persona":
+        """Create a persona for Algorithm 1.
+
+        Draws ``rounds`` independent priorities uniformly from
+        ``{1, ..., priority_range}`` (the paper's range ``ceil(R n^2 / eps)``
+        makes the probability of any duplicate at most eps/2).
+        """
+        if rounds < 1:
+            raise ConfigurationError(f"snapshot persona needs rounds >= 1, got {rounds}")
+        if priority_range < 1:
+            raise ConfigurationError(
+                f"priority_range must be >= 1, got {priority_range}"
+            )
+        priorities = tuple(rng.randint(1, priority_range) for _ in range(rounds))
+        return Persona(
+            value=value,
+            origin=origin,
+            priorities=priorities,
+            coin=rng.randrange(2),
+        )
+
+    @staticmethod
+    def for_sifting(
+        value: Any,
+        origin: int,
+        rng: random.Random,
+        write_probabilities: Sequence[float],
+    ) -> "Persona":
+        """Create a persona for Algorithm 2.
+
+        ``write_probabilities[i]`` is the probability ``p_{i+1}`` that the
+        persona writes (rather than reads) in round ``i+1``; the chooseWrite
+        bit for each round is flipped now and frozen into the persona.
+        """
+        if not write_probabilities:
+            raise ConfigurationError("sifting persona needs at least one round")
+        for probability in write_probabilities:
+            if not 0.0 <= probability <= 1.0:
+                raise ConfigurationError(
+                    f"write probability {probability} outside [0, 1]"
+                )
+        bits = tuple(rng.random() < p for p in write_probabilities)
+        return Persona(
+            value=value,
+            origin=origin,
+            write_bits=bits,
+            coin=rng.randrange(2),
+        )
+
+    def priority(self, round_index: int) -> int:
+        """This persona's priority in round ``round_index`` (0-based)."""
+        return self.priorities[round_index]
+
+    def chooses_write(self, round_index: int) -> bool:
+        """True if this persona writes in sifting round ``round_index``."""
+        return self.write_bits[round_index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Persona(value={self.value!r}, origin={self.origin})"

@@ -1,0 +1,105 @@
+"""Round-count and parameter formulas from the paper.
+
+Every quantity here is taken directly from the text:
+
+- Algorithm 1 runs ``R = log* n + ceil(log2(1/eps)) + 1`` rounds with
+  priorities drawn from ``{1 .. ceil(R n^2 / eps)}`` (Section 2);
+- Algorithm 2 runs ``R = ceil(log2 log2 n) + ceil(log_{4/3}(8/eps))`` rounds
+  (Theorem 2), the first ``ceil(log2 log2 n)`` with the tuned probabilities
+  of :mod:`repro.core.probabilities` and the rest with ``p = 1/2``;
+- Algorithm 3 writes to the proposal register with probability ``1/(4n)``
+  per loop iteration (Section 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "log_star",
+    "ceil_log2",
+    "ceil_log_log",
+    "snapshot_rounds",
+    "snapshot_priority_range",
+    "sifting_switch_round",
+    "sifting_rounds",
+    "cil_write_probability",
+]
+
+
+def log_star(n: float) -> int:
+    """The iterated logarithm: ``log* n = 0`` for ``n <= 1``, else
+    ``1 + log*(log2 n)`` (Section 1.3)."""
+    if n != n:  # NaN
+        raise ConfigurationError("log* undefined for NaN")
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def ceil_log2(x: float) -> int:
+    """``ceil(log2 x)`` with exact handling of powers of two for ints."""
+    if x <= 0:
+        raise ConfigurationError(f"ceil_log2 needs x > 0, got {x}")
+    if isinstance(x, int):
+        return (x - 1).bit_length() if x > 1 else 0
+    return max(0, math.ceil(math.log2(x)))
+
+
+def ceil_log_log(n: int) -> int:
+    """``ceil(log2 log2 n)``, the sifting switch point; 0 for ``n <= 2``."""
+    if n < 1:
+        raise ConfigurationError(f"ceil_log_log needs n >= 1, got {n}")
+    if n <= 2:
+        return 0
+    return max(0, math.ceil(math.log2(math.log2(n))))
+
+
+def snapshot_rounds(n: int, epsilon: float) -> int:
+    """``R = log* n + ceil(log2(1/eps)) + 1`` for Algorithm 1."""
+    _check(n, epsilon)
+    return log_star(n) + math.ceil(math.log2(1.0 / epsilon)) + 1
+
+
+def snapshot_priority_range(n: int, epsilon: float, rounds: int) -> int:
+    """Priority range ``ceil(R n^2 / eps)`` for Algorithm 1.
+
+    Chosen so a particular pair of personae collides in a given round with
+    probability at most ``eps / (R n^2)``, giving total duplicate
+    probability at most ``eps/2`` over all rounds and pairs.
+    """
+    _check(n, epsilon)
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    return math.ceil(rounds * n * n / epsilon)
+
+
+def sifting_switch_round(n: int) -> int:
+    """Number of tuned-probability rounds, ``ceil(log2 log2 n)``."""
+    return ceil_log_log(n)
+
+
+def sifting_rounds(n: int, epsilon: float) -> int:
+    """``R = ceil(log2 log2 n) + ceil(log_{4/3}(8/eps))`` for Algorithm 2."""
+    _check(n, epsilon)
+    tail = math.ceil(math.log(8.0 / epsilon) / math.log(4.0 / 3.0))
+    return sifting_switch_round(n) + tail
+
+
+def cil_write_probability(n: int) -> float:
+    """Per-iteration proposal write probability ``1/(4n)`` of Algorithm 3."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return 1.0 / (4.0 * n)
+
+
+def _check(n: int, epsilon: float) -> None:
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")

@@ -1,0 +1,102 @@
+"""Algorithm 2: the sifting conciliator on multi-writer registers.
+
+One register ``r_i`` per asynchronous round.  In round ``i`` each persona
+either *writes* itself to ``r_i`` (with probability ``p_i``, a coin
+pre-flipped into the persona's ``chooseWrite`` vector) or *reads* ``r_i``
+and adopts whatever persona it sees (keeping its own only if the register is
+still empty).  Exactly one operation per round, so individual step
+complexity equals the round count.
+
+Lemma 2 bounds the per-round survivor contraction for any ``p_i``; the tuned
+schedule (:func:`repro.core.probabilities.sift_p`) contracts ``X`` to
+``~2 sqrt(X)`` per round for the first ``ceil(log2 log2 n)`` rounds —
+bringing the expected survivors under 8 — and then switches to ``p = 1/2``,
+shrinking expectations by ``3/4`` per round (Lemma 4).  Total rounds
+``R = ceil(log2 log2 n) + ceil(log_{4/3}(8/eps))`` give agreement with
+probability ``1 - eps`` (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence
+
+from repro.core.conciliator import Conciliator
+from repro.core.persona import Persona
+from repro.core.probabilities import sift_p_schedule
+from repro.core.rounds import sifting_rounds
+from repro.errors import ConfigurationError
+from repro.memory.register_array import RegisterArray
+from repro.runtime.operations import Operation, Read, Write
+from repro.runtime.process import ProcessContext
+
+__all__ = ["SiftingConciliator"]
+
+
+class SiftingConciliator(Conciliator):
+    """Algorithm 2 with agreement probability ``1 - epsilon``.
+
+    Args:
+        n: number of processes.
+        epsilon: target disagreement probability.
+        rounds: override the round count (decay experiments).
+        p_schedule: override the per-round write probabilities (the E10
+            ablation compares the tuned schedule, the paper's printed
+            equation (3), and fixed ``p = 1/2``).
+        anonymous: drop the originating id from personae, as Section 3
+            notes a real implementation may ("the id value is not used by
+            the algorithm"); saves log n register bits
+            (see :mod:`repro.analysis.space`).  Survivor instrumentation
+            then counts (value, coins) classes instead of origins.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        epsilon: float = 0.5,
+        *,
+        rounds: Optional[int] = None,
+        p_schedule: Optional[Sequence[float]] = None,
+        anonymous: bool = False,
+        name: str = "sifting-conciliator",
+    ):
+        super().__init__(n, name)
+        self.epsilon = epsilon
+        self.rounds = rounds if rounds is not None else sifting_rounds(n, epsilon)
+        if self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+        if p_schedule is None:
+            self.p_schedule: List[float] = sift_p_schedule(n, self.rounds)
+        else:
+            if len(p_schedule) != self.rounds:
+                raise ConfigurationError(
+                    f"p_schedule has {len(p_schedule)} entries for "
+                    f"{self.rounds} rounds"
+                )
+            self.p_schedule = list(p_schedule)
+        self.anonymous = anonymous
+        self.registers = RegisterArray(f"{name}.r")
+
+    def step_bound(self) -> int:
+        """Exact individual step complexity: 1 per round."""
+        return self.rounds
+
+    def make_persona(self, ctx: ProcessContext, input_value: Any) -> Persona:
+        """Draw the persona (chooseWrite bits + combine coin)."""
+        origin = -1 if self.anonymous else ctx.pid
+        return Persona.for_sifting(input_value, origin, ctx.rng, self.p_schedule)
+
+    def persona_program(
+        self, ctx: ProcessContext, input_value: Any
+    ) -> Generator[Operation, Any, Persona]:
+        persona = self.make_persona(ctx, input_value)
+        self._record_initial(ctx.pid, persona)
+        for round_index in range(self.rounds):
+            register = self.registers[round_index]
+            if persona.chooses_write(round_index):
+                yield Write(register, persona)
+            else:
+                seen = yield Read(register)
+                if seen is not None:
+                    persona = seen
+            self._record_round(round_index, ctx.pid, persona)
+        return persona

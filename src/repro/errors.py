@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError`, so callers can
+catch one type at an API boundary.  Simulation errors are deliberately loud:
+a distributed algorithm that silently misbehaves is worse than one that
+crashes, because the whole point of a reproduction is to observe faithful
+behaviour.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ScheduleExhaustedError",
+    "StepLimitExceededError",
+    "ProtocolViolationError",
+    "InvalidOperationError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """An error occurred while executing a simulated run."""
+
+
+class ScheduleExhaustedError(SimulationError):
+    """The adversary's schedule ended before every process finished.
+
+    A finite schedule is a legitimate adversary choice (the model allows
+    starvation), but most callers expect runs to complete, so exhaustion is
+    reported explicitly rather than returning partial results silently.
+    Callers that want partial runs pass ``allow_partial=True`` to
+    :meth:`repro.runtime.simulator.Simulator.run`.
+    """
+
+
+class StepLimitExceededError(SimulationError):
+    """A safety valve tripped: the run exceeded its configured step budget."""
+
+
+class ProtocolViolationError(ReproError):
+    """An algorithm violated one of its specified invariants.
+
+    Raised, for example, when a conciliator would return a value that is not
+    any process's input (validity) or when an adopt-commit object would
+    break coherence.  These checks guard the reproduction itself.
+    """
+
+
+class InvalidOperationError(SimulationError):
+    """A process issued an operation that its target object does not support."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameters were supplied to a protocol or experiment."""

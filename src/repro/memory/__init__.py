@@ -1,0 +1,40 @@
+"""Shared-memory object implementations.
+
+The paper's two models are built from:
+
+- :class:`~repro.memory.register.AtomicRegister` — multi-writer multi-reader
+  atomic registers (Section 3's model);
+- :class:`~repro.memory.snapshot.SnapshotObject` — unit-cost snapshots
+  (Section 2's model): one ``update`` writes the caller's component, one
+  ``scan`` atomically returns all components;
+- :class:`~repro.memory.max_register.MaxRegister` — max registers, which the
+  paper's footnote 1 observes suffice for Algorithm 1.
+
+Registers are unbounded-size, as the paper assumes ("We do not assume any
+limitation on the size of registers"), so values may be arbitrary Python
+objects — in particular whole personae.
+
+Objects may only be mutated through the simulator (processes yield operation
+requests); direct method calls are reserved for test code that checks
+sequential semantics.
+"""
+
+from repro.memory.base import SharedObject
+from repro.memory.bounded_max_register import BoundedMaxRegister
+from repro.memory.emulated_snapshot import EmulatedSnapshot, SnapshotCell
+from repro.memory.max_register import MaxRegister
+from repro.memory.register import AtomicRegister
+from repro.memory.register_array import RegisterArray, SnapshotArray
+from repro.memory.snapshot import SnapshotObject
+
+__all__ = [
+    "SharedObject",
+    "AtomicRegister",
+    "SnapshotObject",
+    "MaxRegister",
+    "BoundedMaxRegister",
+    "EmulatedSnapshot",
+    "SnapshotCell",
+    "RegisterArray",
+    "SnapshotArray",
+]

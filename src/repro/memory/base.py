@@ -1,0 +1,43 @@
+"""Base class for shared-memory objects."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.errors import InvalidOperationError
+from repro.runtime.operations import Operation
+
+__all__ = ["SharedObject"]
+
+_anonymous_counter = itertools.count()
+
+
+class SharedObject:
+    """A shared object that executes atomic operations.
+
+    Subclasses implement :meth:`apply`, dispatching on the operation type and
+    raising :class:`InvalidOperationError` for unsupported requests.  The
+    simulator calls :meth:`apply` exactly once per charged step, and nothing
+    else in the system mutates the object, so every operation is trivially
+    atomic and the execution order is a linearization by construction.
+
+    Every object has a :attr:`name` used in traces; anonymous objects get a
+    generated one.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name or f"{type(self).__name__}-{next(_anonymous_counter)}"
+
+    def apply(self, operation: Operation, pid: int) -> Any:
+        """Execute one atomic operation on behalf of process ``pid``."""
+        raise NotImplementedError
+
+    def _reject(self, operation: Operation) -> Any:
+        raise InvalidOperationError(
+            f"{type(self).__name__} {self.name!r} does not support "
+            f"{operation.kind} operations"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

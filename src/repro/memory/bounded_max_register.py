@@ -1,0 +1,122 @@
+"""Bounded max register built from 1-bit registers (Aspnes-Attiya-Censor-Hillel).
+
+Footnote 1 of the paper observes Algorithm 1 only needs max registers and
+cites [7], which constructs a linearizable max register for values in
+``{0, ..., k-1}`` from a binary tree of switch bits with ``O(log k)`` steps
+per operation.  This module implements that tree:
+
+- an internal node holds one **switch** register (initially unset) and
+  splits the value range between a left child (low half) and right child
+  (high half);
+- ``WriteMax(v)``: descend toward ``v``; going right, recurse **then** set
+  the switch on the way out (so a reader that sees a set switch finds the
+  high-half path already complete); going left, *first* check the switch —
+  if it is already set a larger value is present and the write abandons
+  (its value can never again be the maximum);
+- ``ReadMax()``: at each node read the switch; go right if set, left
+  otherwise; the leaf reached is the current maximum.
+
+Following [7], the register initially holds 0 (an explicit "empty" marker
+cannot be added with a side flag without breaking linearizability: a reader
+could observe the flag before any tree switch is set and be forced to
+return a value no write has linearized yet).
+
+Cost: reads take at most ``depth`` steps and writes at most
+``2 * depth``, with ``depth = ceil(log2 k)`` — the ``O(log k)`` of [7].
+Like :class:`repro.memory.emulated_snapshot.EmulatedSnapshot`, this is a
+derived object: its operations are sub-programs over plain registers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator
+
+from repro.errors import ConfigurationError
+from repro.memory.register import AtomicRegister
+from repro.runtime.operations import Operation, Read, Write
+from repro.runtime.process import ProcessContext
+
+__all__ = ["BoundedMaxRegister"]
+
+
+class _Node:
+    """One range ``[low, low + span)`` of the value tree."""
+
+    __slots__ = ("low", "span", "switch", "left", "right")
+
+    def __init__(self, low: int, span: int, name: str):
+        self.low = low
+        self.span = span
+        if span > 1:
+            left_span = (span + 1) // 2
+            self.switch = AtomicRegister(f"{name}.switch[{low}+{span}]",
+                                         initial=False)
+            self.left = _Node(low, left_span, name)
+            self.right = _Node(low + left_span, span - left_span, name)
+        else:
+            self.switch = None
+            self.left = None
+            self.right = None
+
+
+class BoundedMaxRegister:
+    """Linearizable max register over ``{0..capacity-1}``, O(log k)/op.
+
+    Initially holds 0, as in [7]; ``ReadMax`` returns the maximum of 0 and
+    every linearized ``WriteMax``.
+    """
+
+    def __init__(self, capacity: int, name: str = "bounded-max"):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._root = _Node(0, capacity, name)
+
+    @property
+    def depth(self) -> int:
+        """Tree depth ``ceil(log2 capacity)``."""
+        return max(0, math.ceil(math.log2(self.capacity)))
+
+    def read_step_bound(self) -> int:
+        return max(1, self.depth)
+
+    def write_step_bound(self) -> int:
+        return max(1, 2 * self.depth)
+
+    def write_program(
+        self, ctx: ProcessContext, value: int
+    ) -> Generator[Operation, Any, None]:
+        """``WriteMax(value)`` as a register sub-program."""
+        if not 0 <= value < self.capacity:
+            raise ConfigurationError(
+                f"value {value} outside [0, {self.capacity})"
+            )
+        yield from self._write_node(self._root, value)
+
+    def _write_node(
+        self, node: _Node, value: int
+    ) -> Generator[Operation, Any, None]:
+        if node.span == 1:
+            return
+        if value < node.right.low:
+            switched = yield Read(node.switch)
+            if switched:
+                # A value from the high half is already present; ours can
+                # never again be the maximum, so the write may stop.
+                return
+            yield from self._write_node(node.left, value)
+        else:
+            yield from self._write_node(node.right, value)
+            yield Write(node.switch, True)
+
+    def read_program(
+        self, ctx: ProcessContext
+    ) -> Generator[Operation, Any, int]:
+        """``ReadMax()`` as a register sub-program."""
+        node = self._root
+        while node.span > 1:
+            switched = yield Read(node.switch)
+            node = node.right if switched else node.left
+        return node.low

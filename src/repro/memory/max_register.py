@@ -1,0 +1,46 @@
+"""Max register (paper footnote 1).
+
+A max register supports ``MaxWrite(v)`` and ``MaxRead()``, where reads return
+the largest value ever written.  The paper observes (footnote 1) that because
+Algorithm 1 only uses its snapshot to find the maximum-priority persona, max
+registers suffice.  The library provides both variants of Algorithm 1 and an
+experiment (E11) checking they behave identically in distribution.
+
+Values must be mutually comparable; Algorithm 1 writes ``(priority, tiebreak,
+persona)`` tuples so comparisons never reach the persona itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.memory.base import SharedObject
+from repro.runtime.operations import MaxRead, MaxWrite, Operation
+
+__all__ = ["MaxRegister"]
+
+
+class MaxRegister(SharedObject):
+    """An unbounded atomic max register."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._value: Any = None
+        self.write_count = 0
+        self.read_count = 0
+
+    @property
+    def value(self) -> Any:
+        """Current maximum (for inspection only)."""
+        return self._value
+
+    def apply(self, operation: Operation, pid: int) -> Any:
+        if isinstance(operation, MaxWrite):
+            self.write_count += 1
+            if self._value is None or operation.value > self._value:
+                self._value = operation.value
+            return None
+        if isinstance(operation, MaxRead):
+            self.read_count += 1
+            return self._value
+        return self._reject(operation)

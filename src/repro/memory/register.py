@@ -1,0 +1,51 @@
+"""Atomic multi-writer multi-reader register."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.memory.base import SharedObject
+from repro.runtime.operations import Operation, Read, Write
+
+__all__ = ["AtomicRegister"]
+
+
+class AtomicRegister(SharedObject):
+    """An unbounded-size atomic MWMR register.
+
+    Supports :class:`~repro.runtime.operations.Read` (returns the value of
+    the most recent write, or the initial value) and
+    :class:`~repro.runtime.operations.Write`.  Each costs one step.
+
+    The register also counts its writes, which tests use to verify claims
+    such as "at most one iteration can skip the sifting step without writing
+    ``proposal``" in Theorem 3's proof.
+    """
+
+    def __init__(self, name: str = "", initial: Any = None):
+        super().__init__(name)
+        self._value = initial
+        self._initial = initial
+        self.write_count = 0
+        self.read_count = 0
+
+    @property
+    def value(self) -> Any:
+        """Current value (for inspection by tests and harnesses)."""
+        return self._value
+
+    def apply(self, operation: Operation, pid: int) -> Any:
+        if isinstance(operation, Read):
+            self.read_count += 1
+            return self._value
+        if isinstance(operation, Write):
+            self.write_count += 1
+            self._value = operation.value
+            return None
+        return self._reject(operation)
+
+    def reset(self) -> None:
+        """Restore the initial value (between independent trials)."""
+        self._value = self._initial
+        self.write_count = 0
+        self.read_count = 0

@@ -1,0 +1,76 @@
+"""Lazily allocated arrays of shared objects.
+
+Round-based protocols use one shared object per round (``A_i`` in
+Algorithm 1, ``r_i`` in Algorithm 2), and consensus built from conciliators
+uses an unbounded sequence of phase objects.  These helpers allocate objects
+on first touch so protocols can be written against a conceptually infinite
+array, while experiments can still enumerate what was actually used.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List
+
+from repro.memory.base import SharedObject
+from repro.memory.register import AtomicRegister
+from repro.memory.snapshot import SnapshotObject
+
+__all__ = ["RegisterArray", "SnapshotArray", "ObjectArray"]
+
+
+class ObjectArray:
+    """A lazily materialized, unbounded array of shared objects."""
+
+    def __init__(self, factory: Callable[[int], SharedObject], name: str = "array"):
+        self._factory = factory
+        self.name = name
+        self._objects: Dict[int, SharedObject] = {}
+
+    def __getitem__(self, index: int) -> SharedObject:
+        if index < 0:
+            raise IndexError(f"object array index must be >= 0, got {index}")
+        if index not in self._objects:
+            self._objects[index] = self._factory(index)
+        return self._objects[index]
+
+    def allocated(self) -> List[int]:
+        """Indices of objects that have been touched, in sorted order."""
+        return sorted(self._objects)
+
+    def __iter__(self) -> Iterator[SharedObject]:
+        for index in self.allocated():
+            yield self._objects[index]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+class RegisterArray(ObjectArray):
+    """Unbounded array of atomic registers, e.g. ``r_i`` in Algorithm 2."""
+
+    def __init__(self, name: str = "r", initial: Any = None):
+        super().__init__(
+            lambda index: AtomicRegister(f"{name}[{index}]", initial=initial),
+            name=name,
+        )
+
+    def __getitem__(self, index: int) -> AtomicRegister:
+        register = super().__getitem__(index)
+        assert isinstance(register, AtomicRegister)
+        return register
+
+
+class SnapshotArray(ObjectArray):
+    """Unbounded array of snapshot objects, e.g. ``A_i`` in Algorithm 1."""
+
+    def __init__(self, n: int, name: str = "A"):
+        super().__init__(
+            lambda index: SnapshotObject(n, f"{name}[{index}]"),
+            name=name,
+        )
+        self.n = n
+
+    def __getitem__(self, index: int) -> SnapshotObject:
+        snapshot = super().__getitem__(index)
+        assert isinstance(snapshot, SnapshotObject)
+        return snapshot

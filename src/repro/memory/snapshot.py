@@ -1,0 +1,79 @@
+"""Unit-cost atomic snapshot object.
+
+Section 2 of the paper assumes a snapshot object whose ``scan`` returns the
+entire vector of components in a single atomic step ("unit-cost snapshot
+model").  Real wait-free snapshot constructions from registers cost
+:math:`O(n)` or more per operation; the paper deliberately abstracts that
+away, and so do we: ``scan`` is one charged step.
+
+The object also maintains the *view history*: the proof of Lemma 1 depends on
+views being totally ordered by inclusion ("each write ... can only add new
+personae, each view is a subset of any larger views").  Tests use
+:meth:`SnapshotObject.views_nest` to check this holds in every execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.errors import InvalidOperationError
+from repro.memory.base import SharedObject
+from repro.runtime.operations import Operation, Scan, Update
+
+__all__ = ["SnapshotObject"]
+
+
+class SnapshotObject(SharedObject):
+    """An n-component snapshot object with unit-cost scans.
+
+    Component ``i`` may only be updated by process ``i`` (the standard
+    single-writer-per-component snapshot of the paper); a scan returns an
+    immutable tuple of all components, with ``None`` for components never
+    updated.
+    """
+
+    def __init__(self, n: int, name: str = ""):
+        super().__init__(name)
+        if n < 1:
+            raise InvalidOperationError(f"snapshot needs n >= 1, got {n}")
+        self.n = n
+        self._components: List[Any] = [None] * n
+        self.update_count = 0
+        self.scan_count = 0
+        self._view_sizes: List[int] = []
+
+    def apply(self, operation: Operation, pid: int) -> Any:
+        if isinstance(operation, Update):
+            if not 0 <= pid < self.n:
+                raise InvalidOperationError(
+                    f"pid {pid} out of range for snapshot of size {self.n}"
+                )
+            self._components[pid] = operation.value
+            self.update_count += 1
+            return None
+        if isinstance(operation, Scan):
+            self.scan_count += 1
+            view = tuple(self._components)
+            self._view_sizes.append(sum(1 for item in view if item is not None))
+            return view
+        return self._reject(operation)
+
+    @property
+    def components(self) -> Tuple[Any, ...]:
+        """Current component vector (for inspection only)."""
+        return tuple(self._components)
+
+    @property
+    def view_sizes(self) -> List[int]:
+        """Number of non-empty components seen by each scan, in order."""
+        return list(self._view_sizes)
+
+    def views_nest(self) -> bool:
+        """True if scan view sizes were non-decreasing.
+
+        Because components are never cleared, non-decreasing sizes together
+        with the single-assignment discipline imply set inclusion; the full
+        inclusion check lives in :func:`repro.runtime.trace.check_snapshot_semantics`.
+        """
+        sizes = self._view_sizes
+        return all(sizes[i] <= sizes[i + 1] for i in range(len(sizes) - 1))

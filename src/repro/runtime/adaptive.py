@@ -1,0 +1,272 @@
+"""Adaptive adversaries: the negative control for obliviousness.
+
+Section 5 of the paper ("Strength of the adversary") stresses that the new
+algorithms depend on the adversary *not* seeing coin flips: the sifting
+conciliator needs at least a **content-oblivious** adversary, because a
+scheduler that can see whether a process is about to read or write the
+round register can defeat the sift entirely.
+
+This module implements that stronger adversary so the dependence can be
+*measured* (experiment E18).  An :class:`AdaptiveAdversary` is consulted at
+every step and may inspect an :class:`AdversaryView` — which process is
+unfinished, what operation each would execute next (kind, target object,
+written value), and current step counts.  This is strictly more power than
+the oblivious model grants, and exactly the power the paper's analysis
+forbids.
+
+Provided strategies:
+
+- :class:`PendingKindAdversary` — prefers processes whose next operation
+  matches a kind (e.g. schedule all pending *reads* first).  Against
+  Algorithm 2 this is the "sift killer": readers drain the rounds while
+  registers are still empty, keep their own personae, and agreement
+  collapses to near zero.
+- :class:`LongestFirstAdversary` / :class:`ShortestFirstAdversary` — favour
+  processes by accumulated step count (fairness attacks).
+- :class:`RandomAdaptiveAdversary` — random choice; behaviourally identical
+  to an oblivious random schedule, included as the experiment's control.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError, StepLimitExceededError
+from repro.runtime.operations import Operation
+from repro.runtime.process import Process, ProcessContext, Program
+from repro.runtime.results import RunResult
+from repro.runtime.rng import SeedTree
+from repro.runtime.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "AdversaryView",
+    "AdaptiveAdversary",
+    "PendingKindAdversary",
+    "LongestFirstAdversary",
+    "ShortestFirstAdversary",
+    "RandomAdaptiveAdversary",
+    "run_adaptive_programs",
+]
+
+
+class AdversaryView:
+    """Read-only view of execution state offered to an adaptive adversary."""
+
+    def __init__(self, processes: Dict[int, Process], steps: Dict[int, int]):
+        self._processes = processes
+        self._steps = steps
+
+    def unfinished(self) -> List[int]:
+        """Pids that still have an operation to execute, sorted."""
+        return sorted(
+            pid for pid, process in self._processes.items()
+            if not process.finished
+        )
+
+    def pending_operation(self, pid: int) -> Optional[Operation]:
+        """The operation ``pid`` would execute if scheduled now."""
+        return self._processes[pid].pending_operation
+
+    def pending_kind(self, pid: int) -> Optional[str]:
+        """Kind of the pending operation (``"read"``, ``"write"``, ...)."""
+        operation = self.pending_operation(pid)
+        return None if operation is None else operation.kind
+
+    def steps_taken(self, pid: int) -> int:
+        return self._steps[pid]
+
+
+class AdaptiveAdversary:
+    """Chooses the next process to run, seeing the full execution state."""
+
+    def choose(self, view: AdversaryView) -> int:
+        raise NotImplementedError
+
+
+class PendingKindAdversary(AdaptiveAdversary):
+    """Schedule processes whose pending op kind is earliest in ``priority``.
+
+    ``priority`` is a sequence of kinds; a pending kind not listed ranks
+    last.  Ties break round-robin by pid rotation so no process starves.
+    """
+
+    def __init__(self, priority: Sequence[str]):
+        self.priority = list(priority)
+        self._rotation = 0
+
+    def _rank(self, kind: Optional[str]) -> int:
+        if kind in self.priority:
+            return self.priority.index(kind)
+        return len(self.priority)
+
+    def choose(self, view: AdversaryView) -> int:
+        candidates = view.unfinished()
+        if not candidates:
+            raise SimulationError("adversary consulted with no runnable process")
+        self._rotation += 1
+        return min(
+            candidates,
+            key=lambda pid: (
+                self._rank(view.pending_kind(pid)),
+                (pid + self._rotation) % (max(candidates) + 1),
+            ),
+        )
+
+
+class LongestFirstAdversary(AdaptiveAdversary):
+    """Always run the process that has already taken the most steps."""
+
+    def choose(self, view: AdversaryView) -> int:
+        candidates = view.unfinished()
+        return max(candidates, key=lambda pid: (view.steps_taken(pid), -pid))
+
+
+class ShortestFirstAdversary(AdaptiveAdversary):
+    """Always run the process with the fewest steps (max fairness)."""
+
+    def choose(self, view: AdversaryView) -> int:
+        candidates = view.unfinished()
+        return min(candidates, key=lambda pid: (view.steps_taken(pid), pid))
+
+
+class RandomAdaptiveAdversary(AdaptiveAdversary):
+    """Uniform choice among unfinished processes (the oblivious control)."""
+
+    def __init__(self, seed: int):
+        self._rng = random.Random(seed)
+
+    def choose(self, view: AdversaryView) -> int:
+        candidates = view.unfinished()
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+class SiftKillerAdversary(AdaptiveAdversary):
+    """A content-aware strategy tuned against Algorithm 2.
+
+    Ordering rules, strongest first:
+
+    1. run any process about to *read an empty register* — it keeps its own
+       persona, so no sifting happens;
+    2. after a write to register X, run exactly one process that will read
+       X — it adopts the value just written, and pairing each write with a
+       single distinct reader spreads *different* personae to different
+       readers instead of letting one writer convert many;
+    3. otherwise run a writer.
+
+    This inspects both pending operation kinds and register *contents*, so
+    it models the content-aware adversary the paper's Section 5 warns
+    about; the oblivious floor does not apply to it (experiment E18).
+    """
+
+    def __init__(self):
+        self._last_write_target = None
+
+    def choose(self, view: AdversaryView) -> int:
+        candidates = view.unfinished()
+        if not candidates:
+            raise SimulationError("adversary consulted with no runnable process")
+        empty_readers = []
+        busy_readers = []
+        writers = []
+        for pid in candidates:
+            operation = view.pending_operation(pid)
+            kind = None if operation is None else operation.kind
+            if kind in ("read", "scan", "maxread"):
+                target = getattr(operation.obj, "value", None)
+                if target is None:
+                    empty_readers.append(pid)
+                else:
+                    busy_readers.append((pid, operation.obj))
+            else:
+                writers.append(pid)
+        if empty_readers:
+            return empty_readers[0]
+        if self._last_write_target is not None:
+            for pid, obj in busy_readers:
+                if obj is self._last_write_target:
+                    self._last_write_target = None
+                    return pid
+        if writers:
+            chosen = writers[0]
+            operation = view.pending_operation(chosen)
+            self._last_write_target = operation.obj
+            return chosen
+        return busy_readers[0][0] if busy_readers else candidates[0]
+
+
+def run_adaptive_programs(
+    programs: Sequence[Program],
+    adversary: AdaptiveAdversary,
+    seeds: SeedTree,
+    *,
+    inputs: Optional[Sequence[Any]] = None,
+    record_trace: bool = False,
+    step_limit: int = 50_000_000,
+) -> RunResult:
+    """Execute programs under an adaptive adversary.
+
+    The loop mirrors :class:`repro.runtime.simulator.Simulator` but asks the
+    adversary for the next pid at every step instead of consuming a fixed
+    schedule.  Since the adversary only picks among unfinished processes,
+    runs always complete (subject to ``step_limit``).
+    """
+    n = len(programs)
+    if inputs is not None and len(inputs) != n:
+        raise SimulationError(
+            f"got {len(inputs)} inputs for {n} programs; they must match"
+        )
+    algorithm_seeds = seeds.child("algorithm")
+    processes: Dict[int, Process] = {}
+    for pid, program in enumerate(programs):
+        context = ProcessContext(
+            pid=pid,
+            n=n,
+            rng=algorithm_seeds.child(f"process-{pid}").rng(),
+            input_value=None if inputs is None else inputs[pid],
+        )
+        processes[pid] = Process(context, program)
+
+    steps: Dict[int, int] = {pid: 0 for pid in processes}
+    trace = TraceRecorder() if record_trace else None
+    for process in processes.values():
+        process.start()
+
+    view = AdversaryView(processes, steps)
+    step_index = 0
+    while any(not process.finished for process in processes.values()):
+        pid = adversary.choose(view)
+        process = processes[pid]
+        if process.finished:
+            raise SimulationError(
+                f"adaptive adversary chose finished process {pid}"
+            )
+        operation = process.pending_operation
+        result = operation.obj.apply(operation, pid)
+        steps[pid] += 1
+        if trace is not None:
+            trace.record(
+                TraceEvent(
+                    step=step_index,
+                    pid=pid,
+                    kind=operation.kind,
+                    obj_name=operation.obj.name,
+                    value=getattr(operation, "value", None),
+                    result=result,
+                )
+            )
+        process.complete_step(result)
+        step_index += 1
+        if step_index > step_limit:
+            raise StepLimitExceededError(
+                f"adaptive run exceeded step limit {step_limit}"
+            )
+
+    outputs = {pid: process.output for pid, process in processes.items()}
+    return RunResult(
+        n=n,
+        outputs=outputs,
+        steps_by_pid=dict(steps),
+        completed=True,
+        trace=trace,
+    )

@@ -1,0 +1,87 @@
+"""Atomic operation requests.
+
+A protocol program is a Python generator that *yields* one of these operation
+objects whenever it wants to touch shared memory, and receives the operation's
+result as the value of the ``yield`` expression::
+
+    def program(ctx: ProcessContext):
+        yield Write(register, ctx.pid)          # one step
+        value = yield Read(register)            # one step
+        return value                            # local, free
+
+Each yielded operation is executed atomically by the simulator and costs the
+process exactly one step, which matches the unit-cost step measure used by
+the paper for both registers and snapshots.
+
+Operations are small frozen dataclasses rather than direct method calls so
+that (a) the simulator is the only code that can mutate shared objects, which
+makes atomicity a structural property instead of a convention, and (b) every
+step can be traced and counted uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.memory.base import SharedObject
+
+__all__ = ["Operation", "Read", "Write", "Update", "Scan", "MaxRead", "MaxWrite"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for one atomic shared-memory operation request.
+
+    Attributes:
+        obj: the shared object the operation targets.
+    """
+
+    obj: "SharedObject"
+
+    @property
+    def kind(self) -> str:
+        """Short lowercase name of the operation, used in traces."""
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class Read(Operation):
+    """Read an atomic register; result is its current value."""
+
+
+@dataclass(frozen=True)
+class Write(Operation):
+    """Write ``value`` to an atomic register; result is ``None``."""
+
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class Update(Operation):
+    """Update the invoking process's component of a snapshot object."""
+
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class Scan(Operation):
+    """Atomically read all components of a snapshot object.
+
+    The result is an immutable tuple with one entry per process (``None`` for
+    processes that have not updated yet).  The whole scan costs one step:
+    this is the *unit-cost snapshot* assumption of Section 2.
+    """
+
+
+@dataclass(frozen=True)
+class MaxRead(Operation):
+    """Read the largest value ever written to a max register (footnote 1)."""
+
+
+@dataclass(frozen=True)
+class MaxWrite(Operation):
+    """Write ``value`` to a max register; retained only if it is the max."""
+
+    value: Any = None

@@ -1,0 +1,76 @@
+"""Run results: outputs, step accounting, and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.runtime.trace import TraceRecorder
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """The outcome of one simulated execution.
+
+    Attributes:
+        n: number of processes.
+        outputs: pid -> return value, for processes that finished.
+        steps_by_pid: pid -> number of charged steps (shared-memory
+            operations executed).  Slots granted to finished processes are
+            free and not counted, per the model in Section 1.1.
+        completed: True if every process finished.
+        trace: the full operation trace, if recording was enabled.
+    """
+
+    n: int
+    outputs: Dict[int, Any]
+    steps_by_pid: Dict[int, int]
+    completed: bool
+    trace: Optional[TraceRecorder] = None
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_steps(self) -> int:
+        """Total charged steps across all processes."""
+        return sum(self.steps_by_pid.values())
+
+    @property
+    def max_individual_steps(self) -> int:
+        """The worst-case individual step count over all processes."""
+        if not self.steps_by_pid:
+            return 0
+        return max(self.steps_by_pid.values())
+
+    @property
+    def decided_values(self) -> Set[Any]:
+        """The set of distinct output values among finished processes."""
+        return set(self.outputs.values())
+
+    @property
+    def agreement(self) -> bool:
+        """True if all finished processes returned the same value.
+
+        An execution with no finished processes vacuously agrees; callers
+        checking probabilistic agreement should also check :attr:`completed`.
+        """
+        return len(self.decided_values) <= 1
+
+    def output_list(self) -> List[Any]:
+        """Outputs ordered by pid (finished processes only)."""
+        return [self.outputs[pid] for pid in sorted(self.outputs)]
+
+    def validity_holds(self, inputs: Dict[int, Any]) -> bool:
+        """Check the validity condition against the given input assignment."""
+        allowed = set(inputs.values())
+        return all(value in allowed for value in self.outputs.values())
+
+    def summary(self) -> str:
+        """One-line human-readable summary for logs and examples."""
+        return (
+            f"n={self.n} completed={self.completed} "
+            f"distinct_outputs={len(self.decided_values)} "
+            f"total_steps={self.total_steps} "
+            f"max_individual={self.max_individual_steps}"
+        )

@@ -1,0 +1,211 @@
+"""The discrete-event simulator: executes a schedule against processes.
+
+This is the heart of the substrate.  Given shared objects, processes and an
+oblivious schedule, :class:`Simulator` repeatedly takes the next pid from the
+schedule and lets that process execute exactly one atomic operation.  The
+loop ends when every process has finished; slots for finished processes are
+skipped for free, exactly as the model specifies ("once a process has
+finished its protocol, any steps allocated to it become no-ops; these no-ops
+are not included when computing the complexity").
+
+Determinism: a run is a pure function of (programs, inputs, schedule, seed
+tree), so every experiment in the repository can be reproduced from a single
+master seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import (
+    ScheduleExhaustedError,
+    SimulationError,
+    StepLimitExceededError,
+)
+from repro.runtime.process import Process, ProcessContext, Program
+from repro.runtime.results import RunResult
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import Schedule
+from repro.runtime.trace import TraceEvent, TraceRecorder
+
+__all__ = ["Simulator", "run_programs"]
+
+_DEFAULT_STEP_LIMIT = 50_000_000
+
+
+class Simulator:
+    """Executes one run of a protocol under an oblivious schedule.
+
+    Args:
+        processes: the participating processes (pids must be 0..n-1, unique).
+        schedule: the adversary's schedule.  Must be independent of the
+            processes' randomness; using :class:`~repro.runtime.rng.SeedTree`
+            branches for both makes this structural.
+        record_trace: if True, record every executed operation in a
+            :class:`~repro.runtime.trace.TraceRecorder` (costs memory).
+        step_limit: safety valve; a run exceeding this many charged steps
+            raises :class:`StepLimitExceededError` instead of spinning
+            forever.  Randomized wait-free protocols terminate with
+            probability 1, so hitting this limit indicates a bug or an
+            astronomically unlucky seed.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        schedule: Schedule,
+        *,
+        record_trace: bool = False,
+        step_limit: int = _DEFAULT_STEP_LIMIT,
+    ):
+        pids = sorted(process.pid for process in processes)
+        if pids != list(range(len(processes))):
+            raise SimulationError(f"process pids must be 0..n-1, got {pids}")
+        if schedule.n < len(processes):
+            raise SimulationError(
+                f"schedule covers {schedule.n} processes but {len(processes)} "
+                "were supplied"
+            )
+        self.processes: Dict[int, Process] = {p.pid: p for p in processes}
+        self.n = len(processes)
+        self.schedule = schedule
+        self.step_limit = step_limit
+        self.trace: Optional[TraceRecorder] = TraceRecorder() if record_trace else None
+        self._steps_by_pid: Dict[int, int] = {pid: 0 for pid in self.processes}
+        self._unfinished = set(self.processes)
+
+    def run(self, *, allow_partial: bool = False) -> RunResult:
+        """Execute the schedule until every process finishes.
+
+        Returns a :class:`RunResult`.  If the schedule ends first, raises
+        :class:`ScheduleExhaustedError` unless ``allow_partial`` is True, in
+        which case a partial result (``completed=False``) is returned —
+        useful for deliberately starving processes in tests.
+        """
+        for process in self.processes.values():
+            if not process.started:
+                process.start()
+            if process.finished:
+                self._unfinished.discard(process.pid)
+
+        step_index = 0
+        # Starvation guard: an infinite schedule that never again names an
+        # unfinished process (e.g. after crashes) would spin forever on free
+        # no-ops; after this many consecutive skips we declare starvation.
+        skip_guard = max(100_000, 1_000 * self.n)
+        consecutive_skips = 0
+        if self._unfinished:
+            for pid in self.schedule:
+                if pid not in self.processes:
+                    continue
+                process = self.processes[pid]
+                if process.finished:
+                    # Free no-op: the model does not charge finished
+                    # processes for slots they no longer use.
+                    consecutive_skips += 1
+                    if consecutive_skips >= skip_guard:
+                        if allow_partial:
+                            break
+                        raise ScheduleExhaustedError(
+                            f"processes {sorted(self._unfinished)} appear "
+                            f"starved: {skip_guard} consecutive slots went to "
+                            "finished processes"
+                        )
+                    continue
+                consecutive_skips = 0
+                self._execute_one(process, step_index)
+                step_index += 1
+                if step_index > self.step_limit:
+                    raise StepLimitExceededError(
+                        f"run exceeded step limit {self.step_limit}"
+                    )
+                if process.finished:
+                    self._unfinished.discard(pid)
+                    if not self._unfinished:
+                        break
+            else:
+                if not allow_partial and self._unfinished:
+                    raise ScheduleExhaustedError(
+                        f"schedule ended with processes {sorted(self._unfinished)} "
+                        "unfinished"
+                    )
+
+        outputs = {
+            pid: process.output
+            for pid, process in self.processes.items()
+            if process.finished
+        }
+        return RunResult(
+            n=self.n,
+            outputs=outputs,
+            steps_by_pid=dict(self._steps_by_pid),
+            completed=not self._unfinished,
+            trace=self.trace,
+        )
+
+    def _execute_one(self, process: Process, step_index: int) -> None:
+        operation = process.pending_operation
+        if operation is None:
+            raise SimulationError(
+                f"process {process.pid} scheduled with no pending operation"
+            )
+        result = operation.obj.apply(operation, process.pid)
+        self._steps_by_pid[process.pid] += 1
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(
+                    step=step_index,
+                    pid=process.pid,
+                    kind=operation.kind,
+                    obj_name=operation.obj.name,
+                    value=getattr(operation, "value", None),
+                    result=result,
+                )
+            )
+        process.complete_step(result)
+
+
+def run_programs(
+    programs: Sequence[Program],
+    schedule: Schedule,
+    seeds: SeedTree,
+    *,
+    inputs: Optional[Sequence[Any]] = None,
+    record_trace: bool = False,
+    step_limit: int = _DEFAULT_STEP_LIMIT,
+    allow_partial: bool = False,
+) -> RunResult:
+    """Convenience wrapper: build processes from programs and run them.
+
+    Each process receives a private RNG from the ``"algorithm"`` branch of
+    ``seeds``; the schedule was (by convention) built from the ``"schedule"``
+    branch, so the two are independent as the oblivious model requires.
+
+    Args:
+        programs: one program per process.
+        schedule: the adversary schedule.
+        seeds: seed tree for this run.
+        inputs: optional input values, one per process.
+    """
+    n = len(programs)
+    if inputs is not None and len(inputs) != n:
+        raise SimulationError(
+            f"got {len(inputs)} inputs for {n} programs; they must match"
+        )
+    algorithm_seeds = seeds.child("algorithm")
+    processes = []
+    for pid, program in enumerate(programs):
+        context = ProcessContext(
+            pid=pid,
+            n=n,
+            rng=algorithm_seeds.child(f"process-{pid}").rng(),
+            input_value=None if inputs is None else inputs[pid],
+        )
+        processes.append(Process(context, program))
+    simulator = Simulator(
+        processes,
+        schedule,
+        record_trace=record_trace,
+        step_limit=step_limit,
+    )
+    return simulator.run(allow_partial=allow_partial)

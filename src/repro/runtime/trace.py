@@ -1,0 +1,140 @@
+"""Execution traces and atomicity checking.
+
+A trace is a linear record of every executed operation.  Because the
+simulator executes operations one at a time, the trace *is* a linearization;
+the checkers here verify that the shared-object implementations actually
+honour their sequential specifications along that linearization (reads return
+the last write, snapshot views nest, max registers are monotone).  This turns
+"our registers are atomic" from an assumption into a tested property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolViolationError
+
+__all__ = ["TraceEvent", "TraceRecorder", "check_register_semantics",
+           "check_snapshot_semantics", "check_max_register_semantics"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed atomic operation.
+
+    Attributes:
+        step: global step index (0-based, counted operations only).
+        pid: the executing process.
+        kind: operation kind (``"read"``, ``"write"``, ``"scan"``, ...).
+        obj_name: name of the shared object.
+        value: the written value, if any.
+        result: the operation's return value.
+    """
+
+    step: int
+    pid: int
+    kind: str
+    obj_name: str
+    value: Any
+    result: Any
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during a run.
+
+    Recording full traces is optional (it costs memory proportional to the
+    number of steps), so the simulator only records when asked.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def for_object(self, obj_name: str) -> List[TraceEvent]:
+        """All events touching the named object, in execution order."""
+        return [event for event in self.events if event.obj_name == obj_name]
+
+    def for_pid(self, pid: int) -> List[TraceEvent]:
+        """All events executed by ``pid``, in execution order."""
+        return [event for event in self.events if event.pid == pid]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def check_register_semantics(events: List[TraceEvent], initial: Any = None) -> None:
+    """Verify read/write register semantics along a trace.
+
+    Every ``read`` must return the value of the most recent ``write`` (or the
+    initial value if there is none).  Raises
+    :class:`ProtocolViolationError` on the first violation.
+    """
+    current = initial
+    for event in events:
+        if event.kind == "write":
+            current = event.value
+        elif event.kind == "read":
+            if event.result != current:
+                raise ProtocolViolationError(
+                    f"register {event.obj_name}: read at step {event.step} "
+                    f"returned {event.result!r}, expected {current!r}"
+                )
+
+
+def check_snapshot_semantics(events: List[TraceEvent], n: int) -> None:
+    """Verify snapshot semantics along a trace.
+
+    Every ``scan`` must return exactly the vector of latest updates, and the
+    set of non-empty components must therefore be non-decreasing between
+    scans (views nest — the property Lemma 1's proof relies on).
+    """
+    components: List[Any] = [None] * n
+    written = [False] * n
+    previous_filled: Optional[Tuple[int, ...]] = None
+    for event in events:
+        if event.kind == "update":
+            components[event.pid] = event.value
+            written[event.pid] = True
+        elif event.kind == "scan":
+            expected = tuple(components)
+            if tuple(event.result) != expected:
+                raise ProtocolViolationError(
+                    f"snapshot {event.obj_name}: scan at step {event.step} "
+                    f"returned {event.result!r}, expected {expected!r}"
+                )
+            filled = tuple(i for i in range(n) if written[i])
+            if previous_filled is not None and not set(previous_filled) <= set(filled):
+                raise ProtocolViolationError(
+                    f"snapshot {event.obj_name}: views do not nest at step "
+                    f"{event.step}"
+                )
+            previous_filled = filled
+
+
+def check_max_register_semantics(events: List[TraceEvent]) -> None:
+    """Verify max-register semantics: reads return the running maximum."""
+    current: Any = None
+    for event in events:
+        if event.kind == "maxwrite":
+            if current is None or event.value > current:
+                current = event.value
+        elif event.kind == "maxread":
+            if event.result != current:
+                raise ProtocolViolationError(
+                    f"max register {event.obj_name}: read at step {event.step} "
+                    f"returned {event.result!r}, expected {current!r}"
+                )
+
+
+def steps_by_object(events: List[TraceEvent]) -> Dict[str, int]:
+    """Count executed operations per object name (for cost accounting)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.obj_name] = counts.get(event.obj_name, 0) + 1
+    return counts
+
+
+__all__.append("steps_by_object")

@@ -1,0 +1,30 @@
+"""Workload generators: input assignments and adversary schedule families."""
+
+from repro.workloads.inputs import (
+    all_distinct_inputs,
+    binary_inputs,
+    k_valued_inputs,
+    skewed_inputs,
+    standard_input_gallery,
+    unanimous_inputs,
+)
+from repro.workloads.schedules import schedule_gallery, make_schedule
+from repro.workloads.search import (
+    SearchResult,
+    evaluate_schedule,
+    search_worst_schedule,
+)
+
+__all__ = [
+    "SearchResult",
+    "evaluate_schedule",
+    "search_worst_schedule",
+    "all_distinct_inputs",
+    "binary_inputs",
+    "k_valued_inputs",
+    "skewed_inputs",
+    "unanimous_inputs",
+    "standard_input_gallery",
+    "schedule_gallery",
+    "make_schedule",
+]

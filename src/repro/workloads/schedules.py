@@ -1,0 +1,68 @@
+"""Schedule construction for experiment sweeps.
+
+Experiments hold the adversary *family* fixed while sweeping n or drawing
+fresh trials; :func:`make_schedule` builds the named family member for a
+given n and trial seed, keeping every randomized schedule on its own seed
+branch (so schedules stay independent of algorithm coins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import (
+    BlockSchedule,
+    CrashSchedule,
+    FrontRunnerSchedule,
+    RandomSchedule,
+    ReversedRoundRobinSchedule,
+    RoundRobinSchedule,
+    Schedule,
+)
+
+__all__ = ["SCHEDULE_FAMILIES", "make_schedule", "schedule_gallery"]
+
+SCHEDULE_FAMILIES = (
+    "round-robin",
+    "reversed",
+    "random",
+    "blocks",
+    "front-runner",
+    "crash-half",
+)
+
+
+def make_schedule(family: str, n: int, seeds: SeedTree) -> Schedule:
+    """Build the named adversary for ``n`` processes.
+
+    ``seeds`` should be a trial-specific branch of the run's ``"schedule"``
+    subtree so that repeated trials see fresh (but reproducible) adversary
+    randomness.
+    """
+    if family == "round-robin":
+        return RoundRobinSchedule(n)
+    if family == "reversed":
+        return ReversedRoundRobinSchedule(n)
+    if family == "random":
+        return RandomSchedule(n, seeds.child("random").seed)
+    if family == "blocks":
+        return BlockSchedule(n, max(2, n // 4), seeds.child("blocks").seed)
+    if family == "front-runner":
+        return FrontRunnerSchedule(n)
+    if family == "crash-half":
+        crashes = {pid: 1 for pid in range(n // 2)}
+        return CrashSchedule(
+            RandomSchedule(n, seeds.child("crash").seed), crashes
+        )
+    raise ConfigurationError(
+        f"unknown schedule family {family!r}; choose from {SCHEDULE_FAMILIES}"
+    )
+
+
+def schedule_gallery(n: int, seeds: SeedTree) -> Dict[str, Schedule]:
+    """All families instantiated for ``n`` (crash-half only when n > 1)."""
+    families: List[str] = [name for name in SCHEDULE_FAMILIES
+                           if name != "crash-half" or n > 1]
+    return {name: make_schedule(name, n, seeds.child(name)) for name in families}

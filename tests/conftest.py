@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `tests.helpers` importable as plain `helpers` from any test module.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.runtime.rng import SeedTree  # noqa: E402
+
+
+@pytest.fixture
+def seeds() -> SeedTree:
+    """A fixed master seed tree; branch per test via .child()."""
+    return SeedTree(20120716)  # PODC 2012 conference date

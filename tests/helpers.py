@@ -1,0 +1,61 @@
+"""Shared test utilities: running protocols and adopt-commit objects."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.adoptcommit.base import AdoptCommitObject, AdoptCommitResult
+from repro.core.conciliator import Conciliator
+from repro.runtime.results import RunResult
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import RandomSchedule, Schedule
+from repro.runtime.simulator import run_programs
+
+
+def run_adopt_commit(
+    ac: AdoptCommitObject,
+    values: Sequence[Any],
+    schedule: Optional[Schedule] = None,
+    seed: int = 0,
+) -> List[AdoptCommitResult]:
+    """Run one process per value through ``ac`` and return results by pid."""
+    n = len(values)
+    seeds = SeedTree(seed)
+    if schedule is None:
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+    programs = [lambda ctx: ac.invoke(ctx, ctx.input_value)] * n
+    result = run_programs(programs, schedule, seeds, inputs=list(values))
+    assert result.completed
+    return [result.outputs[pid] for pid in range(n)]
+
+
+def run_conciliator_once(
+    conciliator: Conciliator,
+    inputs: Sequence[Any],
+    schedule: Optional[Schedule] = None,
+    seed: int = 0,
+    record_trace: bool = False,
+) -> RunResult:
+    """One conciliator execution with a random oblivious schedule."""
+    n = len(inputs)
+    seeds = SeedTree(seed)
+    if schedule is None:
+        schedule = RandomSchedule(n, seeds.child("schedule").seed)
+    programs = [conciliator.program] * n
+    return run_programs(
+        programs, schedule, seeds, inputs=list(inputs), record_trace=record_trace
+    )
+
+
+def agreement_rate(
+    factory: Callable[[], Conciliator],
+    inputs: Sequence[Any],
+    trials: int,
+    seed: int = 0,
+) -> float:
+    """Fraction of trials in which all outputs were equal."""
+    agreed = 0
+    for trial in range(trials):
+        result = run_conciliator_once(factory(), inputs, seed=seed * 10_000 + trial)
+        agreed += result.agreement
+    return agreed / trials

@@ -1,0 +1,126 @@
+"""Statistical checks of the probabilistic-agreement guarantees.
+
+Theorem 1 (snapshot conciliator) and Theorem 2 (sifting conciliator)
+guarantee agreement with probability >= 1 - eps; Theorem 3 guarantees
+>= 1/8.  We verify the *measured* agreement rate's 95% Wilson lower bound
+clears each floor, which makes the tests robust to sampling noise while
+still failing loudly on real regressions.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_conciliator_trials
+from repro.core.cil_embedded import CILEmbeddedConciliator
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+
+TRIALS = 120
+
+
+def lower_bound(stats):
+    return stats.agreement_interval[0]
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("epsilon", [0.5, 0.25])
+    def test_snapshot_agreement_floor(self, epsilon):
+        n = 16
+        stats = run_conciliator_trials(
+            lambda: SnapshotConciliator(n, epsilon=epsilon),
+            list(range(n)),
+            trials=TRIALS,
+            master_seed=101,
+        )
+        assert stats.validity_failures == 0
+        assert lower_bound(stats) >= 1 - epsilon
+
+    def test_smaller_epsilon_does_not_hurt(self):
+        n = 16
+        loose = run_conciliator_trials(
+            lambda: SnapshotConciliator(n, epsilon=0.5),
+            list(range(n)), trials=TRIALS, master_seed=102,
+        )
+        tight = run_conciliator_trials(
+            lambda: SnapshotConciliator(n, epsilon=0.1),
+            list(range(n)), trials=TRIALS, master_seed=102,
+        )
+        assert tight.agreement_rate >= loose.agreement_rate - 0.05
+
+    def test_max_register_variant_same_floor(self):
+        n = 16
+        stats = run_conciliator_trials(
+            lambda: SnapshotConciliator(n, use_max_registers=True),
+            list(range(n)),
+            trials=TRIALS,
+            master_seed=103,
+        )
+        assert lower_bound(stats) >= 0.5
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("n", [8, 32, 64])
+    def test_sifting_agreement_floor(self, n):
+        stats = run_conciliator_trials(
+            lambda: SiftingConciliator(n, epsilon=0.5),
+            list(range(n)),
+            trials=TRIALS,
+            master_seed=200 + n,
+        )
+        assert stats.validity_failures == 0
+        assert lower_bound(stats) >= 0.5
+
+    def test_epsilon_quarter(self):
+        n = 16
+        stats = run_conciliator_trials(
+            lambda: SiftingConciliator(n, epsilon=0.25),
+            list(range(n)),
+            trials=TRIALS,
+            master_seed=205,
+        )
+        assert lower_bound(stats) >= 0.75
+
+
+class TestTheorem3:
+    def test_cil_embedded_agreement_floor(self):
+        n = 16
+        stats = run_conciliator_trials(
+            lambda: CILEmbeddedConciliator(n),
+            list(range(n)),
+            trials=TRIALS,
+            master_seed=301,
+        )
+        assert stats.validity_failures == 0
+        # Guaranteed floor is 1/8; in practice it is far higher.
+        assert lower_bound(stats) >= 1 / 8
+
+
+class TestAdversaryRobustness:
+    """The agreement floor holds for *every* oblivious adversary family."""
+
+    @pytest.mark.parametrize(
+        "family", ["round-robin", "reversed", "random", "blocks", "front-runner"]
+    )
+    def test_sifting_floor_per_family(self, family):
+        n = 16
+        stats = run_conciliator_trials(
+            lambda: SiftingConciliator(n, epsilon=0.5),
+            list(range(n)),
+            schedule_family=family,
+            trials=80,
+            master_seed=400,
+        )
+        assert lower_bound(stats) >= 0.5, family
+
+    @pytest.mark.parametrize(
+        "family", ["round-robin", "reversed", "random", "blocks", "front-runner"]
+    )
+    def test_snapshot_floor_per_family(self, family):
+        n = 16
+        stats = run_conciliator_trials(
+            lambda: SnapshotConciliator(n, epsilon=0.5),
+            list(range(n)),
+            schedule_family=family,
+            trials=80,
+            master_seed=401,
+        )
+        assert lower_bound(stats) >= 0.5, family

@@ -1,0 +1,239 @@
+"""Sensitivity tests: deliberately broken implementations must be caught.
+
+A verification suite is only as good as its ability to reject wrong code.
+Each test here sabotages an implementation with a classic bug — skipping
+the double conflict pass in the adopt-commit, setting a max-register tree
+switch before the subtree is ready, scanning without the double collect —
+and asserts that the corresponding checker (exhaustive interleaving search,
+Wing-Gong linearizability, trace semantics) actually detects the breakage.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.adoptcommit.base import ADOPT, COMMIT, AdoptCommitResult, check_coherence
+from repro.adoptcommit.encoders import DomainEncoder
+from repro.adoptcommit.flag_ac import FlagAdoptCommit
+from repro.analysis.linearizability import (
+    HistoryOp,
+    MaxRegisterSpec,
+    SnapshotSpec,
+    count_and_run,
+    is_linearizable,
+)
+from repro.errors import ProtocolViolationError, ScheduleExhaustedError
+from repro.memory.bounded_max_register import BoundedMaxRegister
+from repro.memory.emulated_snapshot import EmulatedSnapshot
+from repro.runtime.operations import Read, Write
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import ExplicitSchedule, RandomSchedule
+from repro.runtime.simulator import run_programs
+
+
+class BrokenFlagAdoptCommit(FlagAdoptCommit):
+    """Skips the confirming second conflict pass — the classic TOCTTOU bug.
+
+    Two processes can both see a clean first pass, both write proposal,
+    and both commit different values.
+    """
+
+    def invoke(self, ctx, value):
+        digits = self.encoder.encode(value)
+        for position, digit in enumerate(digits):
+            yield Write(self._flags[position][digit], True)
+        conflict = yield from self._conflict_pass(digits)
+        if conflict:
+            proposed = yield Read(self._proposal)
+            if proposed is not None:
+                return AdoptCommitResult(ADOPT, proposed)
+            return AdoptCommitResult(ADOPT, value)
+        yield Write(self._proposal, value)
+        # BUG: no second pass — commit immediately.
+        return AdoptCommitResult(COMMIT, value)
+
+
+class TestExhaustiveSearchCatchesBrokenAC:
+    def test_coherence_violation_found(self):
+        violations = 0
+        for bits in product((0, 1), repeat=10):
+            schedule = ExplicitSchedule(list(bits), n=2)
+            ac = BrokenFlagAdoptCommit(2, DomainEncoder([0, 1]))
+            seeds = SeedTree(0)
+            programs = [lambda ctx: ac.invoke(ctx, ctx.input_value)] * 2
+            try:
+                result = run_programs(
+                    programs, schedule, seeds, inputs=[0, 1]
+                )
+            except ScheduleExhaustedError:
+                continue
+            outcomes = [result.outputs[0], result.outputs[1]]
+            if not check_coherence(outcomes):
+                violations += 1
+        # The exhaustive sweep must expose the bug in many interleavings.
+        assert violations > 0
+
+    def test_intact_version_survives_the_same_sweep(self):
+        for bits in product((0, 1), repeat=10):
+            schedule = ExplicitSchedule(list(bits), n=2)
+            ac = FlagAdoptCommit(2, DomainEncoder([0, 1]))
+            seeds = SeedTree(0)
+            programs = [lambda ctx: ac.invoke(ctx, ctx.input_value)] * 2
+            try:
+                result = run_programs(
+                    programs, schedule, seeds, inputs=[0, 1]
+                )
+            except ScheduleExhaustedError:
+                continue
+            assert check_coherence([result.outputs[0], result.outputs[1]])
+
+
+class BrokenBoundedMax(BoundedMaxRegister):
+    """Sets each switch *before* writing the right subtree.
+
+    A reader that sees the switch can then descend into a right subtree
+    whose path is not complete yet and return a value that was never the
+    maximum — a real, subtle linearizability bug.
+    """
+
+    def _write_node(self, node, value):
+        if node.span == 1:
+            return
+        if value < node.right.low:
+            switched = yield Read(node.switch)
+            if switched:
+                return
+            yield from self._write_node(node.left, value)
+        else:
+            yield Write(node.switch, True)  # BUG: switch first
+            yield from self._write_node(node.right, value)
+
+
+class TestLinearizabilityCheckerCatchesBrokenMaxRegister:
+    def _history(self, register_cls, seed):
+        register = register_cls(16)
+        values = [13, 9, 6, 11]
+
+        def program(ctx):
+            records = []
+            _, steps = yield from count_and_run(
+                register.write_program(ctx, values[ctx.pid])
+            )
+            records.append(("write", values[ctx.pid], None, steps))
+            observed, steps = yield from count_and_run(
+                register.read_program(ctx)
+            )
+            records.append(("read", None, observed, steps))
+            return records
+
+        seeds = SeedTree(seed)
+        result = run_programs(
+            [program] * 4,
+            RandomSchedule(4, seeds.child("schedule").seed),
+            seeds,
+            record_trace=True,
+        )
+        history = []
+        for pid, records in result.outputs.items():
+            events = result.trace.for_pid(pid)
+            offset = 0
+            for kind, value, outcome, steps in records:
+                history.append(HistoryOp(
+                    pid=pid, kind=kind, value=value, result=outcome,
+                    start=events[offset].step,
+                    end=events[offset + steps - 1].step,
+                ))
+                offset += steps
+        return history
+
+    def test_broken_version_fails_linearizability_somewhere(self):
+        failures = 0
+        for seed in range(60):
+            history = self._history(BrokenBoundedMax, seed)
+            if not is_linearizable(history, MaxRegisterSpec(initial=0)):
+                failures += 1
+        assert failures > 0, "checker failed to expose the switch-first bug"
+
+    def test_intact_version_always_linearizable_on_same_seeds(self):
+        for seed in range(60):
+            history = self._history(BoundedMaxRegister, seed)
+            assert is_linearizable(history, MaxRegisterSpec(initial=0)), seed
+
+
+class BrokenEmulatedSnapshot(EmulatedSnapshot):
+    """Single-collect scan: returns the first collect without validation.
+
+    Classic mistake; a scan can then return a vector that never existed at
+    any instant.
+    """
+
+    def scan_program(self, ctx):
+        cells = yield from self._collect()
+        return self._values(cells)
+
+
+class TestLinearizabilityCheckerCatchesBrokenSnapshot:
+    def _history(self, snapshot_cls, seed):
+        snapshot = snapshot_cls(3)
+
+        def program(ctx):
+            records = []
+            for round_index in range(2):
+                value = (ctx.pid, round_index)
+                _, steps = yield from count_and_run(
+                    snapshot.update_program(ctx, value)
+                )
+                records.append(("update", value, None, steps))
+                view, steps = yield from count_and_run(
+                    snapshot.scan_program(ctx)
+                )
+                records.append(("scan", None, view, steps))
+            return records
+
+        seeds = SeedTree(seed)
+        result = run_programs(
+            [program] * 3,
+            RandomSchedule(3, seeds.child("schedule").seed),
+            seeds,
+            record_trace=True,
+        )
+        history = []
+        for pid, records in result.outputs.items():
+            events = result.trace.for_pid(pid)
+            offset = 0
+            for kind, value, outcome, steps in records:
+                history.append(HistoryOp(
+                    pid=pid, kind=kind, value=value, result=outcome,
+                    start=events[offset].step,
+                    end=events[offset + steps - 1].step,
+                ))
+                offset += steps
+        return history
+
+    def test_single_collect_scan_fails_somewhere(self):
+        failures = 0
+        for seed in range(80):
+            history = self._history(BrokenEmulatedSnapshot, seed)
+            if not is_linearizable(history, SnapshotSpec(3)):
+                failures += 1
+        assert failures > 0, "checker failed to expose the single-collect bug"
+
+    def test_intact_version_always_linearizable_on_same_seeds(self):
+        for seed in range(40):
+            history = self._history(EmulatedSnapshot, seed)
+            assert is_linearizable(history, SnapshotSpec(3)), seed
+
+
+class TestTraceCheckerCatchesStaleScans:
+    def test_fabricated_stale_scan_rejected(self):
+        from repro.runtime.trace import TraceEvent, check_snapshot_semantics
+
+        events = [
+            TraceEvent(step=0, pid=0, kind="update", obj_name="A",
+                       value="x", result=None),
+            # A scan that misses the completed update: stale.
+            TraceEvent(step=1, pid=1, kind="scan", obj_name="A",
+                       value=None, result=(None, None)),
+        ]
+        with pytest.raises(ProtocolViolationError):
+            check_snapshot_semantics(events, n=2)

@@ -1,0 +1,138 @@
+"""Differential tests: independent implementations must agree exactly.
+
+Where two implementations realize the same abstract object, running them
+against identical seeds and schedules must give identical (or spec-equal)
+results.  This catches subtle divergences that statistical tests average
+away.
+"""
+
+import pytest
+
+from repro.adoptcommit.collect_ac import CollectAdoptCommit
+from repro.adoptcommit.encoders import IntEncoder
+from repro.adoptcommit.flag_ac import FlagAdoptCommit
+from repro.adoptcommit.snapshot_ac import SnapshotAdoptCommit
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import RandomSchedule, RoundRobinSchedule
+from repro.runtime.simulator import run_programs
+
+
+class TestSnapshotVsMaxRegisterVariant:
+    """Footnote 1 says max registers 'would work as well'.  In this library
+    the claim is exact: for the same seeds and schedule, both variants of
+    Algorithm 1 perform one write + one read per round and adopt the
+    maximum (priority, origin) persona visible, so their outputs must be
+    bit-identical."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_outputs_random_schedule(self, seed):
+        n = 12
+        outputs = {}
+        for use_max in (False, True):
+            seeds = SeedTree(seed)
+            conciliator = SnapshotConciliator(n, use_max_registers=use_max)
+            schedule = RandomSchedule(n, 7_777 + seed)
+            result = run_programs(
+                [conciliator.program] * n, schedule, seeds,
+                inputs=list(range(n)),
+            )
+            outputs[use_max] = result.outputs
+        assert outputs[False] == outputs[True], seed
+
+    def test_identical_survivor_series(self):
+        n = 16
+        series = {}
+        for use_max in (False, True):
+            seeds = SeedTree(99)
+            conciliator = SnapshotConciliator(n, use_max_registers=use_max)
+            run_programs(
+                [conciliator.program] * n, RoundRobinSchedule(n), seeds,
+                inputs=list(range(n)),
+            )
+            series[use_max] = conciliator.survivor_series()
+        assert series[False] == series[True]
+
+
+class TestAdoptCommitCrossImplementation:
+    """Different adopt-commit objects may answer differently (their step
+    patterns differ), but on the *same* committed outcome they must agree:
+    whenever two implementations both commit under the same unanimity
+    workload, they commit the same value; and all three always satisfy the
+    spec simultaneously."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_unanimous_commit_everywhere(self, seed):
+        n, value = 5, 3
+        for factory in (
+            lambda: SnapshotAdoptCommit(n),
+            lambda: CollectAdoptCommit(n),
+            lambda: FlagAdoptCommit(n, IntEncoder(8)),
+        ):
+            ac = factory()
+            seeds = SeedTree(seed)
+            programs = [lambda ctx: ac.invoke(ctx, ctx.input_value)] * n
+            result = run_programs(
+                programs,
+                RandomSchedule(n, 31_000 + seed),
+                seeds,
+                inputs=[value] * n,
+            )
+            assert all(out.committed and out.value == value
+                       for out in result.outputs.values())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_implementations_safe_on_same_workload(self, seed):
+        from repro.adoptcommit.base import check_coherence
+
+        n = 4
+        inputs = [seed % 4, (seed + 1) % 4, 0, 1]
+        for factory in (
+            lambda: SnapshotAdoptCommit(n),
+            lambda: CollectAdoptCommit(n),
+            lambda: FlagAdoptCommit(n, IntEncoder(4)),
+        ):
+            ac = factory()
+            seeds = SeedTree(seed)
+            programs = [lambda ctx: ac.invoke(ctx, ctx.input_value)] * n
+            result = run_programs(
+                programs,
+                RandomSchedule(n, 32_000 + seed),
+                seeds,
+                inputs=inputs,
+            )
+            outcomes = [result.outputs[pid] for pid in range(n)]
+            assert check_coherence(outcomes)
+            assert all(out.value in inputs for out in outcomes)
+
+
+class TestEmulatedVsUnitCostConciliator:
+    """The emulated-snapshot Algorithm 1 must behave like the unit-cost one
+    in everything except price: same round count, valid outputs, and under
+    a *sequential* schedule the same decision (views coincide)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sequential_schedules_agree(self, seed):
+        from repro.core.emulated_conciliator import EmulatedSnapshotConciliator
+        from repro.runtime.scheduler import ExplicitSchedule
+
+        n = 4
+        outputs = {}
+        for label, make in (
+            ("unit", lambda: SnapshotConciliator(n, rounds=2)),
+            ("emulated", lambda: EmulatedSnapshotConciliator(n, rounds=2)),
+        ):
+            seeds = SeedTree(seed)
+            conciliator = make()
+            # Sequential: each process runs fully before the next starts.
+            slots = [pid for pid in range(n) for _ in range(200)]
+            result = run_programs(
+                [conciliator.program] * n,
+                ExplicitSchedule(slots, n=n),
+                seeds,
+                inputs=list(range(n)),
+                allow_partial=True,
+            )
+            assert result.completed
+            outputs[label] = result.outputs
+        assert outputs["unit"] == outputs["emulated"], seed

@@ -1,0 +1,111 @@
+"""End-to-end consensus: safety must hold for every adversary and workload.
+
+Consensus (unlike a conciliator) must *never* violate agreement or validity,
+whatever the schedule and inputs.  These tests sweep the full cross product
+of protocol stacks, adversary families and input assignments.
+"""
+
+import pytest
+
+from repro.core.consensus import (
+    register_consensus,
+    run_consensus,
+    snapshot_consensus,
+)
+from repro.runtime.rng import SeedTree
+from repro.workloads.inputs import standard_input_gallery
+from repro.workloads.schedules import SCHEDULE_FAMILIES, make_schedule
+
+N = 6
+FAMILIES = [family for family in SCHEDULE_FAMILIES if family != "crash-half"]
+
+STACKS = [
+    ("snapshot", lambda n, domain: snapshot_consensus(n)),
+    ("snapshot-maxreg",
+     lambda n, domain: snapshot_consensus(n, use_max_registers=True)),
+    ("register", lambda n, domain: register_consensus(n, value_domain=domain)),
+    ("register-linear",
+     lambda n, domain: register_consensus(
+         n, value_domain=domain, linear_total_work=True)),
+]
+
+
+def domain_for(inputs):
+    seen = []
+    for value in inputs:
+        if value not in seen:
+            seen.append(value)
+    return seen
+
+
+@pytest.mark.parametrize("stack_name,make_stack", STACKS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_consensus_safety_across_adversaries(stack_name, make_stack, family):
+    inputs = list(range(N))
+    for trial in range(3):
+        seeds = SeedTree(hash((stack_name, family, trial)) % (2**31))
+        protocol = make_stack(N, inputs)
+        schedule = make_schedule(family, N, seeds.child("schedule"))
+        result = run_consensus(protocol, inputs, schedule, seeds)
+        assert result.completed, (stack_name, family, trial)
+        assert result.agreement, (stack_name, family, trial)
+        assert result.validity_holds(dict(enumerate(inputs)))
+
+
+@pytest.mark.parametrize("stack_name,make_stack", STACKS)
+def test_consensus_safety_across_input_workloads(stack_name, make_stack):
+    gallery = standard_input_gallery(N, seed=11)
+    for workload, inputs in gallery.items():
+        seeds = SeedTree(hash((stack_name, workload)) % (2**31))
+        protocol = make_stack(N, domain_for(inputs))
+        schedule = make_schedule("random", N, seeds.child("schedule"))
+        result = run_consensus(protocol, inputs, schedule, seeds)
+        assert result.agreement, (stack_name, workload)
+        assert result.validity_holds(dict(enumerate(inputs))), (
+            stack_name, workload,
+        )
+
+
+@pytest.mark.parametrize("stack_name,make_stack", STACKS)
+def test_consensus_survives_crash_failures(stack_name, make_stack):
+    """Wait-freedom: surviving processes decide even when half crash."""
+    from repro.runtime.simulator import run_programs
+
+    inputs = list(range(N))
+    for trial in range(3):
+        seeds = SeedTree(hash((stack_name, "crash", trial)) % (2**31))
+        protocol = make_stack(N, inputs)
+        schedule = make_schedule("crash-half", N, seeds.child("schedule"))
+        programs = [protocol.program] * N
+        result = run_programs(
+            programs, schedule, seeds, inputs=inputs, allow_partial=True
+        )
+        survivors = set(result.outputs)
+        # The non-crashed half must all have decided...
+        assert set(range(N // 2, N)) <= survivors
+        # ...on a single valid value.
+        assert result.agreement
+        assert result.validity_holds(dict(enumerate(inputs)))
+
+
+def test_larger_scale_consensus():
+    n = 32
+    seeds = SeedTree(77)
+    protocol = register_consensus(n, value_domain=range(8))
+    schedule = make_schedule("random", n, seeds.child("schedule"))
+    inputs = [pid % 8 for pid in range(n)]
+    result = run_consensus(protocol, inputs, schedule, seeds)
+    assert result.agreement
+    assert result.validity_holds(dict(enumerate(inputs)))
+
+
+def test_repeated_runs_reproducible():
+    n = 8
+    outcomes = []
+    for _ in range(2):
+        seeds = SeedTree(123)
+        protocol = register_consensus(n, value_domain=range(n))
+        schedule = make_schedule("random", n, seeds.child("schedule"))
+        result = run_consensus(protocol, list(range(n)), schedule, seeds)
+        outcomes.append((result.outputs, result.steps_by_pid))
+    assert outcomes[0] == outcomes[1]

@@ -1,0 +1,91 @@
+"""Exact correspondence between Algorithm 1 and the record process.
+
+Under the fully sequential schedule (each process runs both its round-1
+steps before the next process starts), process j's scan sees personae
+1..j, so the survivors of round 1 are exactly the personae whose priority
+is a left-to-right maximum of the priority sequence in schedule order.
+Footnote 3 of the paper points at this connection; here it is checked as
+an identity against the simulator, and the measured survivor distribution
+is compared with the exact Stirling-number distribution.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.records import count_records, record_mean, record_pmf
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import ExplicitSchedule
+from repro.runtime.simulator import run_programs
+
+
+def sequential_round_one(n, seed, rounds=1):
+    """Run a 1-round Algorithm 1 under the fully sequential schedule.
+
+    The priority range is forced huge so the duplicate event D (which the
+    paper's analysis charges as failure) is negligible and the record
+    correspondence is exact.
+    """
+    conciliator = SnapshotConciliator(n, rounds=rounds, priority_range=10**12)
+    slots = [pid for pid in range(n) for _ in range(2 * rounds)]
+    seeds = SeedTree(seed)
+    result = run_programs(
+        [conciliator.program] * n,
+        ExplicitSchedule(slots, n=n),
+        seeds,
+        inputs=list(range(n)),
+    )
+    assert result.completed
+    return conciliator, result
+
+
+class TestExactCorrespondence:
+    @pytest.mark.parametrize("n", [2, 5, 9, 16])
+    def test_survivors_equal_records_of_priority_sequence(self, n):
+        for seed in range(15):
+            conciliator, _ = sequential_round_one(n, seed)
+            # Keys of the initial personae, in schedule (= pid) order; the
+            # (priority, pid) pair mirrors the protocol's origin tiebreak,
+            # making the correspondence exact even under duplicates.
+            keys = [
+                (conciliator._initial[pid].priority(0), pid)
+                for pid in range(n)
+            ]
+            expected = count_records(keys)
+            assert conciliator.survivors_after_round(0) == expected, (n, seed)
+
+    def test_survivor_mean_matches_harmonic(self):
+        n, trials = 8, 600
+        total = 0
+        for seed in range(trials):
+            conciliator, _ = sequential_round_one(n, seed)
+            total += conciliator.survivors_after_round(0)
+        measured_mean = total / trials
+        exact = float(record_mean(n))
+        assert measured_mean == pytest.approx(exact, rel=0.08)
+
+    def test_survivor_distribution_matches_stirling(self):
+        n, trials = 5, 1500
+        counts = [0] * (n + 1)
+        for seed in range(trials):
+            conciliator, _ = sequential_round_one(n, seed)
+            counts[conciliator.survivors_after_round(0)] += 1
+        pmf = record_pmf(n)
+        for k in range(1, n + 1):
+            assert counts[k] / trials == pytest.approx(
+                float(pmf[k]), abs=0.05
+            ), k
+
+    def test_last_process_always_survives_alone_or_not(self):
+        # Under the sequential schedule the final decided set is exactly
+        # the global maximum persona: the last process sees everything.
+        n = 6
+        for seed in range(10):
+            conciliator, result = sequential_round_one(n, seed)
+            priorities = [
+                conciliator._initial[pid].priority(0) for pid in range(n)
+            ]
+            best = max(range(n), key=lambda pid: (priorities[pid], pid))
+            assert result.outputs[n - 1] == best

@@ -1,0 +1,151 @@
+"""Property tests: adopt-commit specification under arbitrary schedules.
+
+For random input assignments and random oblivious schedules, every
+implementation must satisfy termination, validity, convergence and
+coherence.  Coherence in particular is the property whose violation silently
+breaks consensus, so it gets the heaviest fuzzing.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import helpers
+from repro.adoptcommit.base import check_coherence, check_convergence
+from repro.adoptcommit.collect_ac import CollectAdoptCommit
+from repro.adoptcommit.encoders import IntEncoder
+from repro.adoptcommit.flag_ac import FlagAdoptCommit
+from repro.adoptcommit.snapshot_ac import SnapshotAdoptCommit
+from repro.runtime.scheduler import ExplicitSchedule
+
+M = 4
+
+FACTORIES = {
+    "snapshot": lambda n: SnapshotAdoptCommit(n),
+    "collect": lambda n: CollectAdoptCommit(n),
+    "flag": lambda n: FlagAdoptCommit(n, IntEncoder(M)),
+}
+
+
+@st.composite
+def adopt_commit_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    inputs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=M - 1), min_size=n, max_size=n
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return n, inputs, seed
+
+
+@st.composite
+def explicit_schedule_cases(draw):
+    """A hand-built schedule interleaving per-process step budgets."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    inputs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=M - 1), min_size=n, max_size=n
+        )
+    )
+    # Enough slots for the costliest implementation (collect: 2 + 2n).
+    budget = (2 + 2 * n + 4) * n
+    slots = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=budget,
+            max_size=budget,
+        )
+    )
+    return n, inputs, slots
+
+
+def spec_holds(inputs, results):
+    assert all(result.value in inputs for result in results), "validity"
+    assert check_convergence(list(inputs), results), "convergence"
+    assert check_coherence(results), "coherence"
+
+
+class TestRandomSchedules:
+    @given(adopt_commit_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_snapshot_ac_spec(self, case):
+        n, inputs, seed = case
+        results = helpers.run_adopt_commit(FACTORIES["snapshot"](n), inputs, seed=seed)
+        spec_holds(inputs, results)
+
+    @given(adopt_commit_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_collect_ac_spec(self, case):
+        n, inputs, seed = case
+        results = helpers.run_adopt_commit(FACTORIES["collect"](n), inputs, seed=seed)
+        spec_holds(inputs, results)
+
+    @given(adopt_commit_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_flag_ac_spec(self, case):
+        n, inputs, seed = case
+        results = helpers.run_adopt_commit(FACTORIES["flag"](n), inputs, seed=seed)
+        spec_holds(inputs, results)
+
+
+class TestAdversarialExplicitSchedules:
+    """Hypothesis drives the interleaving directly, including pathological
+    solo runs and ping-pong patterns a random schedule rarely produces."""
+
+    @given(explicit_schedule_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_flag_ac_spec_under_chosen_interleavings(self, case):
+        n, inputs, slots = case
+        schedule = ExplicitSchedule(slots, n=n)
+        try:
+            results = helpers.run_adopt_commit(
+                FACTORIES["flag"](n), inputs, schedule=schedule
+            )
+        except Exception as error:
+            from repro.errors import ScheduleExhaustedError
+
+            assert isinstance(error, ScheduleExhaustedError)
+            return
+        spec_holds(inputs, results)
+
+    @given(explicit_schedule_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_snapshot_ac_spec_under_chosen_interleavings(self, case):
+        n, inputs, slots = case
+        schedule = ExplicitSchedule(slots, n=n)
+        try:
+            results = helpers.run_adopt_commit(
+                FACTORIES["snapshot"](n), inputs, schedule=schedule
+            )
+        except Exception as error:
+            from repro.errors import ScheduleExhaustedError
+
+            assert isinstance(error, ScheduleExhaustedError)
+            return
+        spec_holds(inputs, results)
+
+    @given(explicit_schedule_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_collect_ac_spec_under_chosen_interleavings(self, case):
+        n, inputs, slots = case
+        schedule = ExplicitSchedule(slots, n=n)
+        try:
+            results = helpers.run_adopt_commit(
+                FACTORIES["collect"](n), inputs, schedule=schedule
+            )
+        except Exception as error:
+            from repro.errors import ScheduleExhaustedError
+
+            assert isinstance(error, ScheduleExhaustedError)
+            return
+        spec_holds(inputs, results)
+
+
+class TestCrossImplementationAgreementOnCommit:
+    @given(adopt_commit_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_unanimous_inputs_commit_everywhere(self, case):
+        n, inputs, seed = case
+        unanimous = [inputs[0]] * n
+        for name, factory in FACTORIES.items():
+            results = helpers.run_adopt_commit(factory(n), unanimous, seed=seed)
+            assert all(r.committed and r.value == inputs[0] for r in results), name

@@ -1,0 +1,131 @@
+"""Property tests: conciliator guarantees under fuzzed configurations.
+
+Termination and validity must hold in *every* execution — not just with
+high probability — for all three conciliators, any input assignment, any
+adversary family, and any seed.  Step counts must equal the closed forms.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import helpers
+from repro.baselines.doubling_cil import DoublingCILConciliator
+from repro.core.cil_embedded import CILEmbeddedConciliator
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.runtime.rng import SeedTree
+from repro.runtime.simulator import run_programs
+from repro.workloads.schedules import SCHEDULE_FAMILIES, make_schedule
+
+FAMILIES = [family for family in SCHEDULE_FAMILIES if family != "crash-half"]
+
+
+@st.composite
+def conciliator_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    inputs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=5), min_size=n, max_size=n
+        )
+    )
+    family = draw(st.sampled_from(FAMILIES))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return n, inputs, family, seed
+
+
+def run_under(conciliator, inputs, family, seed):
+    n = len(inputs)
+    seeds = SeedTree(seed)
+    schedule = make_schedule(family, n, seeds.child("schedule"))
+    programs = [conciliator.program] * n
+    return run_programs(programs, schedule, seeds, inputs=list(inputs))
+
+
+class TestSnapshotConciliator:
+    @given(conciliator_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_terminates_valid_exact_steps(self, case):
+        n, inputs, family, seed = case
+        conciliator = SnapshotConciliator(n)
+        result = run_under(conciliator, inputs, family, seed)
+        assert result.completed
+        assert result.validity_holds(dict(enumerate(inputs)))
+        assert all(
+            steps == conciliator.step_bound()
+            for steps in result.steps_by_pid.values()
+        )
+
+    @given(conciliator_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_max_register_variant_same_guarantees(self, case):
+        n, inputs, family, seed = case
+        conciliator = SnapshotConciliator(n, use_max_registers=True)
+        result = run_under(conciliator, inputs, family, seed)
+        assert result.completed
+        assert result.validity_holds(dict(enumerate(inputs)))
+
+
+class TestSiftingConciliator:
+    @given(conciliator_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_terminates_valid_exact_steps(self, case):
+        n, inputs, family, seed = case
+        conciliator = SiftingConciliator(n)
+        result = run_under(conciliator, inputs, family, seed)
+        assert result.completed
+        assert result.validity_holds(dict(enumerate(inputs)))
+        assert all(
+            steps == conciliator.rounds
+            for steps in result.steps_by_pid.values()
+        )
+
+    @given(conciliator_cases(),
+           st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_any_p_schedule_is_safe(self, case, p_schedule):
+        # Lemma 2 holds "for any choice of p_i"; so do safety properties.
+        n, inputs, family, seed = case
+        conciliator = SiftingConciliator(
+            n, rounds=len(p_schedule), p_schedule=p_schedule
+        )
+        result = run_under(conciliator, inputs, family, seed)
+        assert result.completed
+        assert result.validity_holds(dict(enumerate(inputs)))
+
+
+class TestEmbeddedConciliator:
+    @given(conciliator_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_terminates_valid_bounded_steps(self, case):
+        n, inputs, family, seed = case
+        conciliator = CILEmbeddedConciliator(n)
+        result = run_under(conciliator, inputs, family, seed)
+        assert result.completed
+        assert result.validity_holds(dict(enumerate(inputs)))
+        bound = 2 * (conciliator.inner.step_bound() + 1) + 7
+        assert result.max_individual_steps <= bound
+        assert conciliator.fallback_count == 0
+
+
+class TestBaseline:
+    @given(conciliator_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_doubling_cil_terminates_within_log_bound(self, case):
+        n, inputs, family, seed = case
+        conciliator = DoublingCILConciliator(n)
+        result = run_under(conciliator, inputs, family, seed)
+        assert result.completed
+        assert result.validity_holds(dict(enumerate(inputs)))
+        assert result.max_individual_steps <= conciliator.step_bound()
+
+
+class TestPersonaInvariant:
+    @given(conciliator_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_survivor_counts_non_increasing_under_round_robin(self, case):
+        n, inputs, _family, seed = case
+        conciliator = SiftingConciliator(n)
+        result = run_under(conciliator, inputs, "round-robin", seed)
+        assert result.completed
+        series = conciliator.survivor_series()
+        assert all(series[i] >= series[i + 1] for i in range(len(series) - 1))

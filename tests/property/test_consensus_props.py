@@ -1,0 +1,88 @@
+"""Property tests: consensus safety under fuzzed stacks and workloads.
+
+Agreement and validity of full consensus must hold in every execution —
+for every protocol stack, input assignment, adversary family and seed that
+hypothesis throws at it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.consensus import (
+    register_consensus,
+    snapshot_consensus,
+)
+from repro.runtime.rng import SeedTree
+from repro.runtime.simulator import run_programs
+from repro.workloads.schedules import SCHEDULE_FAMILIES, make_schedule
+
+FAMILIES = [family for family in SCHEDULE_FAMILIES if family != "crash-half"]
+M = 4
+
+
+@st.composite
+def consensus_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    inputs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=M - 1), min_size=n, max_size=n
+        )
+    )
+    family = draw(st.sampled_from(FAMILIES))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    stack = draw(st.sampled_from(["register", "register-linear", "snapshot",
+                                  "snapshot-maxreg"]))
+    return n, inputs, family, seed, stack
+
+
+def build(stack, n):
+    if stack == "register":
+        return register_consensus(n, value_domain=range(M))
+    if stack == "register-linear":
+        return register_consensus(n, value_domain=range(M),
+                                  linear_total_work=True)
+    if stack == "snapshot-maxreg":
+        return snapshot_consensus(n, use_max_registers=True)
+    return snapshot_consensus(n)
+
+
+class TestConsensusSafetyFuzz:
+    @given(consensus_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_validity_always(self, case):
+        n, inputs, family, seed, stack = case
+        protocol = build(stack, n)
+        seeds = SeedTree(seed)
+        schedule = make_schedule(family, n, seeds.child("schedule"))
+        result = run_programs(
+            [protocol.program] * n, schedule, seeds, inputs=list(inputs)
+        )
+        assert result.completed
+        assert result.agreement, (stack, family, inputs, seed)
+        assert result.validity_holds(dict(enumerate(inputs)))
+
+    @given(consensus_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_unanimity_decides_that_value(self, case):
+        n, inputs, family, seed, stack = case
+        unanimous = [inputs[0]] * n
+        protocol = build(stack, n)
+        seeds = SeedTree(seed)
+        schedule = make_schedule(family, n, seeds.child("schedule"))
+        result = run_programs(
+            [protocol.program] * n, schedule, seeds, inputs=unanimous
+        )
+        assert result.decided_values == {inputs[0]}
+
+    @given(consensus_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_phase_counts_bounded(self, case):
+        # Runaway phase counts indicate a broken conciliator/AC interaction
+        # long before the step limit trips.
+        n, inputs, family, seed, stack = case
+        protocol = build(stack, n)
+        seeds = SeedTree(seed)
+        schedule = make_schedule(family, n, seeds.child("schedule"))
+        run_programs(
+            [protocol.program] * n, schedule, seeds, inputs=list(inputs)
+        )
+        assert max(protocol.phases_used.values()) <= 30

@@ -1,0 +1,167 @@
+"""Property tests for the derived objects (emulated snapshot, bounded max,
+test-and-set) under fuzzed schedules and configurations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.bounded_max_register import BoundedMaxRegister
+from repro.memory.emulated_snapshot import EmulatedSnapshot
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import RandomSchedule
+from repro.runtime.simulator import run_programs
+from repro.tas.sifting_tas import WINNER, SiftingTestAndSet
+
+
+@st.composite
+def small_runs(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return n, seed
+
+
+class TestEmulatedSnapshotProperties:
+    @given(small_runs())
+    @settings(max_examples=40, deadline=None)
+    def test_own_update_visible_and_values_genuine(self, case):
+        n, seed = case
+        snapshot = EmulatedSnapshot(n)
+
+        def program(ctx):
+            yield from snapshot.update_program(ctx, ("val", ctx.pid))
+            view = yield from snapshot.scan_program(ctx)
+            return view
+
+        result = run_programs(
+            [program] * n, RandomSchedule(n, seed), SeedTree(seed)
+        )
+        assert result.completed
+        for pid in range(n):
+            view = result.outputs[pid]
+            assert view[pid] == ("val", pid)
+            for component, entry in enumerate(view):
+                assert entry is None or entry == ("val", component)
+
+    @given(small_runs())
+    @settings(max_examples=40, deadline=None)
+    def test_views_form_a_chain(self, case):
+        n, seed = case
+        snapshot = EmulatedSnapshot(n)
+
+        def program(ctx):
+            yield from snapshot.update_program(ctx, ctx.pid)
+            view = yield from snapshot.scan_program(ctx)
+            return view
+
+        result = run_programs(
+            [program] * n, RandomSchedule(n, seed), SeedTree(seed)
+        )
+        supports = sorted(
+            (frozenset(i for i in range(n) if result.outputs[p][i] is not None)
+             for p in range(n)),
+            key=len,
+        )
+        for smaller, larger in zip(supports, supports[1:]):
+            assert smaller <= larger
+
+    @given(small_runs())
+    @settings(max_examples=30, deadline=None)
+    def test_step_bounds(self, case):
+        n, seed = case
+        snapshot = EmulatedSnapshot(n)
+
+        def program(ctx):
+            yield from snapshot.update_program(ctx, ctx.pid)
+            view = yield from snapshot.scan_program(ctx)
+            return view
+
+        result = run_programs(
+            [program] * n, RandomSchedule(n, seed), SeedTree(seed)
+        )
+        bound = snapshot.update_step_bound() + snapshot.scan_step_bound()
+        assert result.max_individual_steps <= bound
+
+
+class TestBoundedMaxProperties:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reads_bracketed_by_own_write_and_global_max(
+        self, n, seed, capacity
+    ):
+        register = BoundedMaxRegister(capacity)
+        import random as random_module
+
+        assignment = [
+            random_module.Random(seed + pid).randrange(capacity)
+            for pid in range(n)
+        ]
+
+        def program(ctx):
+            yield from register.write_program(ctx, assignment[ctx.pid])
+            value = yield from register.read_program(ctx)
+            return value
+
+        result = run_programs(
+            [program] * n, RandomSchedule(n, seed), SeedTree(seed)
+        )
+        for pid in range(n):
+            assert assignment[pid] <= result.outputs[pid] <= max(assignment)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=127), min_size=1,
+                 max_size=25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_is_running_max(self, writes):
+        register = BoundedMaxRegister(128)
+
+        def program(ctx):
+            observed = []
+            for value in writes:
+                yield from register.write_program(ctx, value)
+                current = yield from register.read_program(ctx)
+                observed.append(current)
+            return observed
+
+        from repro.runtime.scheduler import RoundRobinSchedule
+
+        result = run_programs([program], RoundRobinSchedule(1), SeedTree(0))
+        running = []
+        best = 0
+        for value in writes:
+            best = max(best, value)
+            running.append(best)
+        assert result.outputs[0] == running
+
+
+class TestTestAndSetProperties:
+    @given(small_runs())
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_one_winner_always(self, case):
+        n, seed = case
+        tas = SiftingTestAndSet(n)
+        result = run_programs(
+            [tas.program] * n, RandomSchedule(n, seed), SeedTree(seed)
+        )
+        winners = [pid for pid, out in result.outputs.items()
+                   if out == WINNER]
+        assert len(winners) == 1
+
+    @given(
+        small_runs(),
+        st.lists(st.sampled_from([0.0, 0.5, 1.0]), min_size=1, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_p_schedule_keeps_unique_winner(self, case, p_schedule):
+        n, seed = case
+        tas = SiftingTestAndSet(
+            n, rounds=len(p_schedule), p_schedule=p_schedule
+        )
+        result = run_programs(
+            [tas.program] * n, RandomSchedule(n, seed), SeedTree(seed)
+        )
+        winners = [pid for pid, out in result.outputs.items()
+                   if out == WINNER]
+        assert len(winners) == 1

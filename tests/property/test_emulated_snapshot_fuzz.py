@@ -1,0 +1,101 @@
+"""Hypothesis fuzzing of the emulated snapshot with arbitrary scripts.
+
+Random per-process sequences of updates and scans under random schedules:
+every resulting history must pass the exact Wing-Gong linearizability
+search against the snapshot specification.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.linearizability import (
+    HistoryOp,
+    SnapshotSpec,
+    count_and_run,
+    is_linearizable,
+)
+from repro.memory.emulated_snapshot import EmulatedSnapshot
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import RandomSchedule
+from repro.runtime.simulator import run_programs
+
+
+@st.composite
+def snapshot_workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    scripts = []
+    for _ in range(n):
+        script = draw(
+            st.lists(
+                st.sampled_from(["update", "scan"]),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        scripts.append(script)
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return scripts, seed
+
+
+def run_history(scripts, seed):
+    n = len(scripts)
+    snapshot = EmulatedSnapshot(n)
+
+    def program(ctx):
+        records = []
+        for index, action in enumerate(scripts[ctx.pid]):
+            if action == "update":
+                value = (ctx.pid, index)
+                _, steps = yield from count_and_run(
+                    snapshot.update_program(ctx, value)
+                )
+                records.append(("update", value, None, steps))
+            else:
+                view, steps = yield from count_and_run(
+                    snapshot.scan_program(ctx)
+                )
+                records.append(("scan", None, view, steps))
+        return records
+
+    seeds = SeedTree(seed)
+    result = run_programs(
+        [program] * n,
+        RandomSchedule(n, seeds.child("schedule").seed),
+        seeds,
+        record_trace=True,
+    )
+    history = []
+    for pid, records in result.outputs.items():
+        events = result.trace.for_pid(pid)
+        offset = 0
+        for kind, value, outcome, steps in records:
+            history.append(HistoryOp(
+                pid=pid, kind=kind, value=value, result=outcome,
+                start=events[offset].step,
+                end=events[offset + steps - 1].step,
+            ))
+            offset += steps
+    return n, history
+
+
+class TestEmulatedSnapshotFuzz:
+    @given(snapshot_workloads())
+    @settings(max_examples=50, deadline=None)
+    def test_every_history_linearizes(self, case):
+        scripts, seed = case
+        n, history = run_history(scripts, seed)
+        assert is_linearizable(history, SnapshotSpec(n)), (scripts, seed)
+
+    @given(snapshot_workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_scans_contain_only_written_values(self, case):
+        scripts, seed = case
+        n, history = run_history(scripts, seed)
+        legal = {None}
+        for pid, script in enumerate(scripts):
+            for index, action in enumerate(script):
+                if action == "update":
+                    legal.add((pid, index))
+        for op in history:
+            if op.kind == "scan":
+                for component in op.result:
+                    assert component in legal

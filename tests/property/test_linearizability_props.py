@@ -1,0 +1,106 @@
+"""Hypothesis-driven linearizability fuzzing of the derived objects.
+
+Random per-process operation scripts, random schedules: every resulting
+history of the bounded max register must pass the exact Wing-Gong search.
+This is the closest thing to model checking the repository runs at scale.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.linearizability import (
+    HistoryOp,
+    MaxRegisterSpec,
+    count_and_run,
+    is_linearizable,
+)
+from repro.memory.bounded_max_register import BoundedMaxRegister
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import RandomSchedule
+from repro.runtime.simulator import run_programs
+
+CAPACITY = 8
+
+
+@st.composite
+def max_register_workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    scripts = []
+    for _ in range(n):
+        script = draw(
+            st.lists(
+                st.one_of(
+                    st.tuples(st.just("write"),
+                              st.integers(min_value=0, max_value=CAPACITY - 1)),
+                    st.tuples(st.just("read")),
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        scripts.append(script)
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    return scripts, seed
+
+
+def run_history(scripts, seed):
+    register = BoundedMaxRegister(CAPACITY)
+    n = len(scripts)
+
+    def program(ctx):
+        records = []
+        for action in scripts[ctx.pid]:
+            if action[0] == "write":
+                _, steps = yield from count_and_run(
+                    register.write_program(ctx, action[1])
+                )
+                if steps > 0:
+                    records.append(("write", action[1], None, steps))
+            else:
+                value, steps = yield from count_and_run(
+                    register.read_program(ctx)
+                )
+                if steps > 0:
+                    records.append(("read", None, value, steps))
+        return records
+
+    seeds = SeedTree(seed)
+    result = run_programs(
+        [program] * n,
+        RandomSchedule(n, seeds.child("schedule").seed),
+        seeds,
+        record_trace=True,
+    )
+    history = []
+    for pid, records in result.outputs.items():
+        events = result.trace.for_pid(pid)
+        offset = 0
+        for kind, value, outcome, steps in records:
+            history.append(HistoryOp(
+                pid=pid, kind=kind, value=value, result=outcome,
+                start=events[offset].step,
+                end=events[offset + steps - 1].step,
+            ))
+            offset += steps
+    return history
+
+
+class TestBoundedMaxFuzzedLinearizability:
+    @given(max_register_workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_every_history_linearizes(self, case):
+        scripts, seed = case
+        history = run_history(scripts, seed)
+        assert is_linearizable(history, MaxRegisterSpec(initial=0)), (
+            scripts, seed, history,
+        )
+
+    @given(max_register_workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_reads_never_exceed_global_max_written(self, case):
+        scripts, seed = case
+        history = run_history(scripts, seed)
+        writes = [op.value for op in history if op.kind == "write"]
+        ceiling = max(writes) if writes else 0
+        for op in history:
+            if op.kind == "read":
+                assert 0 <= op.result <= ceiling

@@ -1,0 +1,119 @@
+"""Property tests: shared objects obey their sequential specifications
+under arbitrary operation sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.max_register import MaxRegister
+from repro.memory.register import AtomicRegister
+from repro.memory.snapshot import SnapshotObject
+from repro.runtime.operations import MaxRead, MaxWrite, Read, Scan, Update, Write
+
+values = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def register_histories(draw):
+    """A sequence of ('write', v) / ('read',) operations."""
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("write"), values),
+                st.tuples(st.just("read")),
+            ),
+            max_size=60,
+        )
+    )
+    return ops
+
+
+class TestRegisterProperties:
+    @given(register_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_reads_return_last_write(self, history):
+        register = AtomicRegister("r")
+        last = None
+        for op in history:
+            if op[0] == "write":
+                register.apply(Write(register, op[1]), pid=0)
+                last = op[1]
+            else:
+                assert register.apply(Read(register), pid=0) == last
+
+    @given(st.lists(values, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_final_value_is_last_written(self, writes):
+        register = AtomicRegister("r")
+        for value in writes:
+            register.apply(Write(register, value), pid=0)
+        assert register.value == writes[-1]
+
+
+@st.composite
+def snapshot_histories(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("update"),
+                    st.integers(min_value=0, max_value=n - 1),
+                    values,
+                ),
+                st.tuples(st.just("scan")),
+            ),
+            max_size=60,
+        )
+    )
+    return n, ops
+
+
+class TestSnapshotProperties:
+    @given(snapshot_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_scans_return_latest_components(self, case):
+        n, history = case
+        snapshot = SnapshotObject(n, "A")
+        model = [None] * n
+        for op in history:
+            if op[0] == "update":
+                _, pid, value = op
+                snapshot.apply(Update(snapshot, value), pid=pid)
+                model[pid] = value
+            else:
+                assert snapshot.apply(Scan(snapshot), pid=0) == tuple(model)
+
+    @given(snapshot_histories())
+    @settings(max_examples=60, deadline=None)
+    def test_views_always_nest(self, case):
+        n, history = case
+        snapshot = SnapshotObject(n, "A")
+        for op in history:
+            if op[0] == "update":
+                snapshot.apply(Update(snapshot, op[2]), pid=op[1])
+            else:
+                snapshot.apply(Scan(snapshot), pid=0)
+        assert snapshot.views_nest()
+
+
+class TestMaxRegisterProperties:
+    @given(st.lists(values, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_read_is_running_maximum(self, writes):
+        register = MaxRegister("m")
+        for prefix_end in range(1, len(writes) + 1):
+            register.apply(MaxWrite(register, writes[prefix_end - 1]), pid=0)
+            observed = register.apply(MaxRead(register), pid=0)
+            assert observed == max(writes[:prefix_end])
+
+    @given(st.lists(values, min_size=1, max_size=40), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_write_order_does_not_matter(self, writes, rng):
+        one = MaxRegister("m1")
+        for value in writes:
+            one.apply(MaxWrite(one, value), pid=0)
+        shuffled = list(writes)
+        rng.shuffle(shuffled)
+        two = MaxRegister("m2")
+        for value in shuffled:
+            two.apply(MaxWrite(two, value), pid=0)
+        assert one.value == two.value

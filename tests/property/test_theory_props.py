@@ -1,0 +1,127 @@
+"""Property tests on the analytic formulas (the paper's math itself)."""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.theory import harmonic
+from repro.core.probabilities import (
+    iterate_snapshot_f,
+    sift_p,
+    sift_x,
+    snapshot_f,
+)
+from repro.core.rounds import (
+    ceil_log2,
+    log_star,
+    sifting_rounds,
+    sifting_switch_round,
+    snapshot_priority_range,
+    snapshot_rounds,
+)
+
+ns = st.integers(min_value=1, max_value=10**9)
+small_ns = st.integers(min_value=2, max_value=100_000)
+epsilons = st.floats(min_value=1e-6, max_value=0.999)
+xs = st.floats(min_value=0.0, max_value=1e9)
+
+
+class TestLogStarProperties:
+    @given(st.integers(min_value=2, max_value=10**18))
+    @settings(max_examples=100, deadline=None)
+    def test_recurrence(self, n):
+        assert log_star(n) == 1 + log_star(math.log2(n))
+
+    @given(st.integers(min_value=1, max_value=10**18))
+    @settings(max_examples=100, deadline=None)
+    def test_tiny_for_practical_n(self, n):
+        assert 0 <= log_star(n) <= 5
+
+
+class TestSnapshotFProperties:
+    @given(xs)
+    @settings(max_examples=100, deadline=None)
+    def test_contraction(self, x):
+        assert snapshot_f(x) <= x / 2 + 1e-9
+
+    @given(xs, xs)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, a, b):
+        low, high = min(a, b), max(a, b)
+        assert snapshot_f(low) <= snapshot_f(high) + 1e-9
+
+    @given(st.floats(min_value=2.0, max_value=1e9))
+    @settings(max_examples=100, deadline=None)
+    def test_below_log2(self, x):
+        # The inequality Theorem 1 chains through log* n.
+        assert snapshot_f(x) <= math.log2(x) + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=1e6),
+           st.integers(min_value=0, max_value=60))
+    @settings(max_examples=100, deadline=None)
+    def test_iteration_monotone_in_count(self, x, k):
+        assert iterate_snapshot_f(x, k + 1) <= iterate_snapshot_f(x, k) + 1e-9
+
+
+class TestSiftScheduleProperties:
+    @given(small_ns, st.integers(min_value=0, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_x_recurrence(self, n, i):
+        expected = 2 * math.sqrt(sift_x(i, n))
+        assert sift_x(i + 1, n) == pytest_approx(expected)
+
+    @given(small_ns, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=100, deadline=None)
+    def test_p_is_probability(self, n, i):
+        assert 0.0 < sift_p(i, n) <= 1.0
+
+    @given(small_ns)
+    @settings(max_examples=100, deadline=None)
+    def test_switch_lands_under_eight(self, n):
+        assert sift_x(sifting_switch_round(n), n) < 8.0 + 1e-9
+
+    @given(small_ns, epsilons)
+    @settings(max_examples=100, deadline=None)
+    def test_round_counts_positive_and_monotone_in_eps(self, n, epsilon):
+        rounds = sifting_rounds(n, epsilon)
+        assert rounds >= 1
+        assert sifting_rounds(n, epsilon / 2) >= rounds
+
+
+class TestRoundFormulas:
+    @given(small_ns, epsilons)
+    @settings(max_examples=100, deadline=None)
+    def test_snapshot_rounds_formula(self, n, epsilon):
+        rounds = snapshot_rounds(n, epsilon)
+        assert rounds == log_star(n) + math.ceil(math.log2(1 / epsilon)) + 1
+
+    @given(small_ns, epsilons)
+    @settings(max_examples=60, deadline=None)
+    def test_priority_range_large_enough(self, n, epsilon):
+        # Union bound from Section 2: with range ceil(R n^2 / eps), the
+        # expected number of duplicate pairs is at most eps/2.
+        rounds = snapshot_rounds(n, epsilon)
+        rng = snapshot_priority_range(n, epsilon, rounds)
+        pairs = n * (n - 1) / 2
+        expected_duplicates = rounds * pairs / rng
+        assert expected_duplicates <= epsilon / 2 + 1e-9
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_ceil_log2_is_ceiling(self, x):
+        assert 2 ** ceil_log2(x) >= x
+        if ceil_log2(x) > 0:
+            assert 2 ** (ceil_log2(x) - 1) < x
+
+
+class TestHarmonicProperties:
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=60, deadline=None)
+    def test_log_bounds(self, m):
+        assert math.log(m) < harmonic(m) <= math.log(m) + 1
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

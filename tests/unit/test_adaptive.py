@@ -1,0 +1,231 @@
+"""Unit tests for the adaptive-adversary runtime."""
+
+import pytest
+
+from repro.errors import SimulationError, StepLimitExceededError
+from repro.memory.register import AtomicRegister
+from repro.runtime.adaptive import (
+    AdversaryView,
+    LongestFirstAdversary,
+    PendingKindAdversary,
+    RandomAdaptiveAdversary,
+    ShortestFirstAdversary,
+    SiftKillerAdversary,
+    run_adaptive_programs,
+)
+from repro.runtime.operations import Read, Write
+from repro.runtime.rng import SeedTree
+
+
+def write_then_read(register):
+    def program(ctx):
+        yield Write(register, ctx.pid)
+        value = yield Read(register)
+        return value
+
+    return program
+
+
+class TestRunAdaptive:
+    def test_completes_and_counts_steps(self):
+        register = AtomicRegister("r")
+        result = run_adaptive_programs(
+            [write_then_read(register)] * 3,
+            RandomAdaptiveAdversary(1),
+            SeedTree(0),
+        )
+        assert result.completed
+        assert all(steps == 2 for steps in result.steps_by_pid.values())
+
+    def test_deterministic_given_seeds(self):
+        outcomes = []
+        for _ in range(2):
+            register = AtomicRegister("r")
+            result = run_adaptive_programs(
+                [write_then_read(register)] * 4,
+                RandomAdaptiveAdversary(9),
+                SeedTree(3),
+            )
+            outcomes.append(result.outputs)
+        assert outcomes[0] == outcomes[1]
+
+    def test_trace_recording(self):
+        register = AtomicRegister("r")
+        result = run_adaptive_programs(
+            [write_then_read(register)] * 2,
+            ShortestFirstAdversary(),
+            SeedTree(0),
+            record_trace=True,
+        )
+        assert len(result.trace) == result.total_steps
+
+    def test_step_limit(self):
+        register = AtomicRegister("r")
+
+        def forever(ctx):
+            while True:
+                yield Read(register)
+
+        with pytest.raises(StepLimitExceededError):
+            run_adaptive_programs(
+                [forever], ShortestFirstAdversary(), SeedTree(0),
+                step_limit=50,
+            )
+
+    def test_input_length_checked(self):
+        register = AtomicRegister("r")
+        with pytest.raises(SimulationError):
+            run_adaptive_programs(
+                [write_then_read(register)] * 2,
+                ShortestFirstAdversary(),
+                SeedTree(0),
+                inputs=[1],
+            )
+
+
+class TestStrategies:
+    def test_pending_kind_prefers_listed_kind(self):
+        register = AtomicRegister("r")
+
+        def reader(ctx):
+            value = yield Read(register)
+            return ("read-first", value)
+
+        def writer(ctx):
+            yield Write(register, "w")
+            return "wrote"
+
+        # Readers scheduled before writers: the reader must see None.
+        result = run_adaptive_programs(
+            [writer, reader],
+            PendingKindAdversary(["read"]),
+            SeedTree(0),
+        )
+        assert result.outputs[1] == ("read-first", None)
+
+    def test_pending_kind_write_priority(self):
+        register = AtomicRegister("r")
+
+        def reader(ctx):
+            value = yield Read(register)
+            return value
+
+        def writer(ctx):
+            yield Write(register, "w")
+            return "wrote"
+
+        result = run_adaptive_programs(
+            [reader, writer],
+            PendingKindAdversary(["write"]),
+            SeedTree(0),
+        )
+        assert result.outputs[0] == "w"
+
+    def test_longest_first_runs_one_process_to_completion(self):
+        register = AtomicRegister("r")
+
+        def program(ctx):
+            for _ in range(5):
+                yield Write(register, ctx.pid)
+            value = yield Read(register)
+            return value
+
+        result = run_adaptive_programs(
+            [program] * 3, LongestFirstAdversary(), SeedTree(0),
+            record_trace=True,
+        )
+        # The first scheduled process keeps the lead and finishes before
+        # anyone else starts.
+        first_six = [event.pid for event in result.trace.events[:6]]
+        assert len(set(first_six)) == 1
+
+    def test_shortest_first_is_round_robin_like(self):
+        register = AtomicRegister("r")
+
+        def program(ctx):
+            yield Write(register, ctx.pid)
+            yield Write(register, ctx.pid)
+            return "done"
+
+        result = run_adaptive_programs(
+            [program] * 3, ShortestFirstAdversary(), SeedTree(0),
+            record_trace=True,
+        )
+        pids = [event.pid for event in result.trace.events[:3]]
+        assert pids == [0, 1, 2]
+
+    def test_sift_killer_runs_empty_readers_first(self):
+        register = AtomicRegister("r")
+
+        def reader(ctx):
+            value = yield Read(register)
+            return value
+
+        def writer(ctx):
+            yield Write(register, "w")
+            return "wrote"
+
+        result = run_adaptive_programs(
+            [writer, reader], SiftKillerAdversary(), SeedTree(0),
+        )
+        # The reader ran while the register was still empty.
+        assert result.outputs[1] is None
+
+
+class TestAdversaryBreaksSifting:
+    """The E18 punchline at unit-test scale: a content-aware adversary
+    pushes Algorithm 2 below its oblivious floor, while Algorithm 1 is
+    structurally immune (its two ops per round are the same kinds for
+    everyone)."""
+
+    def test_readers_first_defeats_the_sift(self):
+        from repro.core.sifting_conciliator import SiftingConciliator
+
+        # The attack strengthens with n (~0.30 at n=32 vs ~0.9 oblivious).
+        n, trials = 32, 40
+        agreed = 0
+        for trial in range(trials):
+            conciliator = SiftingConciliator(n)
+            result = run_adaptive_programs(
+                [conciliator.program] * n,
+                PendingKindAdversary(["read"]),
+                SeedTree(trial),
+                inputs=list(range(n)),
+            )
+            agreed += result.agreement
+        # Well below the 1 - eps = 0.5 oblivious floor.
+        assert agreed / trials < 0.5
+
+    def test_snapshot_conciliator_resists_the_same_adversary(self):
+        from repro.core.snapshot_conciliator import SnapshotConciliator
+
+        n, trials = 16, 30
+        agreed = 0
+        for trial in range(trials):
+            conciliator = SnapshotConciliator(n)
+            result = run_adaptive_programs(
+                [conciliator.program] * n,
+                PendingKindAdversary(["scan"]),
+                SeedTree(trial),
+                inputs=list(range(n)),
+            )
+            agreed += result.agreement
+        assert agreed / trials >= 0.5
+
+    def test_validity_and_termination_survive_any_adversary(self):
+        from repro.core.sifting_conciliator import SiftingConciliator
+
+        n = 8
+        for adversary in (
+            PendingKindAdversary(["read"]),
+            SiftKillerAdversary(),
+            LongestFirstAdversary(),
+            ShortestFirstAdversary(),
+        ):
+            conciliator = SiftingConciliator(n)
+            result = run_adaptive_programs(
+                [conciliator.program] * n, adversary, SeedTree(5),
+                inputs=list(range(n)),
+            )
+            assert result.completed
+            assert result.validity_holds({pid: pid for pid in range(n)})

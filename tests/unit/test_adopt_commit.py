@@ -1,0 +1,203 @@
+"""Unit tests for adopt-commit objects (all three implementations)."""
+
+import pytest
+
+import helpers
+from repro.adoptcommit.base import (
+    ADOPT,
+    COMMIT,
+    AdoptCommitResult,
+    check_coherence,
+    check_convergence,
+)
+from repro.adoptcommit.collect_ac import CollectAdoptCommit
+from repro.adoptcommit.encoders import DomainEncoder, IntEncoder
+from repro.adoptcommit.flag_ac import BinaryAdoptCommit, FlagAdoptCommit
+from repro.adoptcommit.snapshot_ac import SnapshotAdoptCommit
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler import ExplicitSchedule, RandomSchedule
+
+IMPLEMENTATIONS = [
+    ("snapshot", lambda n, m: SnapshotAdoptCommit(n)),
+    ("collect", lambda n, m: CollectAdoptCommit(n)),
+    ("flag", lambda n, m: FlagAdoptCommit(n, IntEncoder(m))),
+]
+
+
+class TestResultType:
+    def test_committed_flag(self):
+        assert AdoptCommitResult(COMMIT, 1).committed
+        assert not AdoptCommitResult(ADOPT, 1).committed
+
+    def test_rejects_bad_decision(self):
+        with pytest.raises(ValueError):
+            AdoptCommitResult("maybe", 1)
+
+
+class TestSpecPredicates:
+    def test_convergence_predicate(self):
+        results = [AdoptCommitResult(COMMIT, 5)] * 3
+        assert check_convergence([5, 5, 5], results)
+        assert not check_convergence([5, 5, 5], [AdoptCommitResult(ADOPT, 5)] * 3)
+        # Mixed inputs: convergence is vacuous.
+        assert check_convergence([5, 6], [AdoptCommitResult(ADOPT, 6)] * 2)
+
+    def test_coherence_predicate(self):
+        good = [AdoptCommitResult(COMMIT, 1), AdoptCommitResult(ADOPT, 1)]
+        assert check_coherence(good)
+        bad = [AdoptCommitResult(COMMIT, 1), AdoptCommitResult(ADOPT, 2)]
+        assert not check_coherence(bad)
+        two_commits = [AdoptCommitResult(COMMIT, 1), AdoptCommitResult(COMMIT, 2)]
+        assert not check_coherence(two_commits)
+        no_commit = [AdoptCommitResult(ADOPT, 1), AdoptCommitResult(ADOPT, 2)]
+        assert check_coherence(no_commit)
+
+
+@pytest.mark.parametrize("label,factory", IMPLEMENTATIONS)
+class TestAllImplementations:
+    def test_convergence_unanimous_commit(self, label, factory):
+        n, m = 5, 4
+        results = helpers.run_adopt_commit(factory(n, m), [2] * n, seed=1)
+        assert all(r.committed and r.value == 2 for r in results)
+
+    def test_validity(self, label, factory):
+        n, m = 6, 6
+        inputs = list(range(n))
+        results = helpers.run_adopt_commit(factory(n, m), inputs, seed=2)
+        assert all(r.value in inputs for r in results)
+
+    def test_coherence_over_many_schedules(self, label, factory):
+        n, m = 4, 4
+        for seed in range(25):
+            results = helpers.run_adopt_commit(
+                factory(n, m), [0, 1, 2, 3], seed=seed
+            )
+            assert check_coherence(results), (label, seed)
+
+    def test_solo_process_commits(self, label, factory):
+        results = helpers.run_adopt_commit(factory(1, 2), [1], seed=3)
+        assert results[0] == AdoptCommitResult(COMMIT, 1)
+
+    def test_sequential_first_process_commits_rest_follow(self, label, factory):
+        # Process 0 runs entirely alone and must commit its value; by
+        # coherence everyone else then returns that value.
+        n, m = 3, 3
+        ac = factory(n, m)
+        bound = ac.step_bound()
+        slots = []
+        for pid in range(n):
+            slots.extend([pid] * bound)
+        results = helpers.run_adopt_commit(
+            ac, [0, 1, 2], schedule=ExplicitSchedule(slots, n=n), seed=4
+        )
+        assert results[0].committed
+        assert all(r.value == results[0].value for r in results)
+
+    def test_step_bound_respected(self, label, factory):
+        from repro.runtime.rng import SeedTree
+        from repro.runtime.simulator import run_programs
+
+        n, m = 4, 4
+        ac = factory(n, m)
+        seeds = SeedTree(5)
+        programs = [lambda ctx: ac.invoke(ctx, ctx.input_value)] * n
+        result = run_programs(
+            programs,
+            RandomSchedule(n, seeds.child("schedule").seed),
+            seeds,
+            inputs=[0, 1, 2, 3],
+        )
+        assert result.max_individual_steps <= ac.step_bound()
+
+
+class TestFlagAdoptCommit:
+    def test_binary_is_constant_cost(self):
+        ac = BinaryAdoptCommit(8)
+        assert ac.step_bound() == 5
+
+    def test_cost_grows_logarithmically_with_m(self):
+        costs = [FlagAdoptCommit(4, IntEncoder(m)).step_bound()
+                 for m in (2, 16, 256, 65536)]
+        # d = 1, 4, 8, 16 binary digits -> cost 3d + 2.
+        assert costs == [5, 14, 26, 50]
+
+    def test_rejects_value_outside_domain(self):
+        ac = FlagAdoptCommit(2, IntEncoder(4))
+        with pytest.raises(ConfigurationError):
+            helpers.run_adopt_commit(ac, [0, 7], seed=6)
+
+    def test_domain_encoder_values(self):
+        ac = FlagAdoptCommit(3, DomainEncoder(["red", "green", "blue"]))
+        results = helpers.run_adopt_commit(ac, ["red", "red", "red"], seed=7)
+        assert all(r.committed and r.value == "red" for r in results)
+
+    def test_single_value_domain_always_commits(self):
+        ac = FlagAdoptCommit(3, DomainEncoder(["only"]))
+        results = helpers.run_adopt_commit(ac, ["only"] * 3, seed=8)
+        assert all(r.committed for r in results)
+
+
+class TestSnapshotAdoptCommit:
+    def test_four_steps_exactly(self):
+        from repro.runtime.rng import SeedTree
+        from repro.runtime.simulator import run_programs
+
+        n = 5
+        ac = SnapshotAdoptCommit(n)
+        seeds = SeedTree(9)
+        programs = [lambda ctx: ac.invoke(ctx, ctx.input_value)] * n
+        result = run_programs(
+            programs,
+            RandomSchedule(n, seeds.child("schedule").seed),
+            seeds,
+            inputs=list(range(n)),
+        )
+        assert all(steps == 4 for steps in result.steps_by_pid.values())
+
+    def test_unbounded_value_domain(self):
+        # Snapshot AC needs no encoder: arbitrary hashable values work.
+        n = 3
+        ac = SnapshotAdoptCommit(n)
+        inputs = [("tuple", 1), ("tuple", 1), ("tuple", 1)]
+        results = helpers.run_adopt_commit(ac, inputs, seed=10)
+        assert all(r.committed for r in results)
+
+
+class TestEncoders:
+    def test_int_encoder_roundtrip_distinct(self):
+        encoder = IntEncoder(37, base=3)
+        encodings = {encoder.encode(value) for value in range(37)}
+        assert len(encodings) == 37
+
+    def test_int_encoder_digit_count(self):
+        assert IntEncoder(2).digits == 1
+        assert IntEncoder(16).digits == 4
+        assert IntEncoder(17).digits == 5
+        assert IntEncoder(1).digits == 0
+
+    def test_int_encoder_domain_size(self):
+        assert IntEncoder(5).domain_size == 8  # 3 binary digits
+
+    def test_int_encoder_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            IntEncoder(4).encode(4)
+        with pytest.raises(ConfigurationError):
+            IntEncoder(4).encode("x")
+
+    def test_int_encoder_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            IntEncoder(0)
+        with pytest.raises(ConfigurationError):
+            IntEncoder(4, base=1)
+
+    def test_domain_encoder_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            DomainEncoder(["a", "a"])
+
+    def test_domain_encoder_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DomainEncoder([])
+
+    def test_domain_encoder_rejects_unknown_value(self):
+        with pytest.raises(ConfigurationError):
+            DomainEncoder(["a", "b"]).encode("c")

@@ -1,0 +1,208 @@
+"""Unit tests for the analysis package (stats, tables, theory, runners)."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    decay_series,
+    run_conciliator_trials,
+    run_consensus_trials,
+)
+from repro.analysis.stats import (
+    SampleSummary,
+    mean,
+    sample_std,
+    summarize,
+    wilson_interval,
+)
+from repro.analysis.tables import format_float, render_table
+from repro.analysis.theory import (
+    cil_total_steps_bound,
+    doubling_cil_step_bound,
+    harmonic,
+    markov_disagreement_bound,
+    sifting_decay_bound,
+    sifting_step_count,
+    snapshot_decay_bound,
+    snapshot_step_count,
+)
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.core.consensus import register_consensus
+from repro.errors import ConfigurationError
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_sample_std(self):
+        assert sample_std([2.0, 4.0]) == pytest.approx(math.sqrt(2.0))
+        assert sample_std([5.0]) == 0.0
+
+    def test_wilson_interval_contains_proportion(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_interval_extremes(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+
+    def test_wilson_narrower_with_more_trials(self):
+        small = wilson_interval(8, 10)
+        large = wilson_interval(800, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_wilson_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 3)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 3.0])
+        assert summary == SampleSummary(2, 2.0, sample_std([1.0, 3.0]), 1.0, 3.0)
+        assert "mean=2.000" in str(summary)
+
+
+class TestTables:
+    def test_format_float(self):
+        assert format_float(2.0) == "2"
+        assert format_float(2.5) == "2.500"
+        assert format_float("x") == "x"
+        assert format_float(True) == "True"
+        assert format_float(float("nan")) == "nan"
+
+    def test_render_alignment(self):
+        table = render_table(["col", "value"], [[1, 2.5], [100, 3]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_title(self):
+        assert render_table(["a"], [[1]], title="T").startswith("T\n")
+
+
+class TestTheory:
+    def test_harmonic(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+        assert harmonic(0) == 0.0
+
+    def test_harmonic_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            harmonic(-1)
+
+    def test_snapshot_decay_bound_is_decreasing(self):
+        bounds = snapshot_decay_bound(1000, 6)
+        assert all(bounds[i] > bounds[i + 1] for i in range(len(bounds) - 1))
+
+    def test_snapshot_decay_reaches_below_half(self):
+        # Theorem 1: after log* n + log(1/eps) + 1 rounds, bound <= eps/2.
+        from repro.core.rounds import snapshot_rounds
+
+        n, eps = 1000, 0.5
+        bounds = snapshot_decay_bound(n, snapshot_rounds(n, eps))
+        assert bounds[-1] <= eps / 2
+
+    def test_sifting_decay_bound_matches_lemmas(self):
+        from repro.core.probabilities import sift_x
+        from repro.core.rounds import sifting_switch_round
+
+        n = 256
+        switch = sifting_switch_round(n)
+        bounds = sifting_decay_bound(n, switch + 3)
+        assert bounds[switch - 1] == pytest.approx(sift_x(switch, n))
+        # After the switch: multiply by 3/4 each round.
+        assert bounds[switch] == pytest.approx(bounds[switch - 1] * 0.75)
+
+    def test_step_counts_match_round_formulas(self):
+        from repro.core.rounds import sifting_rounds, snapshot_rounds
+
+        assert snapshot_step_count(64, 0.5) == 2 * snapshot_rounds(64, 0.5)
+        assert sifting_step_count(64, 0.5) == sifting_rounds(64, 0.5)
+
+    def test_doubling_cil_bound_logarithmic(self):
+        assert doubling_cil_step_bound(1024) == 2 * (11 + 1)
+
+    def test_cil_total_bound_linear(self):
+        assert cil_total_steps_bound(10) == 200.0
+        assert cil_total_steps_bound(20) == 2 * cil_total_steps_bound(10)
+        with pytest.raises(ConfigurationError):
+            cil_total_steps_bound(0)
+
+    def test_markov_bound(self):
+        assert markov_disagreement_bound(0.25) == 0.25
+        assert markov_disagreement_bound(3.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            markov_disagreement_bound(-0.1)
+
+
+class TestRunners:
+    def test_conciliator_trials_aggregate(self):
+        stats = run_conciliator_trials(
+            lambda: SiftingConciliator(8),
+            list(range(8)),
+            trials=10,
+            master_seed=1,
+        )
+        assert stats.trials == 10
+        assert 0.0 <= stats.agreement_rate <= 1.0
+        assert stats.validity_failures == 0
+        low, high = stats.agreement_interval
+        assert low <= stats.agreement_rate <= high
+
+    def test_conciliator_trials_exact_steps(self):
+        conciliator_rounds = SiftingConciliator(8).rounds
+        stats = run_conciliator_trials(
+            lambda: SiftingConciliator(8),
+            list(range(8)),
+            trials=5,
+            master_seed=2,
+        )
+        assert stats.individual_steps.maximum == conciliator_rounds
+
+    def test_conciliator_trials_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            run_conciliator_trials(
+                lambda: SiftingConciliator(2), [0, 1], trials=0
+            )
+
+    def test_crash_family_defaults_to_partial(self):
+        stats = run_conciliator_trials(
+            lambda: SiftingConciliator(4),
+            list(range(4)),
+            schedule_family="crash-half",
+            trials=5,
+            master_seed=3,
+        )
+        assert stats.validity_failures == 0
+
+    def test_consensus_trials_safety(self):
+        stats = run_consensus_trials(
+            lambda: register_consensus(4, value_domain=range(4)),
+            list(range(4)),
+            trials=8,
+            master_seed=4,
+        )
+        assert stats.all_safe
+        assert stats.phases.mean >= 1.0
+
+    def test_decay_series_shape(self):
+        series = decay_series(
+            lambda: SnapshotConciliator(16),
+            list(range(16)),
+            trials=5,
+            master_seed=5,
+        )
+        assert len(series) == SnapshotConciliator(16).rounds
+        assert series[0] <= 16
+        assert series[-1] >= 1.0

@@ -1,0 +1,119 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_consensus_defaults(self):
+        args = build_parser().parse_args(["consensus"])
+        assert args.model == "register"
+        assert args.n == 16
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["conciliator", "--algorithm", "magic"])
+
+
+class TestConsensusCommand:
+    def test_register_model(self, capsys):
+        code = main(["consensus", "--n", "6", "--seed", "7"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "agreement: True" in output
+        assert "validity: True" in output
+
+    def test_snapshot_model(self, capsys):
+        code = main(["consensus", "--model", "snapshot", "--n", "5"])
+        assert code == 0
+        assert "agreement: True" in capsys.readouterr().out
+
+    def test_linear_model(self, capsys):
+        code = main(["consensus", "--model", "linear", "--n", "5",
+                     "--workload", "binary"])
+        assert code == 0
+        assert "agreement: True" in capsys.readouterr().out
+
+    def test_crash_adversary(self, capsys):
+        code = main(["consensus", "--n", "6", "--schedule", "crash-half"])
+        assert code == 0
+        assert "agreement: True" in capsys.readouterr().out
+
+    def test_unanimous_workload_decides_it(self, capsys):
+        main(["consensus", "--n", "4", "--workload", "unanimous"])
+        assert "decided: [0]" in capsys.readouterr().out
+
+
+class TestConciliatorCommand:
+    def test_reports_rate_and_interval(self, capsys):
+        code = main(["conciliator", "--algorithm", "sifting", "--n", "8",
+                     "--trials", "20", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "agreement rate:" in output
+        assert "95% CI" in output
+
+    @pytest.mark.parametrize("algorithm", ["snapshot", "snapshot-maxreg",
+                                           "cil-embedded", "doubling-cil"])
+    def test_all_algorithms_run(self, algorithm, capsys):
+        code = main(["conciliator", "--algorithm", algorithm, "--n", "6",
+                     "--trials", "5"])
+        assert code == 0
+        assert "validity failures: 0" in capsys.readouterr().out
+
+
+class TestDecayCommand:
+    def test_prints_table_with_bounds(self, capsys):
+        code = main(["decay", "--algorithm", "snapshot", "--n", "16",
+                     "--trials", "5"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "paper bound" in output
+        assert "round" in output
+
+
+class TestDecayPlot:
+    def test_plot_flag_renders_chart(self, capsys):
+        code = main(["decay", "--algorithm", "sifting", "--n", "8",
+                     "--trials", "4", "--plot"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "measured" in output
+        assert "┤" in output  # the chart axis
+
+
+class TestSearchCommand:
+    def test_reports_worst_found_rate(self, capsys):
+        code = main(["search", "--n", "4", "--generations", "2",
+                     "--trials", "4"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "worst-found agreement" in output
+        assert "schedules evaluated" in output
+
+    def test_snapshot_algorithm(self, capsys):
+        code = main(["search", "--algorithm", "snapshot", "--n", "4",
+                     "--generations", "2", "--trials", "4"])
+        assert code == 0
+
+
+class TestTasCommand:
+    def test_reports_unique_winner(self, capsys):
+        code = main(["tas", "--n", "8", "--trials", "10"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "unique-winner violations: 0" in output
+
+
+class TestExperimentsCommand:
+    def test_single_experiment_filter(self, capsys):
+        code = main(["experiments", "--scale", "0.05", "--only", "E12"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[E12]" in output
+        assert "[E1]" not in output

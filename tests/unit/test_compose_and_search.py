@@ -1,0 +1,137 @@
+"""Unit tests for conciliator chaining and worst-schedule search."""
+
+import pytest
+
+import helpers
+from repro.core.compose import ChainedConciliator
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler import ExplicitSchedule
+from repro.workloads.search import evaluate_schedule, search_worst_schedule
+
+
+class TestChainedConciliator:
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ConfigurationError):
+            ChainedConciliator([])
+
+    def test_rejects_mismatched_n(self):
+        with pytest.raises(ConfigurationError):
+            ChainedConciliator(
+                [SiftingConciliator(4), SiftingConciliator(8)]
+            )
+
+    def test_step_bound_is_sum(self):
+        chain = ChainedConciliator(
+            [SiftingConciliator(8, name="a"), SnapshotConciliator(8, name="b")]
+        )
+        expected = (SiftingConciliator(8).step_bound()
+                    + SnapshotConciliator(8).step_bound())
+        assert chain.step_bound() == expected
+
+    def test_terminates_valid_exact_steps(self):
+        n = 8
+        chain = ChainedConciliator(
+            [SiftingConciliator(n, name="a"), SiftingConciliator(n, name="b")]
+        )
+        result = helpers.run_conciliator_once(chain, list(range(n)), seed=1)
+        assert result.completed
+        assert result.validity_holds({pid: pid for pid in range(n)})
+        assert all(steps == chain.step_bound()
+                   for steps in result.steps_by_pid.values())
+
+    def test_agreement_boost(self):
+        """Chaining two eps=1/2 conciliators should push disagreement
+        toward eps^2; measured rates must improve on the single stage."""
+        n, trials = 16, 80
+        single = helpers.agreement_rate(
+            lambda: SiftingConciliator(n), list(range(n)), trials, seed=2,
+        )
+        chained = helpers.agreement_rate(
+            lambda: ChainedConciliator(
+                [SiftingConciliator(n, name="a"),
+                 SiftingConciliator(n, name="b")]
+            ),
+            list(range(n)), trials, seed=2,
+        )
+        assert chained >= single
+        assert chained >= 0.9
+
+    def test_cross_model_chain(self):
+        n = 8
+        chain = ChainedConciliator(
+            [SiftingConciliator(n, name="sift"),
+             SnapshotConciliator(n, name="snap")]
+        )
+        result = helpers.run_conciliator_once(chain, list(range(n)), seed=3)
+        assert result.completed
+        assert result.validity_holds({pid: pid for pid in range(n)})
+
+    def test_agreement_established_early_is_preserved(self):
+        # Unanimous inputs: stage 1 trivially agrees; stage 2's validity
+        # must preserve the value.
+        n = 6
+        chain = ChainedConciliator(
+            [SiftingConciliator(n, name="a"), SiftingConciliator(n, name="b")]
+        )
+        result = helpers.run_conciliator_once(chain, ["v"] * n, seed=4)
+        assert result.decided_values == {"v"}
+
+
+class TestScheduleSearch:
+    def test_evaluate_schedule_rates(self):
+        n = 4
+        conciliator_rounds = SiftingConciliator(n).rounds
+        slots = [pid for _ in range(conciliator_rounds) for pid in range(n)]
+        rate = evaluate_schedule(
+            lambda: SiftingConciliator(n),
+            list(range(n)),
+            ExplicitSchedule(slots, n=n),
+            trials=10,
+            master_seed=1,
+        )
+        assert 0.0 <= rate <= 1.0
+
+    def test_search_returns_valid_schedule(self):
+        n = 4
+        rounds = SiftingConciliator(n).rounds
+        result = search_worst_schedule(
+            lambda: SiftingConciliator(n),
+            list(range(n)),
+            steps_per_process=rounds,
+            generations=3,
+            mutations_per_generation=2,
+            trials_per_eval=4,
+            master_seed=2,
+        )
+        # The schedule still gives every process its full step budget.
+        for pid in range(n):
+            assert result.schedule.slots.count(pid) == rounds
+        assert 0.0 <= result.agreement_rate <= 1.0
+        assert result.evaluations >= 1
+
+    def test_search_history_is_monotone_nonincreasing(self):
+        n = 4
+        rounds = SiftingConciliator(n).rounds
+        result = search_worst_schedule(
+            lambda: SiftingConciliator(n),
+            list(range(n)),
+            steps_per_process=rounds,
+            generations=5,
+            mutations_per_generation=2,
+            trials_per_eval=4,
+            master_seed=3,
+        )
+        history = result.history
+        assert all(history[i] >= history[i + 1] for i in range(len(history) - 1))
+
+    def test_search_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            search_worst_schedule(
+                lambda: SiftingConciliator(1), [], steps_per_process=1,
+            )
+        with pytest.raises(ConfigurationError):
+            search_worst_schedule(
+                lambda: SiftingConciliator(1), [0], steps_per_process=0,
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for the Conciliator base class and its instrumentation."""
+
+import pytest
+
+import helpers
+from repro.core.conciliator import Conciliator, run_conciliator
+from repro.core.persona import Persona
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import RoundRobinSchedule
+
+
+class TestBaseClassContract:
+    def test_persona_program_is_abstract(self):
+        base = Conciliator(2, "base")
+        with pytest.raises(NotImplementedError):
+            next(base.persona_program(None, 1))
+
+    def test_program_unwraps_persona_value(self):
+        class Constant(Conciliator):
+            def persona_program(self, ctx, input_value):
+                return Persona(value=input_value, origin=ctx.pid)
+                yield  # pragma: no cover
+
+        conciliator = Constant(2, "const")
+        result = helpers.run_conciliator_once(conciliator, ["a", "b"], seed=0)
+        assert result.outputs == {0: "a", 1: "b"}
+
+
+class TestSurvivorInstrumentation:
+    def make_run(self, n=6, seed=3):
+        conciliator = SiftingConciliator(n)
+        seeds = SeedTree(seed)
+        run_conciliator(
+            conciliator, list(range(n)), RoundRobinSchedule(n), seeds
+        )
+        return conciliator
+
+    def test_initial_personae_recorded(self):
+        n = 6
+        conciliator = self.make_run(n=n)
+        assert len(conciliator._initial) == n
+        assert len(conciliator.personae_entering_round(0)) == n
+
+    def test_entering_round_matches_after_previous(self):
+        conciliator = self.make_run()
+        for round_index in range(1, conciliator.rounds):
+            entering = set(conciliator.personae_entering_round(round_index))
+            after_previous = set(
+                conciliator._after_round[round_index - 1].values()
+            )
+            assert entering == after_previous
+
+    def test_survivors_after_round_counts_distinct(self):
+        conciliator = self.make_run()
+        for round_index in range(conciliator.rounds):
+            count = conciliator.survivors_after_round(round_index)
+            assert count == len(
+                set(conciliator._after_round[round_index].values())
+            )
+
+    def test_survivor_series_ordering(self):
+        conciliator = self.make_run()
+        series = conciliator.survivor_series()
+        assert series == [
+            conciliator.survivors_after_round(i)
+            for i in range(conciliator.rounds)
+        ]
+
+    def test_unknown_round_counts_zero(self):
+        conciliator = self.make_run()
+        assert conciliator.survivors_after_round(999) == 0
+
+    def test_instrumentation_is_per_instance(self):
+        one = self.make_run(seed=1)
+        two = self.make_run(seed=2)
+        # Fresh instances do not share survivor state.
+        assert one._after_round is not two._after_round
+
+
+class TestRunConciliatorHelper:
+    def test_passes_inputs_positionally(self):
+        n = 3
+        conciliator = SiftingConciliator(n)
+        seeds = SeedTree(0)
+        result = run_conciliator(
+            conciliator, ["x", "y", "z"], RoundRobinSchedule(n), seeds
+        )
+        assert result.completed
+        assert result.validity_holds({0: "x", 1: "y", 2: "z"})
+
+    def test_trace_recording_flag(self):
+        n = 2
+        conciliator = SiftingConciliator(n)
+        seeds = SeedTree(0)
+        result = run_conciliator(
+            conciliator, [0, 1], RoundRobinSchedule(n), seeds,
+            record_trace=True,
+        )
+        assert result.trace is not None
+        assert len(result.trace) == result.total_steps

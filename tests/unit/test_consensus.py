@@ -1,0 +1,162 @@
+"""Unit tests for the consensus framework (conciliator + adopt-commit)."""
+
+import pytest
+
+from repro.adoptcommit.snapshot_ac import SnapshotAdoptCommit
+from repro.core.consensus import (
+    ConsensusProtocol,
+    register_consensus,
+    run_consensus,
+    snapshot_consensus,
+)
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.errors import ConfigurationError
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import RandomSchedule, RoundRobinSchedule
+
+
+def run_once(protocol, inputs, seed=0, schedule=None):
+    seeds = SeedTree(seed)
+    if schedule is None:
+        schedule = RandomSchedule(protocol.n, seeds.child("schedule").seed)
+    return run_consensus(protocol, inputs, schedule, seeds)
+
+
+class TestFramework:
+    def test_phases_allocated_lazily(self):
+        protocol = snapshot_consensus(4)
+        assert protocol.phases_allocated == 0
+        run_once(protocol, [0, 1, 2, 3], seed=1)
+        assert protocol.phases_allocated >= 1
+
+    def test_phase_objects_are_shared(self):
+        protocol = snapshot_consensus(4)
+        one = protocol.phase(0)
+        two = protocol.phase(0)
+        assert one[0] is two[0]
+        assert one[1] is two[1]
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigurationError):
+            ConsensusProtocol(
+                0,
+                lambda n, i: SnapshotConciliator(n),
+                lambda n, i: SnapshotAdoptCommit(n),
+            )
+
+    def test_input_count_checked(self):
+        protocol = snapshot_consensus(3)
+        seeds = SeedTree(0)
+        with pytest.raises(ConfigurationError):
+            run_consensus(
+                protocol, [1, 2], RoundRobinSchedule(3), seeds
+            )
+
+    def test_phases_used_recorded(self):
+        protocol = snapshot_consensus(4)
+        run_once(protocol, [0, 1, 2, 3], seed=2)
+        assert set(protocol.phases_used) == {0, 1, 2, 3}
+        assert all(count >= 1 for count in protocol.phases_used.values())
+
+
+class TestSnapshotConsensus:
+    def test_agreement_validity_many_seeds(self):
+        n = 6
+        inputs = [f"v{pid}" for pid in range(n)]
+        for seed in range(15):
+            protocol = snapshot_consensus(n)
+            result = run_once(protocol, inputs, seed=seed)
+            assert result.completed
+            assert result.agreement
+            assert result.validity_holds(dict(enumerate(inputs)))
+
+    def test_unbounded_input_domain(self):
+        # Corollary 1 allows arbitrarily many input values; no encoder.
+        n = 4
+        inputs = [("config", pid, tuple(range(pid))) for pid in range(n)]
+        protocol = snapshot_consensus(n)
+        result = run_once(protocol, inputs, seed=3)
+        assert result.agreement
+        assert result.validity_holds(dict(enumerate(inputs)))
+
+    def test_unanimous_decides_in_one_phase(self):
+        n = 4
+        protocol = snapshot_consensus(n)
+        result = run_once(protocol, ["same"] * n, seed=4)
+        assert result.decided_values == {"same"}
+        # Conciliator validity + adopt-commit convergence: phase 1 commits.
+        assert max(protocol.phases_used.values()) == 1
+
+    def test_max_register_variant(self):
+        protocol = snapshot_consensus(4, use_max_registers=True)
+        result = run_once(protocol, [0, 1, 2, 3], seed=5)
+        assert result.agreement
+
+
+class TestRegisterConsensus:
+    def test_agreement_validity_many_seeds(self):
+        n = 6
+        inputs = [pid % 3 for pid in range(n)]
+        for seed in range(15):
+            protocol = register_consensus(n, value_domain=range(3))
+            result = run_once(protocol, inputs, seed=seed)
+            assert result.completed
+            assert result.agreement
+            assert result.validity_holds(dict(enumerate(inputs)))
+
+    def test_linear_total_work_variant(self):
+        n = 6
+        inputs = [pid % 3 for pid in range(n)]
+        for seed in range(10):
+            protocol = register_consensus(
+                n, value_domain=range(3), linear_total_work=True
+            )
+            result = run_once(protocol, inputs, seed=seed)
+            assert result.agreement
+            assert result.validity_holds(dict(enumerate(inputs)))
+
+    def test_value_outside_domain_fails_loudly(self):
+        protocol = register_consensus(2, value_domain=[0, 1])
+        with pytest.raises(ConfigurationError):
+            run_once(protocol, [0, 7], seed=6)
+
+    def test_binary_consensus(self):
+        n = 8
+        protocol = register_consensus(n, value_domain=[0, 1])
+        result = run_once(protocol, [pid % 2 for pid in range(n)], seed=7)
+        assert result.agreement
+        assert result.decided_values <= {0, 1}
+
+    def test_expected_phase_count_is_small(self):
+        # Each phase succeeds with probability >= 1/2; across seeds the
+        # maximum phase count should stay modest.
+        n = 6
+        worst = 0
+        for seed in range(20):
+            protocol = register_consensus(n, value_domain=range(n))
+            run_once(protocol, list(range(n)), seed=seed)
+            worst = max(worst, max(protocol.phases_used.values()))
+        assert worst <= 8
+
+    def test_id_consensus(self):
+        # m = n distinct inputs (the id-consensus case from the paper).
+        n = 8
+        protocol = register_consensus(n, value_domain=range(n))
+        result = run_once(protocol, list(range(n)), seed=8)
+        assert result.agreement
+
+
+class TestDecisionStability:
+    def test_all_processes_decide_same_single_value(self):
+        # Run under several adversaries; consensus must never split.
+        from repro.workloads.schedules import make_schedule
+
+        n = 5
+        for family in ("round-robin", "reversed", "random", "blocks",
+                       "front-runner"):
+            seeds = SeedTree(hash(family) % (2**31))
+            protocol = register_consensus(n, value_domain=range(n))
+            schedule = make_schedule(family, n, seeds.child("schedule"))
+            result = run_consensus(protocol, list(range(n)), schedule, seeds)
+            assert result.agreement, family

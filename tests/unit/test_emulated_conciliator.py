@@ -1,0 +1,63 @@
+"""Unit tests for Algorithm 1 over register-emulated snapshots (E15)."""
+
+import pytest
+
+import helpers
+from repro.core.emulated_conciliator import EmulatedSnapshotConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.errors import ConfigurationError
+
+
+class TestBehaviour:
+    def test_terminates_valid(self):
+        n = 6
+        conciliator = EmulatedSnapshotConciliator(n)
+        result = helpers.run_conciliator_once(conciliator, list(range(n)), seed=1)
+        assert result.completed
+        assert result.validity_holds({pid: pid for pid in range(n)})
+
+    def test_same_round_structure_as_unit_cost(self):
+        n = 8
+        emulated = EmulatedSnapshotConciliator(n)
+        unit = SnapshotConciliator(n)
+        assert emulated.rounds == unit.rounds
+        assert emulated.priority_range == unit.priority_range
+
+    def test_agreement_rate_matches_unit_cost_guarantee(self):
+        n = 8
+        rate = helpers.agreement_rate(
+            lambda: EmulatedSnapshotConciliator(n),
+            list(range(n)), trials=30, seed=2,
+        )
+        assert rate >= 0.5
+
+    def test_unit_cost_gap_is_real(self):
+        n = 8
+        conciliator = EmulatedSnapshotConciliator(n)
+        result = helpers.run_conciliator_once(conciliator, list(range(n)), seed=3)
+        # Emulation costs at least an order of magnitude more steps than
+        # the 2-steps-per-round unit-cost model.
+        assert result.max_individual_steps > 5 * conciliator.unit_cost_steps()
+        assert result.max_individual_steps <= conciliator.step_bound()
+
+    def test_survivor_series_recorded(self):
+        n = 6
+        conciliator = EmulatedSnapshotConciliator(n)
+        helpers.run_conciliator_once(conciliator, list(range(n)), seed=4)
+        series = conciliator.survivor_series()
+        assert len(series) == conciliator.rounds
+
+    def test_unanimous_inputs(self):
+        n = 4
+        conciliator = EmulatedSnapshotConciliator(n)
+        result = helpers.run_conciliator_once(conciliator, ["v"] * n, seed=5)
+        assert result.decided_values == {"v"}
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            EmulatedSnapshotConciliator(4, rounds=0)
+
+    def test_solo_process(self):
+        conciliator = EmulatedSnapshotConciliator(1)
+        result = helpers.run_conciliator_once(conciliator, ["solo"], seed=6)
+        assert result.outputs[0] == "solo"

@@ -1,0 +1,170 @@
+"""Unit tests for the register-emulated wait-free snapshot."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.emulated_snapshot import EmulatedSnapshot, SnapshotCell
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import (
+    ExplicitSchedule,
+    RandomSchedule,
+    RoundRobinSchedule,
+)
+from repro.runtime.simulator import run_programs
+
+
+def update_then_scan(snapshot, value_of=lambda ctx: ctx.pid):
+    def program(ctx):
+        yield from snapshot.update_program(ctx, value_of(ctx))
+        view = yield from snapshot.scan_program(ctx)
+        return view
+
+    return program
+
+
+class TestSequentialBehaviour:
+    def test_solo_update_and_scan(self):
+        snapshot = EmulatedSnapshot(3)
+
+        def program(ctx):
+            yield from snapshot.update_program(ctx, "mine")
+            view = yield from snapshot.scan_program(ctx)
+            return view
+
+        result = run_programs(
+            [program] + [_idle_program] * 2, RoundRobinSchedule(3), SeedTree(0)
+        )
+        assert result.outputs[0] == ("mine", None, None)
+
+    def test_scan_of_empty_snapshot(self):
+        snapshot = EmulatedSnapshot(2)
+
+        def program(ctx):
+            view = yield from snapshot.scan_program(ctx)
+            return view
+
+        result = run_programs(
+            [program, _idle_program], RoundRobinSchedule(2), SeedTree(0)
+        )
+        assert result.outputs[0] == (None, None)
+
+    def test_sequential_updates_visible_in_order(self):
+        snapshot = EmulatedSnapshot(2)
+        programs = [update_then_scan(snapshot)] * 2
+        # Process 0 runs to completion, then process 1.
+        slots = [0] * 50 + [1] * 50
+        result = run_programs(
+            programs, ExplicitSchedule(slots, n=2), SeedTree(1)
+        )
+        assert result.outputs[0] == (0, None)
+        assert result.outputs[1] == (0, 1)
+
+    def test_second_update_overwrites(self):
+        snapshot = EmulatedSnapshot(1)
+
+        def program(ctx):
+            yield from snapshot.update_program(ctx, "first")
+            yield from snapshot.update_program(ctx, "second")
+            view = yield from snapshot.scan_program(ctx)
+            return view
+
+        result = run_programs([program], RoundRobinSchedule(1), SeedTree(0))
+        assert result.outputs[0] == ("second",)
+
+
+class TestConcurrentBehaviour:
+    def test_all_values_present_after_everyone_scans(self):
+        n = 4
+        snapshot = EmulatedSnapshot(n)
+        programs = [update_then_scan(snapshot)] * n
+        result = run_programs(
+            programs, RandomSchedule(n, 42), SeedTree(2)
+        )
+        # Everyone's own component is at least present in their view (their
+        # update completed before their scan began).
+        for pid in range(n):
+            assert result.outputs[pid][pid] == pid
+
+    def test_views_are_totally_ordered_by_information(self):
+        # Atomic snapshots have totally ordered views.  With one update per
+        # process, "ordered" means the non-None supports form a chain.
+        n = 5
+        snapshot = EmulatedSnapshot(n)
+        programs = [update_then_scan(snapshot)] * n
+        for seed in range(15):
+            fresh = EmulatedSnapshot(n)
+            programs = [update_then_scan(fresh)] * n
+            result = run_programs(
+                programs, RandomSchedule(n, seed), SeedTree(seed)
+            )
+            supports = sorted(
+                (frozenset(
+                    pid for pid in range(n)
+                    if result.outputs[scanner][pid] is not None
+                ) for scanner in range(n)),
+                key=len,
+            )
+            for smaller, larger in zip(supports, supports[1:]):
+                assert smaller <= larger, (seed, supports)
+
+    def test_borrowed_scan_path_is_exercised(self):
+        # A scanner interleaved with two complete updates of the same
+        # component must borrow an embedded view.
+        snapshot = EmulatedSnapshot(2)
+
+        def updater(ctx):
+            yield from snapshot.update_program(ctx, "u1")
+            yield from snapshot.update_program(ctx, "u2")
+            yield from snapshot.update_program(ctx, "u3")
+            return "done"
+
+        def scanner(ctx):
+            view = yield from snapshot.scan_program(ctx)
+            return view
+
+        # Interleave: scanner does its first collect read, then the updater
+        # performs complete updates between every scanner step.
+        slots = []
+        for _ in range(40):
+            slots.extend([1, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+        result = run_programs(
+            [updater, scanner],
+            ExplicitSchedule(slots, n=2),
+            SeedTree(3),
+            allow_partial=True,
+        )
+        if 1 in result.outputs:
+            view = result.outputs[1]
+            assert view[0] in (None, "u1", "u2", "u3")
+
+    def test_step_bounds_respected(self):
+        n = 4
+        snapshot = EmulatedSnapshot(n)
+        programs = [update_then_scan(snapshot)] * n
+        result = run_programs(programs, RandomSchedule(n, 7), SeedTree(4))
+        bound = snapshot.update_step_bound() + snapshot.scan_step_bound()
+        assert result.max_individual_steps <= bound
+
+    def test_instrumentation_counts(self):
+        n = 3
+        snapshot = EmulatedSnapshot(n)
+        programs = [update_then_scan(snapshot)] * n
+        run_programs(programs, RandomSchedule(n, 5), SeedTree(5))
+        # Each update embeds a scan and each process scans once more.
+        assert snapshot.clean_scans + snapshot.borrowed_scans == 2 * n
+
+
+class TestValidation:
+    def test_rejects_zero_components(self):
+        with pytest.raises(ConfigurationError):
+            EmulatedSnapshot(0)
+
+    def test_cell_is_frozen(self):
+        cell = SnapshotCell(seq=0, value=1, embedded_view=())
+        with pytest.raises(Exception):
+            cell.seq = 1
+
+
+def _idle_program(ctx):
+    return None
+    yield  # pragma: no cover

@@ -1,0 +1,45 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InvalidOperationError,
+    ProtocolViolationError,
+    ReproError,
+    ScheduleExhaustedError,
+    SimulationError,
+    StepLimitExceededError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for error_type in (
+            SimulationError,
+            ScheduleExhaustedError,
+            StepLimitExceededError,
+            ProtocolViolationError,
+            InvalidOperationError,
+            ConfigurationError,
+        ):
+            assert issubclass(error_type, ReproError), error_type
+
+    def test_simulation_errors_group(self):
+        assert issubclass(ScheduleExhaustedError, SimulationError)
+        assert issubclass(StepLimitExceededError, SimulationError)
+        assert issubclass(InvalidOperationError, SimulationError)
+
+    def test_protocol_violation_is_not_a_simulation_error(self):
+        # A violated invariant is an algorithm bug, not a scheduling issue.
+        assert not issubclass(ProtocolViolationError, SimulationError)
+
+    def test_catchable_at_boundary(self):
+        with pytest.raises(ReproError):
+            raise ScheduleExhaustedError("starved")
+
+    def test_library_raises_only_repro_errors_for_bad_config(self):
+        from repro.core.rounds import snapshot_rounds
+
+        with pytest.raises(ReproError):
+            snapshot_rounds(0, 0.5)

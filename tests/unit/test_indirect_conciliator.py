@@ -1,0 +1,90 @@
+"""Unit tests for the footnote-2 indirection variant of Algorithm 1."""
+
+import pytest
+
+import helpers
+from repro.core.indirect_conciliator import IndirectSnapshotConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler import RoundRobinSchedule
+
+
+class TestIndirectConciliator:
+    def test_terminates_valid_exact_steps(self):
+        n = 8
+        conciliator = IndirectSnapshotConciliator(n)
+        inputs = [f"value-{pid}" for pid in range(n)]
+        result = helpers.run_conciliator_once(conciliator, inputs, seed=1)
+        assert result.completed
+        assert result.validity_holds(dict(enumerate(inputs)))
+        assert all(
+            steps == conciliator.step_bound()
+            for steps in result.steps_by_pid.values()
+        )
+
+    def test_two_extra_steps_over_plain_variant(self):
+        n = 16
+        indirect = IndirectSnapshotConciliator(n)
+        plain = SnapshotConciliator(n)
+        assert indirect.step_bound() == plain.step_bound() + 2
+
+    def test_components_carry_no_values(self):
+        """The whole point of the footnote: snapshot components hold only
+        (origin, priorities) tokens, never the input values."""
+        n = 6
+        conciliator = IndirectSnapshotConciliator(n)
+        inputs = [f"big-config-{pid}" * 10 for pid in range(n)]
+        helpers.run_conciliator_once(conciliator, inputs, seed=2)
+        for array in conciliator._arrays:
+            for component in array.components:
+                if component is not None:
+                    assert component.value is None
+
+    def test_announce_registers_hold_the_values(self):
+        n = 4
+        conciliator = IndirectSnapshotConciliator(n)
+        inputs = ["a", "b", "c", "d"]
+        helpers.run_conciliator_once(conciliator, inputs, seed=3)
+        announced = [register.value for register in conciliator.announce]
+        assert announced == inputs
+
+    def test_agreement_rate_matches_guarantee(self):
+        n = 8
+        rate = helpers.agreement_rate(
+            lambda: IndirectSnapshotConciliator(n),
+            list(range(n)), trials=40, seed=4,
+        )
+        assert rate >= 0.5
+
+    def test_unanimous_inputs(self):
+        n = 5
+        conciliator = IndirectSnapshotConciliator(n)
+        result = helpers.run_conciliator_once(conciliator, ["v"] * n, seed=5)
+        assert result.decided_values == {"v"}
+
+    def test_round_robin_schedule(self):
+        n = 6
+        conciliator = IndirectSnapshotConciliator(n)
+        result = helpers.run_conciliator_once(
+            conciliator, list(range(n)),
+            schedule=RoundRobinSchedule(n), seed=6,
+        )
+        assert result.completed
+        assert result.validity_holds({pid: pid for pid in range(n)})
+
+    def test_solo_process(self):
+        conciliator = IndirectSnapshotConciliator(1)
+        result = helpers.run_conciliator_once(conciliator, ["solo"], seed=7)
+        assert result.outputs[0] == "solo"
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            IndirectSnapshotConciliator(4, rounds=0)
+
+    def test_survivor_series_recorded(self):
+        n = 8
+        conciliator = IndirectSnapshotConciliator(n)
+        helpers.run_conciliator_once(conciliator, list(range(n)), seed=8)
+        series = conciliator.survivor_series()
+        assert len(series) == conciliator.rounds
+        assert series[-1] >= 1

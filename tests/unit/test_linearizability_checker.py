@@ -1,0 +1,166 @@
+"""Unit tests for the Wing-Gong linearizability checker itself."""
+
+import pytest
+
+from repro.analysis.linearizability import (
+    HistoryOp,
+    MaxRegisterSpec,
+    RegisterSpec,
+    SnapshotSpec,
+    is_linearizable,
+)
+from repro.errors import ConfigurationError
+
+
+def op(pid, kind, value=None, result=None, start=0, end=0):
+    return HistoryOp(pid=pid, kind=kind, value=value, result=result,
+                     start=start, end=end)
+
+
+class TestHistoryOp:
+    def test_precedes(self):
+        first = op(0, "write", value=1, start=0, end=2)
+        second = op(1, "read", result=1, start=3, end=4)
+        assert first.precedes(second)
+        assert not second.precedes(first)
+
+    def test_concurrent_ops_do_not_precede(self):
+        a = op(0, "write", value=1, start=0, end=5)
+        b = op(1, "read", result=None, start=3, end=4)
+        assert not a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            op(0, "read", start=5, end=2)
+
+
+class TestRegisterSpec:
+    def test_sequential_read_after_write(self):
+        history = [
+            op(0, "write", value=7, start=0, end=0),
+            op(1, "read", result=7, start=1, end=1),
+        ]
+        assert is_linearizable(history, RegisterSpec())
+
+    def test_stale_sequential_read_rejected(self):
+        history = [
+            op(0, "write", value=7, start=0, end=0),
+            op(1, "read", result=None, start=1, end=1),
+        ]
+        assert not is_linearizable(history, RegisterSpec())
+
+    def test_concurrent_read_may_see_either(self):
+        for observed in (None, 7):
+            history = [
+                op(0, "write", value=7, start=0, end=4),
+                op(1, "read", result=observed, start=1, end=2),
+            ]
+            assert is_linearizable(history, RegisterSpec()), observed
+
+    def test_new_old_inversion_rejected(self):
+        # read1 finishes before read2 starts but sees a NEWER value: illegal.
+        history = [
+            op(0, "write", value=1, start=0, end=0),
+            op(0, "write", value=2, start=5, end=5),
+            op(1, "read", result=2, start=1, end=2),
+            op(2, "read", result=1, start=6, end=7),
+        ]
+        assert not is_linearizable(history, RegisterSpec())
+
+
+class TestMaxRegisterSpec:
+    def test_monotone_reads(self):
+        history = [
+            op(0, "write", value=3, start=0, end=1),
+            op(1, "write", value=1, start=2, end=3),
+            op(2, "read", result=3, start=4, end=5),
+        ]
+        assert is_linearizable(history, MaxRegisterSpec())
+
+    def test_forgotten_max_rejected(self):
+        history = [
+            op(0, "write", value=3, start=0, end=1),
+            op(2, "read", result=0, start=4, end=5),
+        ]
+        assert not is_linearizable(history, MaxRegisterSpec())
+
+    def test_concurrent_write_read_flexible(self):
+        history = [
+            op(0, "write", value=9, start=0, end=10),
+            op(1, "read", result=0, start=2, end=3),
+            op(2, "read", result=9, start=4, end=5),
+        ]
+        # read1 linearizes before the write, read2 after — but read1
+        # precedes read2 in real time and 0 <= 9, so this is legal.
+        assert is_linearizable(history, MaxRegisterSpec())
+
+    def test_decreasing_sequential_reads_rejected(self):
+        history = [
+            op(0, "write", value=9, start=0, end=10),
+            op(1, "read", result=9, start=2, end=3),
+            op(2, "read", result=0, start=4, end=5),
+        ]
+        assert not is_linearizable(history, MaxRegisterSpec())
+
+    def test_initial_none_convention(self):
+        history = [op(0, "read", result=None, start=0, end=0)]
+        assert is_linearizable(history, MaxRegisterSpec(initial=None))
+        assert not is_linearizable(history, MaxRegisterSpec(initial=0))
+
+
+class TestSnapshotSpec:
+    def test_update_then_scan(self):
+        history = [
+            op(0, "update", value="x", start=0, end=2),
+            op(1, "scan", result=("x", None), start=3, end=5),
+        ]
+        assert is_linearizable(history, SnapshotSpec(2))
+
+    def test_scan_missing_completed_update_rejected(self):
+        history = [
+            op(0, "update", value="x", start=0, end=2),
+            op(1, "scan", result=(None, None), start=3, end=5),
+        ]
+        assert not is_linearizable(history, SnapshotSpec(2))
+
+    def test_concurrent_scans_must_nest(self):
+        # Two scans concurrent with two updates can split them, but their
+        # views must be consistent with a single interleaving.
+        history = [
+            op(0, "update", value="a", start=0, end=9),
+            op(1, "update", value="b", start=0, end=9),
+            op(2, "scan", result=("a", None), start=1, end=2),
+            op(3, "scan", result=(None, "b"), start=3, end=4),
+        ]
+        # scan2 precedes scan3 in real time; ("a", None) then (None, "b")
+        # cannot both occur: component 0 cannot be cleared.
+        assert not is_linearizable(history, SnapshotSpec(4))
+
+    def test_nested_views_accepted(self):
+        history = [
+            op(0, "update", value="a", start=0, end=9),
+            op(1, "update", value="b", start=0, end=9),
+            op(2, "scan", result=("a", None, None, None), start=1, end=2),
+            op(3, "scan", result=("a", "b", None, None), start=3, end=4),
+        ]
+        assert is_linearizable(history, SnapshotSpec(4))
+
+
+class TestSearchBehaviour:
+    def test_empty_history(self):
+        assert is_linearizable([], RegisterSpec())
+
+    def test_memoization_handles_many_concurrent_ops(self):
+        # 8 fully concurrent writes + a read; would be 9! orders naively.
+        history = [
+            op(pid, "write", value=pid, start=0, end=100)
+            for pid in range(8)
+        ]
+        history.append(op(9, "read", result=7, start=0, end=100))
+        assert is_linearizable(history, MaxRegisterSpec())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            is_linearizable([op(0, "mystery", start=0, end=0)],
+                            RegisterSpec())

@@ -1,0 +1,41 @@
+"""Unit tests for operation request types."""
+
+import dataclasses
+
+import pytest
+
+from repro.memory.register import AtomicRegister
+from repro.runtime.operations import (
+    MaxRead,
+    MaxWrite,
+    Read,
+    Scan,
+    Update,
+    Write,
+)
+
+
+class TestOperationKinds:
+    def test_kind_names(self):
+        register = AtomicRegister("r")
+        assert Read(register).kind == "read"
+        assert Write(register, 1).kind == "write"
+        assert Update(register, 1).kind == "update"
+        assert Scan(register).kind == "scan"
+        assert MaxRead(register).kind == "maxread"
+        assert MaxWrite(register, 1).kind == "maxwrite"
+
+    def test_operations_are_frozen(self):
+        operation = Write(AtomicRegister("r"), 5)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            operation.value = 6
+
+    def test_write_carries_value(self):
+        assert Write(AtomicRegister("r"), "hello").value == "hello"
+
+    def test_default_value_is_none(self):
+        assert Write(AtomicRegister("r")).value is None
+
+    def test_operation_references_target(self):
+        register = AtomicRegister("target")
+        assert Read(register).obj is register

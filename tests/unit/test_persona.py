@@ -1,0 +1,96 @@
+"""Unit tests for personae (pre-flipped randomness bundles)."""
+
+import random
+
+import pytest
+
+from repro.core.persona import Persona
+from repro.errors import ConfigurationError
+
+
+class TestPersonaBasics:
+    def test_hashable_and_countable(self):
+        one = Persona(value=1, origin=0)
+        two = Persona(value=1, origin=1)
+        assert len({one, two, one}) == 2
+
+    def test_equality_is_structural(self):
+        assert Persona(value=1, origin=0) == Persona(value=1, origin=0)
+
+    def test_coin_must_be_binary(self):
+        with pytest.raises(ConfigurationError):
+            Persona(value=1, origin=0, coin=2)
+
+    def test_immutability(self):
+        persona = Persona(value=1, origin=0)
+        with pytest.raises(Exception):
+            persona.value = 2
+
+
+class TestSnapshotPersona:
+    def test_priority_vector_length(self):
+        persona = Persona.for_snapshot(
+            "v", 3, random.Random(0), rounds=5, priority_range=100
+        )
+        assert len(persona.priorities) == 5
+
+    def test_priorities_in_range(self):
+        persona = Persona.for_snapshot(
+            "v", 0, random.Random(1), rounds=50, priority_range=10
+        )
+        assert all(1 <= priority <= 10 for priority in persona.priorities)
+
+    def test_priority_accessor(self):
+        persona = Persona.for_snapshot(
+            "v", 0, random.Random(2), rounds=3, priority_range=1000
+        )
+        assert persona.priority(1) == persona.priorities[1]
+
+    def test_different_rngs_give_different_priorities(self):
+        one = Persona.for_snapshot("v", 0, random.Random(1), 10, 10**9)
+        two = Persona.for_snapshot("v", 0, random.Random(2), 10, 10**9)
+        assert one.priorities != two.priorities
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            Persona.for_snapshot("v", 0, random.Random(0), 0, 10)
+
+    def test_rejects_bad_priority_range(self):
+        with pytest.raises(ConfigurationError):
+            Persona.for_snapshot("v", 0, random.Random(0), 1, 0)
+
+    def test_carries_combine_coin(self):
+        persona = Persona.for_snapshot("v", 0, random.Random(0), 1, 10)
+        assert persona.coin in (0, 1)
+
+
+class TestSiftingPersona:
+    def test_write_bits_length(self):
+        persona = Persona.for_sifting("v", 0, random.Random(0), [0.5] * 7)
+        assert len(persona.write_bits) == 7
+
+    def test_probability_one_always_writes(self):
+        persona = Persona.for_sifting("v", 0, random.Random(0), [1.0] * 20)
+        assert all(persona.write_bits)
+
+    def test_probability_zero_never_writes(self):
+        persona = Persona.for_sifting("v", 0, random.Random(0), [0.0] * 20)
+        assert not any(persona.write_bits)
+
+    def test_chooses_write_accessor(self):
+        persona = Persona.for_sifting("v", 0, random.Random(3), [0.5] * 4)
+        assert persona.chooses_write(2) == persona.write_bits[2]
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(ConfigurationError):
+            Persona.for_sifting("v", 0, random.Random(0), [])
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ConfigurationError):
+            Persona.for_sifting("v", 0, random.Random(0), [1.5])
+
+    def test_bits_frequency_tracks_probability(self):
+        # Statistical sanity: p = 0.8 should set most bits.
+        persona = Persona.for_sifting("v", 0, random.Random(0), [0.8] * 500)
+        fraction = sum(persona.write_bits) / 500
+        assert 0.7 < fraction < 0.9

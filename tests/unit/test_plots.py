@@ -1,0 +1,85 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, series_plot, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_uses_increasing_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith(" a |")
+        assert lines[1].startswith("bb |")
+
+    def test_largest_value_gets_longest_bar(self):
+        chart = bar_chart(["x", "y"], [1.0, 10.0], width=20)
+        bars = [line.split("|")[1] for line in chart.splitlines()]
+        assert bars[1].count("█") > bars[0].count("█")
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [1.0, 1000.0], width=30)
+        logscale = bar_chart(["a", "b"], [1.0, 1000.0], width=30,
+                             log_scale=True)
+        small_linear = linear.splitlines()[0].count("█")
+        small_log = logscale.splitlines()[0].count("█")
+        assert small_log > small_linear
+
+    def test_zero_value_gets_sliver(self):
+        chart = bar_chart(["z"], [0.0])
+        assert "▏" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+
+    def test_unit_suffix(self):
+        assert "3 steps" in bar_chart(["a"], [3.0], unit=" steps")
+
+
+class TestSeriesPlot:
+    def test_dimensions(self):
+        plot = series_plot([("m", [1, 2, 3, 4])], height=5)
+        lines = plot.splitlines()
+        # height rows + axis + legend
+        assert len(lines) == 7
+
+    def test_two_series_get_distinct_markers(self):
+        plot = series_plot(
+            [("measured", [1, 2, 3]), ("bound", [3, 2, 1])], height=4
+        )
+        assert "*" in plot
+        assert "o" in plot
+        assert "measured" in plot
+        assert "bound" in plot
+
+    def test_axis_labels_show_extremes(self):
+        plot = series_plot([("s", [0.0, 10.0])], height=4)
+        assert "10.00" in plot
+        assert "0.00" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_plot([])

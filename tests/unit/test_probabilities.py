@@ -1,0 +1,145 @@
+"""Unit tests for the sifting probability schedule and snapshot contraction."""
+
+import math
+
+import pytest
+
+from repro.core.probabilities import (
+    SIFT_TAIL_FACTOR,
+    iterate_snapshot_f,
+    paper_sift_p,
+    sift_p,
+    sift_p_schedule,
+    sift_x,
+    snapshot_f,
+)
+from repro.core.rounds import sifting_switch_round
+from repro.errors import ConfigurationError
+
+
+class TestSiftX:
+    def test_x0_is_n_minus_1(self):
+        assert sift_x(0, 100) == 99
+
+    def test_recurrence_x_next_is_2_sqrt_x(self):
+        for n in (10, 100, 10_000):
+            for i in range(0, 6):
+                assert sift_x(i + 1, n) == pytest.approx(2 * math.sqrt(sift_x(i, n)))
+
+    def test_closed_form_small_case(self):
+        # x_1 = 2 sqrt(n-1)
+        assert sift_x(1, 101) == pytest.approx(20.0)
+
+    def test_below_8_at_switch_round(self):
+        # The paper: x_{ceil(log log n)} < 8.
+        for n in (4, 16, 100, 1000, 2**16, 2**20):
+            switch = sifting_switch_round(n)
+            assert sift_x(switch, n) < 8.0 + 1e-9
+
+    def test_n_equal_one_has_no_excess(self):
+        assert sift_x(0, 1) == 0.0
+        assert sift_x(3, 1) == 0.0
+
+    def test_rejects_negative_round(self):
+        with pytest.raises(ConfigurationError):
+            sift_x(-1, 4)
+
+
+class TestSiftP:
+    def test_first_round_inverse_sqrt(self):
+        # p_1 = 1/sqrt(x_0) = 1/sqrt(n-1)
+        assert sift_p(1, 101) == pytest.approx(0.1)
+
+    def test_self_consistent_with_x(self):
+        # p_{i+1} = 1/sqrt(x_i) within the tuned prefix.
+        n = 2**16
+        for i in range(1, sifting_switch_round(n) + 1):
+            assert sift_p(i, n) == pytest.approx(1 / math.sqrt(sift_x(i - 1, n)))
+
+    def test_half_after_switch(self):
+        n = 256
+        switch = sifting_switch_round(n)
+        assert sift_p(switch + 1, n) == 0.5
+        assert sift_p(switch + 10, n) == 0.5
+
+    def test_probabilities_are_valid(self):
+        for n in (1, 2, 3, 10, 1000):
+            for i in range(1, 12):
+                assert 0.0 < sift_p(i, n) <= 1.0
+
+    def test_increasing_within_prefix(self):
+        # x_i shrinks, so the tuned p_i = 1/sqrt(x_{i-1}) grows.
+        n = 2**20
+        switch = sifting_switch_round(n)
+        values = [sift_p(i, n) for i in range(1, switch + 1)]
+        assert values == sorted(values)
+
+    def test_rejects_round_zero(self):
+        with pytest.raises(ConfigurationError):
+            sift_p(0, 4)
+
+    def test_paper_variant_matches_at_round_one(self):
+        # Only for n with at least one tuned round (switch >= 1), where both
+        # formulas give 1/sqrt(n-1).
+        for n in (4, 10, 1000):
+            assert paper_sift_p(1, n) == pytest.approx(sift_p(1, n))
+
+    def test_paper_variant_is_the_printed_formula(self):
+        n = 17
+        expected = 2 ** (1 - 2.0 ** (1 - 2)) * (n - 1) ** (-(2.0 ** -2))
+        assert paper_sift_p(2, n) == pytest.approx(expected)
+
+    def test_schedule_builder(self):
+        schedule = sift_p_schedule(256, 10)
+        assert len(schedule) == 10
+        assert schedule[sifting_switch_round(256)] == 0.5
+
+    def test_schedule_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            sift_p_schedule(4, 0)
+
+
+class TestSnapshotF:
+    def test_min_of_two_branches(self):
+        # Small x: x/2 branch; large x: ln(x+1) branch.
+        assert snapshot_f(1.0) == 0.5
+        assert snapshot_f(100.0) == pytest.approx(math.log(101.0))
+
+    def test_fixed_point_at_zero(self):
+        assert snapshot_f(0.0) == 0.0
+
+    def test_below_log2_for_x_at_least_2(self):
+        # Used in Theorem 1: f(x) <= log2 x for x >= 2.
+        for x in (2.0, 3.0, 10.0, 1e6):
+            assert snapshot_f(x) <= math.log2(x) + 1e-12
+
+    def test_contraction_below_half(self):
+        for x in (0.5, 1.0, 5.0, 100.0):
+            assert snapshot_f(x) <= x / 2
+
+    def test_iteration_reaches_near_zero(self):
+        # f^(log* n + const)(n) drops below 1/2 (Theorem 1's engine).
+        value = iterate_snapshot_f(2**20, 10)
+        assert value < 0.5
+
+    def test_iteration_count_zero_is_identity(self):
+        assert iterate_snapshot_f(7.0, 0) == 7.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            snapshot_f(-1.0)
+        with pytest.raises(ConfigurationError):
+            iterate_snapshot_f(1.0, -1)
+
+
+class TestTailFactor:
+    def test_three_quarters(self):
+        # 1 - p + p^2 at p = 1/2.
+        assert SIFT_TAIL_FACTOR == 0.75
+
+    def test_half_minimizes_coefficient(self):
+        coefficient = lambda p: 1 - p + p * p
+        assert all(
+            coefficient(0.5) <= coefficient(p) + 1e-12
+            for p in [0.1 * k for k in range(11)]
+        )

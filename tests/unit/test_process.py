@@ -1,0 +1,107 @@
+"""Unit tests for the Process lifecycle wrapper."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory.register import AtomicRegister
+from repro.runtime.operations import Read, Write
+from repro.runtime.process import Process, ProcessContext
+
+
+def make_context(pid=0, n=1, input_value=None):
+    return ProcessContext(pid=pid, n=n, rng=random.Random(0), input_value=input_value)
+
+
+class TestProcessLifecycle:
+    def test_start_primes_first_operation(self):
+        register = AtomicRegister("r")
+
+        def program(ctx):
+            yield Write(register, ctx.pid)
+            return "done"
+
+        process = Process(make_context(pid=3), program)
+        assert not process.started
+        process.start()
+        assert process.started
+        assert isinstance(process.pending_operation, Write)
+        assert not process.finished
+
+    def test_complete_step_advances_to_next_operation(self):
+        register = AtomicRegister("r")
+
+        def program(ctx):
+            yield Write(register, 1)
+            value = yield Read(register)
+            return value
+
+        process = Process(make_context(), program)
+        process.start()
+        process.complete_step(None)
+        assert isinstance(process.pending_operation, Read)
+        process.complete_step(42)
+        assert process.finished
+        assert process.output == 42
+
+    def test_zero_step_program_finishes_at_start(self):
+        def program(ctx):
+            return ctx.input_value
+            yield  # pragma: no cover - makes this a generator function
+
+        process = Process(make_context(input_value="instant"), program)
+        process.start()
+        assert process.finished
+        assert process.output == "instant"
+        assert process.pending_operation is None
+
+    def test_double_start_rejected(self):
+        def program(ctx):
+            yield Read(AtomicRegister("r"))
+            return None
+
+        process = Process(make_context(), program)
+        process.start()
+        with pytest.raises(SimulationError, match="started twice"):
+            process.start()
+
+    def test_step_on_finished_process_rejected(self):
+        def program(ctx):
+            return 1
+            yield  # pragma: no cover
+
+        process = Process(make_context(), program)
+        process.start()
+        with pytest.raises(SimulationError, match="not running"):
+            process.complete_step(None)
+
+    def test_yielding_non_operation_rejected(self):
+        def program(ctx):
+            yield "not an operation"
+
+        process = Process(make_context(), program)
+        with pytest.raises(SimulationError, match="not an\n?.*Operation|Operation"):
+            process.start()
+
+    def test_context_rng_is_private(self):
+        def program(ctx):
+            return ctx.rng.random()
+            yield  # pragma: no cover
+
+        one = Process(make_context(), program)
+        one.start()
+        two = Process(
+            ProcessContext(pid=0, n=1, rng=random.Random(1)), program
+        )
+        two.start()
+        assert one.output != two.output
+
+    def test_input_value_reaches_program(self):
+        def program(ctx):
+            return ctx.input_value * 2
+            yield  # pragma: no cover
+
+        process = Process(make_context(input_value=21), program)
+        process.start()
+        assert process.output == 42

@@ -1,0 +1,105 @@
+"""Unit tests for the exact record-process mathematics (footnote 3)."""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.records import (
+    count_records,
+    record_mean,
+    record_pmf,
+    record_variance,
+    stirling_first_unsigned,
+)
+from repro.analysis.theory import harmonic
+from repro.errors import ConfigurationError
+
+
+class TestStirlingNumbers:
+    def test_base_cases(self):
+        assert stirling_first_unsigned(0, 0) == 1
+        assert stirling_first_unsigned(1, 1) == 1
+        assert stirling_first_unsigned(1, 0) == 0
+
+    def test_known_row(self):
+        # c(4, k) = [0, 6, 11, 6, 1]
+        assert [stirling_first_unsigned(4, k) for k in range(5)] == [
+            0, 6, 11, 6, 1,
+        ]
+
+    def test_row_sums_to_factorial(self):
+        for m in range(1, 9):
+            total = sum(stirling_first_unsigned(m, k) for k in range(m + 1))
+            assert total == math.factorial(m)
+
+    def test_k_above_m_is_zero(self):
+        assert stirling_first_unsigned(3, 4) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            stirling_first_unsigned(-1, 0)
+
+
+class TestRecordDistribution:
+    def test_pmf_sums_to_one(self):
+        for m in range(1, 10):
+            assert sum(record_pmf(m)) == Fraction(1)
+
+    def test_zero_records_impossible(self):
+        for m in range(1, 6):
+            assert record_pmf(m)[0] == 0
+
+    def test_all_records_probability(self):
+        # P(R_m = m) = 1/m! (the fully increasing permutation).
+        for m in range(1, 7):
+            assert record_pmf(m)[m] == Fraction(1, math.factorial(m))
+
+    def test_one_record_probability(self):
+        # P(R_m = 1) = 1/m (maximum first).
+        for m in range(1, 7):
+            assert record_pmf(m)[1] == Fraction(1, m)
+
+    def test_mean_is_harmonic(self):
+        for m in range(1, 10):
+            pmf = record_pmf(m)
+            mean = sum(k * p for k, p in enumerate(pmf))
+            assert mean == record_mean(m)
+            assert float(record_mean(m)) == pytest.approx(harmonic(m))
+
+    def test_variance_formula(self):
+        for m in range(1, 8):
+            pmf = record_pmf(m)
+            mean = sum(k * p for k, p in enumerate(pmf))
+            second = sum(k * k * p for k, p in enumerate(pmf))
+            assert second - mean * mean == record_variance(m)
+
+    def test_matches_monte_carlo(self):
+        m, trials = 8, 4000
+        rng = random.Random(0)
+        counts = [0] * (m + 1)
+        for _ in range(trials):
+            permutation = list(range(m))
+            rng.shuffle(permutation)
+            counts[count_records(permutation)] += 1
+        pmf = record_pmf(m)
+        for k in range(1, m + 1):
+            assert counts[k] / trials == pytest.approx(float(pmf[k]), abs=0.03)
+
+
+class TestCountRecords:
+    def test_empty(self):
+        assert count_records([]) == 0
+
+    def test_increasing_sequence(self):
+        assert count_records([1, 2, 3, 4]) == 4
+
+    def test_decreasing_sequence(self):
+        assert count_records([4, 3, 2, 1]) == 1
+
+    def test_mixed(self):
+        assert count_records([2, 1, 3, 0, 5, 4]) == 3
+
+    def test_first_element_always_a_record(self):
+        assert count_records([7]) == 1

@@ -1,0 +1,48 @@
+"""Unit tests for RunResult metrics."""
+
+from repro.runtime.results import RunResult
+
+
+def make_result(outputs, steps, n=None, completed=True):
+    n = n if n is not None else len(outputs)
+    return RunResult(n=n, outputs=outputs, steps_by_pid=steps, completed=completed)
+
+
+class TestRunResult:
+    def test_total_and_max_steps(self):
+        result = make_result({0: "a", 1: "a"}, {0: 3, 1: 7})
+        assert result.total_steps == 10
+        assert result.max_individual_steps == 7
+
+    def test_agreement_true_when_all_equal(self):
+        assert make_result({0: "v", 1: "v"}, {0: 1, 1: 1}).agreement
+
+    def test_agreement_false_on_two_values(self):
+        assert not make_result({0: "v", 1: "w"}, {0: 1, 1: 1}).agreement
+
+    def test_empty_outputs_vacuously_agree(self):
+        result = make_result({}, {}, n=2, completed=False)
+        assert result.agreement
+
+    def test_decided_values(self):
+        result = make_result({0: 1, 1: 2, 2: 1}, {0: 1, 1: 1, 2: 1})
+        assert result.decided_values == {1, 2}
+
+    def test_validity_holds(self):
+        result = make_result({0: "x", 1: "x"}, {0: 1, 1: 1})
+        assert result.validity_holds({0: "x", 1: "y"})
+        assert not result.validity_holds({0: "y", 1: "z"})
+
+    def test_output_list_ordered_by_pid(self):
+        result = make_result({1: "b", 0: "a"}, {0: 1, 1: 1})
+        assert result.output_list() == ["a", "b"]
+
+    def test_summary_mentions_key_metrics(self):
+        summary = make_result({0: "v"}, {0: 5}).summary()
+        assert "total_steps=5" in summary
+        assert "completed=True" in summary
+
+    def test_zero_process_edge(self):
+        result = make_result({}, {}, n=0)
+        assert result.total_steps == 0
+        assert result.max_individual_steps == 0

@@ -1,0 +1,131 @@
+"""Unit tests for the paper's round-count formulas."""
+
+import math
+
+import pytest
+
+from repro.core.rounds import (
+    ceil_log2,
+    ceil_log_log,
+    cil_write_probability,
+    log_star,
+    sifting_rounds,
+    sifting_switch_round,
+    snapshot_priority_range,
+    snapshot_rounds,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLogStar:
+    def test_base_cases(self):
+        assert log_star(0) == 0
+        assert log_star(1) == 0
+
+    def test_small_values(self):
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_tower_boundary(self):
+        # log*(2^16) = 4; just past the tower value it ticks to 5.
+        assert log_star(65536) == 4
+        assert log_star(65537) == 5
+        assert log_star(2**64) == 5
+
+    def test_monotone(self):
+        values = [log_star(n) for n in range(1, 1000)]
+        assert values == sorted(values)
+
+    def test_grows_extremely_slowly(self):
+        assert log_star(10**30) <= 5
+
+
+class TestCeilHelpers:
+    def test_ceil_log2_powers(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(1024) == 10
+
+    def test_ceil_log2_non_powers(self):
+        assert ceil_log2(3) == 2
+        assert ceil_log2(1025) == 11
+
+    def test_ceil_log2_floats(self):
+        assert ceil_log2(2.0) == 1
+        assert ceil_log2(0.5) == 0  # clamped at 0
+
+    def test_ceil_log2_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ceil_log2(0)
+
+    def test_ceil_log_log(self):
+        assert ceil_log_log(2) == 0
+        assert ceil_log_log(4) == 1
+        assert ceil_log_log(16) == 2
+        assert ceil_log_log(256) == 3
+        assert ceil_log_log(65536) == 4
+
+    def test_ceil_log_log_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            ceil_log_log(0)
+
+
+class TestSnapshotRounds:
+    def test_formula(self):
+        # R = log* n + ceil(log2(1/eps)) + 1
+        assert snapshot_rounds(16, 0.5) == 3 + 1 + 1
+        assert snapshot_rounds(16, 0.25) == 3 + 2 + 1
+
+    def test_epsilon_dependence_is_logarithmic(self):
+        base = snapshot_rounds(64, 0.5)
+        assert snapshot_rounds(64, 0.5 ** 10) == base + 9
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            snapshot_rounds(4, 0.0)
+        with pytest.raises(ConfigurationError):
+            snapshot_rounds(4, 1.0)
+
+    def test_priority_range_formula(self):
+        # ceil(R n^2 / eps)
+        assert snapshot_priority_range(10, 0.5, 4) == math.ceil(4 * 100 / 0.5)
+
+    def test_priority_range_rejects_bad_rounds(self):
+        with pytest.raises(ConfigurationError):
+            snapshot_priority_range(10, 0.5, 0)
+
+
+class TestSiftingRounds:
+    def test_switch_round(self):
+        assert sifting_switch_round(2) == 0
+        assert sifting_switch_round(16) == 2
+        assert sifting_switch_round(256) == 3
+
+    def test_formula(self):
+        tail = math.ceil(math.log(8 / 0.5) / math.log(4 / 3))
+        assert sifting_rounds(16, 0.5) == 2 + tail
+
+    def test_tail_scales_with_epsilon(self):
+        # Each factor-of-(4/3) reduction in eps costs one more round.
+        few = sifting_rounds(16, 0.5)
+        many = sifting_rounds(16, 0.5 * (3 / 4) ** 8)
+        assert many == few + 8
+
+    def test_doubly_logarithmic_in_n(self):
+        # Growing n from 2^4 to 2^256 adds only a handful of rounds.
+        assert sifting_rounds(2**256, 0.5) - sifting_rounds(16, 0.5) == 6
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            sifting_rounds(0, 0.5)
+
+
+class TestCILWriteProbability:
+    def test_quarter_n(self):
+        assert cil_write_probability(10) == pytest.approx(1 / 40)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            cil_write_probability(0)

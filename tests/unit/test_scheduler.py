@@ -1,0 +1,152 @@
+"""Unit tests for oblivious schedules."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import (
+    BlockSchedule,
+    CrashSchedule,
+    ExplicitSchedule,
+    FrontRunnerSchedule,
+    LimitedSchedule,
+    RandomSchedule,
+    ReversedRoundRobinSchedule,
+    RoundRobinSchedule,
+    StutterSchedule,
+    standard_gallery,
+)
+
+
+class TestExplicitSchedule:
+    def test_yields_given_slots(self):
+        assert ExplicitSchedule([0, 1, 1, 0]).take(10) == [0, 1, 1, 0]
+
+    def test_infers_n(self):
+        assert ExplicitSchedule([0, 2, 1]).n == 3
+
+    def test_rejects_out_of_range_pid(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitSchedule([0, 5], n=2)
+
+    def test_empty_schedule_allowed(self):
+        assert ExplicitSchedule([]).take(3) == []
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        assert RoundRobinSchedule(3).take(7) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_finite_rounds(self):
+        assert RoundRobinSchedule(2, rounds=2).take(100) == [0, 1, 0, 1]
+
+    def test_reversed_order(self):
+        assert ReversedRoundRobinSchedule(3).take(6) == [2, 1, 0, 2, 1, 0]
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinSchedule(0)
+
+
+class TestRandomSchedule:
+    def test_deterministic_per_seed(self):
+        assert RandomSchedule(4, 9).take(50) == RandomSchedule(4, 9).take(50)
+
+    def test_different_seeds_differ(self):
+        assert RandomSchedule(4, 1).take(50) != RandomSchedule(4, 2).take(50)
+
+    def test_pids_in_range(self):
+        assert all(0 <= pid < 5 for pid in RandomSchedule(5, 3).take(200))
+
+    def test_restartable(self):
+        schedule = RandomSchedule(4, 9)
+        assert schedule.take(20) == schedule.take(20)
+
+    def test_covers_all_processes_eventually(self):
+        assert set(RandomSchedule(6, 0).take(500)) == set(range(6))
+
+
+class TestBlockSchedule:
+    def test_blocks_are_consecutive(self):
+        slots = BlockSchedule(4, 3, seed=1).take(30)
+        for start in range(0, 30, 3):
+            block = slots[start : start + 3]
+            assert len(set(block)) == 1
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ConfigurationError):
+            BlockSchedule(4, 0, seed=1)
+
+
+class TestFrontRunner:
+    def test_leader_runs_first(self):
+        slots = FrontRunnerSchedule(4, leader=2, lead_steps=5).take(9)
+        assert slots[:5] == [2] * 5
+        assert slots[5:] == [0, 1, 2, 3]
+
+    def test_default_lead_is_4n(self):
+        schedule = FrontRunnerSchedule(8)
+        assert schedule.take(32) == [0] * 32
+
+    def test_rejects_bad_leader(self):
+        with pytest.raises(ConfigurationError):
+            FrontRunnerSchedule(3, leader=3)
+
+
+class TestCrashSchedule:
+    def test_crashed_pid_disappears_after_budget(self):
+        base = RoundRobinSchedule(3)
+        slots = CrashSchedule(base, {1: 2}).take(10)
+        assert slots.count(1) == 2
+        # Remaining slots keep other pids alive.
+        assert slots[:4] == [0, 1, 2, 0]
+
+    def test_zero_budget_never_scheduled(self):
+        slots = CrashSchedule(RoundRobinSchedule(2), {0: 0}).take(6)
+        assert slots == [1] * 6
+
+    def test_rejects_unknown_pid(self):
+        with pytest.raises(ConfigurationError):
+            CrashSchedule(RoundRobinSchedule(2), {5: 1})
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConfigurationError):
+            CrashSchedule(RoundRobinSchedule(2), {0: -1})
+
+
+class TestStutterAndLimited:
+    def test_stutter_repeats_slots(self):
+        slots = StutterSchedule(RoundRobinSchedule(2), 3).take(8)
+        assert slots == [0, 0, 0, 1, 1, 1, 0, 0]
+
+    def test_stutter_rejects_zero_repeat(self):
+        with pytest.raises(ConfigurationError):
+            StutterSchedule(RoundRobinSchedule(2), 0)
+
+    def test_limited_truncates(self):
+        slots = LimitedSchedule(RoundRobinSchedule(3), 4).take(100)
+        assert slots == [0, 1, 2, 0]
+
+    def test_limited_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            LimitedSchedule(RoundRobinSchedule(2), -1)
+
+
+class TestGallery:
+    def test_gallery_members_cover_n(self):
+        gallery = standard_gallery(4, SeedTree(0))
+        for name, schedule in gallery.items():
+            assert schedule.n == 4, name
+            assert all(0 <= pid < 4 for pid in schedule.take(50)), name
+
+    def test_gallery_includes_crash_only_for_n_above_one(self):
+        assert "crash-half" not in standard_gallery(1, SeedTree(0))
+        assert "crash-half" in standard_gallery(4, SeedTree(0))
+
+    def test_schedules_are_oblivious_to_reiteration(self):
+        # Iterating twice gives the same sequence: the schedule is a fixed
+        # object, not a reactive one.
+        for name, schedule in standard_gallery(3, SeedTree(1)).items():
+            assert schedule.take(40) == schedule.take(40), name

@@ -1,0 +1,109 @@
+"""Unit tests for register-width accounting (footnote 2 / Section 3)."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.space import (
+    bits_for,
+    measured_persona_bits,
+    sifting_register_bits,
+    snapshot_component_bits,
+)
+from repro.core.persona import Persona
+from repro.core.rounds import sifting_rounds, snapshot_rounds
+from repro.errors import ConfigurationError
+
+
+class TestBitsFor:
+    def test_small_counts(self):
+        assert bits_for(1) == 1
+        assert bits_for(2) == 1
+        assert bits_for(3) == 2
+        assert bits_for(1024) == 10
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            bits_for(0)
+
+
+class TestSnapshotComponentBits:
+    def test_indirection_removes_value_field(self):
+        plain = snapshot_component_bits(64, 0.5, value_bits=4096)
+        indirect = snapshot_component_bits(
+            64, 0.5, value_bits=4096, indirection=True
+        )
+        assert plain - indirect == 4096
+
+    def test_indirection_width_is_log_n_log_star_n(self):
+        # Footnote 2: O(log n log* n) bits for constant eps; check the
+        # growth is ~R * log(R n^2) = O(log* n * log n).
+        widths = {}
+        for n in (2**8, 2**16, 2**32):
+            widths[n] = snapshot_component_bits(
+                n, 0.5, value_bits=0, indirection=True
+            )
+        # log n doubles from 2^8 to 2^16 with the same log* band: the
+        # width should roughly double (within the ceiling slack).
+        ratio = widths[2**16] / widths[2**8]
+        assert 1.6 < ratio < 2.6
+
+    def test_rejects_negative_value_bits(self):
+        with pytest.raises(ConfigurationError):
+            snapshot_component_bits(4, 0.5, value_bits=-1)
+
+
+class TestSiftingRegisterBits:
+    def test_origin_id_costs_log_n(self):
+        with_id = sifting_register_bits(1024, 0.5, value_bits=8)
+        without = sifting_register_bits(
+            1024, 0.5, value_bits=8, include_origin=False
+        )
+        assert with_id - without == 10  # log2(1024)
+
+    def test_id_free_width_is_loglog_plus_value(self):
+        # Section 3: O(log log n + log m) bits.  The n-dependence without
+        # the id is just the chooseWrite vector: R = loglog n + const.
+        width_small = sifting_register_bits(
+            16, 0.5, value_bits=8, include_origin=False
+        )
+        width_huge = sifting_register_bits(
+            2**64, 0.5, value_bits=8, include_origin=False
+        )
+        assert width_huge - width_small == (
+            sifting_rounds(2**64, 0.5) - sifting_rounds(16, 0.5)
+        )
+        assert width_huge - width_small <= 4
+
+    def test_rejects_negative_value_bits(self):
+        with pytest.raises(ConfigurationError):
+            sifting_register_bits(4, 0.5, value_bits=-1)
+
+
+class TestMeasuredPersonaBits:
+    def test_measured_at_most_formula(self):
+        n, epsilon, value_bits = 64, 0.5, 16
+        rng = random.Random(0)
+        from repro.core.rounds import snapshot_priority_range
+
+        rounds = snapshot_rounds(n, epsilon)
+        persona = Persona.for_snapshot(
+            "value", 3, rng, rounds,
+            snapshot_priority_range(n, epsilon, rounds),
+        )
+        measured = measured_persona_bits(persona, value_bits, n)
+        formula = snapshot_component_bits(n, epsilon, value_bits)
+        assert measured <= formula + 8  # per-priority ceiling slack
+
+    def test_sifting_persona_measured(self):
+        n = 64
+        rng = random.Random(1)
+        from repro.core.probabilities import sift_p_schedule
+
+        persona = Persona.for_sifting(
+            5, 2, rng, sift_p_schedule(n, sifting_rounds(n, 0.5))
+        )
+        measured = measured_persona_bits(persona, value_bits=3, n=n)
+        # value + id + chooseWrite bits + coin (no priorities).
+        assert measured == 3 + 6 + sifting_rounds(n, 0.5) + 1

@@ -1,0 +1,153 @@
+"""Unit tests for trace recording and semantics checkers."""
+
+import pytest
+
+from repro.errors import ProtocolViolationError
+from repro.runtime.trace import (
+    TraceEvent,
+    TraceRecorder,
+    check_max_register_semantics,
+    check_register_semantics,
+    check_snapshot_semantics,
+    steps_by_object,
+)
+
+
+def event(step, pid, kind, obj_name="r", value=None, result=None):
+    return TraceEvent(step=step, pid=pid, kind=kind, obj_name=obj_name,
+                      value=value, result=result)
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(event(0, 0, "write", value=1))
+        recorder.record(event(1, 1, "read", result=1))
+        assert len(recorder) == 2
+        assert recorder.events[0].kind == "write"
+
+    def test_filter_by_object(self):
+        recorder = TraceRecorder()
+        recorder.record(event(0, 0, "write", obj_name="a"))
+        recorder.record(event(1, 0, "write", obj_name="b"))
+        assert len(recorder.for_object("a")) == 1
+
+    def test_filter_by_pid(self):
+        recorder = TraceRecorder()
+        recorder.record(event(0, 0, "write"))
+        recorder.record(event(1, 1, "write"))
+        assert len(recorder.for_pid(1)) == 1
+
+    def test_steps_by_object(self):
+        events = [event(0, 0, "write", obj_name="a"),
+                  event(1, 0, "read", obj_name="a"),
+                  event(2, 0, "read", obj_name="b")]
+        assert steps_by_object(events) == {"a": 2, "b": 1}
+
+
+class TestRegisterChecker:
+    def test_accepts_valid_history(self):
+        events = [
+            event(0, 0, "read", result=None),
+            event(1, 0, "write", value=3),
+            event(2, 1, "read", result=3),
+            event(3, 1, "write", value=4),
+            event(4, 0, "read", result=4),
+        ]
+        check_register_semantics(events)
+
+    def test_rejects_stale_read(self):
+        events = [
+            event(0, 0, "write", value=3),
+            event(1, 1, "read", result=None),
+        ]
+        with pytest.raises(ProtocolViolationError, match="read at step 1"):
+            check_register_semantics(events)
+
+    def test_respects_initial_value(self):
+        events = [event(0, 0, "read", result="init")]
+        check_register_semantics(events, initial="init")
+
+
+class TestSnapshotChecker:
+    def test_accepts_valid_history(self):
+        events = [
+            event(0, 0, "update", value="x"),
+            event(1, 1, "scan", result=("x", None)),
+            event(2, 1, "update", value="y"),
+            event(3, 0, "scan", result=("x", "y")),
+        ]
+        check_snapshot_semantics(events, n=2)
+
+    def test_rejects_wrong_view(self):
+        events = [
+            event(0, 0, "update", value="x"),
+            event(1, 1, "scan", result=(None, None)),
+        ]
+        with pytest.raises(ProtocolViolationError, match="scan at step 1"):
+            check_snapshot_semantics(events, n=2)
+
+
+class TestMaxRegisterChecker:
+    def test_accepts_monotone_history(self):
+        events = [
+            event(0, 0, "maxwrite", value=2),
+            event(1, 1, "maxwrite", value=1),
+            event(2, 1, "maxread", result=2),
+        ]
+        check_max_register_semantics(events)
+
+    def test_rejects_non_max_read(self):
+        events = [
+            event(0, 0, "maxwrite", value=2),
+            event(1, 1, "maxread", result=1),
+        ]
+        with pytest.raises(ProtocolViolationError):
+            check_max_register_semantics(events)
+
+
+class TestSimulatedTracesSatisfyCheckers:
+    def test_full_run_trace_passes_register_checker(self):
+        from repro.memory.register import AtomicRegister
+        from repro.runtime.operations import Read, Write
+        from repro.runtime.rng import SeedTree
+        from repro.runtime.scheduler import RandomSchedule
+        from repro.runtime.simulator import run_programs
+
+        register = AtomicRegister("shared")
+
+        def program(ctx):
+            yield Write(register, ctx.pid)
+            value = yield Read(register)
+            yield Write(register, value)
+            return value
+
+        result = run_programs(
+            [program] * 4,
+            RandomSchedule(4, 123),
+            SeedTree(9),
+            record_trace=True,
+        )
+        check_register_semantics(result.trace.for_object("shared"))
+
+    def test_full_run_trace_passes_snapshot_checker(self):
+        from repro.memory.snapshot import SnapshotObject
+        from repro.runtime.operations import Scan, Update
+        from repro.runtime.rng import SeedTree
+        from repro.runtime.scheduler import RandomSchedule
+        from repro.runtime.simulator import run_programs
+
+        snapshot = SnapshotObject(4, "A")
+
+        def program(ctx):
+            yield Update(snapshot, ctx.pid * 10)
+            view = yield Scan(snapshot)
+            return view
+
+        result = run_programs(
+            [program] * 4,
+            RandomSchedule(4, 321),
+            SeedTree(9),
+            record_trace=True,
+        )
+        check_snapshot_semantics(result.trace.for_object("A"), n=4)

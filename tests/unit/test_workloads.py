@@ -1,0 +1,100 @@
+"""Unit tests for workload generators (inputs and schedule families)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.rng import SeedTree
+from repro.workloads.inputs import (
+    all_distinct_inputs,
+    binary_inputs,
+    k_valued_inputs,
+    skewed_inputs,
+    standard_input_gallery,
+    unanimous_inputs,
+)
+from repro.workloads.schedules import (
+    SCHEDULE_FAMILIES,
+    make_schedule,
+    schedule_gallery,
+)
+
+
+class TestInputGenerators:
+    def test_all_distinct(self):
+        inputs = all_distinct_inputs(5)
+        assert len(set(inputs)) == 5
+
+    def test_binary_values(self):
+        inputs = binary_inputs(100, split=0.5, seed=1)
+        assert set(inputs) <= {0, 1}
+        assert 20 < sum(inputs) < 80
+
+    def test_binary_extreme_splits(self):
+        assert sum(binary_inputs(50, split=0.0)) == 0
+        assert sum(binary_inputs(50, split=1.0)) == 50
+
+    def test_binary_rejects_bad_split(self):
+        with pytest.raises(ConfigurationError):
+            binary_inputs(5, split=1.5)
+
+    def test_k_valued_range(self):
+        inputs = k_valued_inputs(200, 7, seed=2)
+        assert set(inputs) <= set(range(7))
+
+    def test_k_valued_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            k_valued_inputs(5, 0)
+
+    def test_skewed_minority(self):
+        inputs = skewed_inputs(10, majority_value="m", minority_count=3)
+        assert inputs.count("m") == 7
+        assert len(set(inputs)) == 4
+
+    def test_skewed_rejects_oversized_minority(self):
+        with pytest.raises(ConfigurationError):
+            skewed_inputs(3, minority_count=4)
+
+    def test_unanimous(self):
+        assert set(unanimous_inputs(6, "v")) == {"v"}
+
+    def test_gallery_shapes(self):
+        gallery = standard_input_gallery(8, seed=3)
+        assert set(gallery) == {
+            "distinct", "binary", "four-valued", "skewed", "unanimous"
+        }
+        assert all(len(inputs) == 8 for inputs in gallery.values())
+
+    def test_deterministic_given_seed(self):
+        assert binary_inputs(50, seed=9) == binary_inputs(50, seed=9)
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigurationError):
+            all_distinct_inputs(0)
+
+
+class TestScheduleFamilies:
+    def test_every_family_constructs(self):
+        seeds = SeedTree(1)
+        for family in SCHEDULE_FAMILIES:
+            schedule = make_schedule(family, 4, seeds.child(family))
+            assert schedule.n == 4
+            assert all(0 <= pid < 4 for pid in schedule.take(40))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown schedule family"):
+            make_schedule("nonsense", 4, SeedTree(0))
+
+    def test_gallery_excludes_crash_for_n1(self):
+        gallery = schedule_gallery(1, SeedTree(0))
+        assert "crash-half" not in gallery
+        assert "round-robin" in gallery
+
+    def test_gallery_is_reproducible(self):
+        one = schedule_gallery(4, SeedTree(5))["random"].take(30)
+        two = schedule_gallery(4, SeedTree(5))["random"].take(30)
+        assert one == two
+
+    def test_different_trial_seeds_differ(self):
+        one = make_schedule("random", 4, SeedTree(1)).take(30)
+        two = make_schedule("random", 4, SeedTree(2)).take(30)
+        assert one != two
