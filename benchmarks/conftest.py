@@ -12,6 +12,13 @@ Each ``bench_*.py`` module reproduces one experiment from DESIGN.md's index
 
 Set ``REPRO_BENCH_SCALE`` (default 0.25) to trade trial counts for runtime;
 EXPERIMENTS.md was generated at scale 1.0 via ``examples/reproduce_paper.py``.
+
+Set ``REPRO_BENCH_WORKERS`` (default 1) to shard every trial sweep across
+that many processes — e.g. ``REPRO_BENCH_WORKERS=0`` for all CPUs — and
+optionally ``REPRO_BENCH_CHUNK_SIZE`` to pin the dispatch granularity.  The
+sharded engine is bit-identical to the serial one (see
+``tests/property/test_parallel_equivalence.py``), so parallel benchmark
+tables match EXPERIMENTS.md exactly; only the wall clock changes.
 """
 
 import os
@@ -19,8 +26,25 @@ from pathlib import Path
 
 import pytest
 
+from repro.runtime.parallel import parallelism
+
 RESULTS_DIR = Path(__file__).parent / "results"
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+_CHUNK = os.environ.get("REPRO_BENCH_CHUNK_SIZE", "")
+CHUNK_SIZE = int(_CHUNK) if _CHUNK else None
+
+
+@pytest.fixture(autouse=True)
+def bench_parallelism():
+    """Every benchmark inherits the sharding requested via the environment.
+
+    The experiment builders call the trial runners without explicit
+    ``workers``, so overriding the session default here parallelizes every
+    ``bench_*.py`` entry point at once.
+    """
+    with parallelism(workers=WORKERS, chunk_size=CHUNK_SIZE) as config:
+        yield config
 
 
 @pytest.fixture

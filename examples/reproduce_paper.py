@@ -7,7 +7,9 @@ reports measured-vs-paper columns plus a shape verdict.
 
 Run:  python examples/reproduce_paper.py [--scale 1.0] [--markdown out.md]
 
-At scale 1.0 this takes a few minutes; use --scale 0.25 for a fast pass.
+At scale 1.0 this takes a few minutes; use --scale 0.25 for a fast pass, or
+``--workers 0`` to shard trials over every CPU (tables stay bit-identical —
+see EXPERIMENTS.md, "Parallel execution").
 """
 
 import argparse
@@ -15,6 +17,7 @@ import sys
 import time
 
 from repro.analysis.paper import ALL_EXPERIMENTS
+from repro.runtime.parallel import parallelism
 
 
 def main() -> int:
@@ -25,22 +28,28 @@ def main() -> int:
                         help="also write the tables as a markdown fragment")
     parser.add_argument("--only", type=str, default="",
                         help="comma-separated experiment ids, e.g. E1,E5")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per sweep (0 = all CPUs); "
+                             "results are identical for any value")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="trials per dispatch unit (default: auto)")
     args = parser.parse_args()
 
     wanted = {token.strip().upper() for token in args.only.split(",") if token}
     tables = []
     all_ok = True
-    for experiment in ALL_EXPERIMENTS:
-        started = time.time()
-        table = experiment(scale=args.scale)
-        if wanted and table.experiment_id.upper() not in wanted:
-            continue
-        elapsed = time.time() - started
-        tables.append(table)
-        print(table.render())
-        print(f"({elapsed:.1f}s)")
-        print()
-        all_ok = all_ok and table.shape_holds
+    with parallelism(workers=args.workers, chunk_size=args.chunk_size):
+        for experiment in ALL_EXPERIMENTS:
+            started = time.time()
+            table = experiment(scale=args.scale)
+            if wanted and table.experiment_id.upper() not in wanted:
+                continue
+            elapsed = time.time() - started
+            tables.append(table)
+            print(table.render())
+            print(f"({elapsed:.1f}s)")
+            print()
+            all_ok = all_ok and table.shape_holds
 
     print(f"experiments run: {len(tables)}; all shapes hold: {all_ok}")
 

@@ -22,8 +22,11 @@ from repro.analysis.experiments import (
     ConciliatorTrialStats,
     ConsensusTrialStats,
     decay_series,
+    merge_conciliator_stats,
+    merge_consensus_stats,
     run_conciliator_trials,
     run_consensus_trials,
+    trial_seed_tree,
 )
 
 __all__ = [
@@ -44,7 +47,10 @@ __all__ = [
     "markov_disagreement_bound",
     "ConciliatorTrialStats",
     "ConsensusTrialStats",
+    "merge_conciliator_stats",
+    "merge_consensus_stats",
     "run_conciliator_trials",
     "run_consensus_trials",
     "decay_series",
+    "trial_seed_tree",
 ]

@@ -3,22 +3,31 @@
 Every benchmark and most integration tests funnel through these runners,
 which enforce the experimental hygiene the model requires:
 
-- each trial gets its own branch of the master seed tree;
+- each trial gets its own branch of the master seed tree, derived from the
+  **trial index** (never from worker or chunk order), so a sweep is a pure
+  function of ``(master_seed, trial)``;
 - the adversary's schedule is drawn from the ``"schedule"`` branch and the
   algorithm from the ``"algorithm"`` branch, so they stay independent;
 - a *fresh* protocol instance is built per trial (shared objects are
   one-shot).
+
+Because trials are independent and index-seeded, the runners shard them
+across processes via :mod:`repro.runtime.parallel` when asked
+(``workers > 1``).  Per-trial outcomes are reassembled in trial order before
+aggregation, so a parallel sweep is **bit-identical** to the serial one —
+the contract pinned down by ``tests/property/test_parallel_equivalence.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.analysis.stats import SampleSummary, summarize, wilson_interval
 from repro.core.conciliator import Conciliator, run_conciliator
-from repro.core.consensus import ConsensusProtocol, run_consensus
+from repro.core.consensus import ConsensusProtocol
 from repro.errors import ConfigurationError
+from repro.runtime.parallel import run_indexed_trials
 from repro.runtime.results import RunResult
 from repro.runtime.rng import SeedTree
 from repro.workloads.schedules import make_schedule
@@ -26,9 +35,12 @@ from repro.workloads.schedules import make_schedule
 __all__ = [
     "ConciliatorTrialStats",
     "ConsensusTrialStats",
+    "merge_conciliator_stats",
+    "merge_consensus_stats",
     "run_conciliator_trials",
     "run_consensus_trials",
     "decay_series",
+    "trial_seed_tree",
 ]
 
 
@@ -71,8 +83,88 @@ class ConsensusTrialStats:
         return self.agreement_failures == 0 and self.validity_failures == 0
 
 
+def merge_conciliator_stats(
+    first: ConciliatorTrialStats, second: ConciliatorTrialStats
+) -> ConciliatorTrialStats:
+    """Pool two disjoint sweeps (e.g. different seed shards or machines).
+
+    Counts combine exactly; the step summaries combine through
+    :meth:`SampleSummary.merge`, i.e. without re-walking raw samples.  Use
+    distinct master seeds (or disjoint trial ranges) per shard so the pooled
+    trials stay independent.
+    """
+    if first.n != second.n:
+        raise ConfigurationError(
+            f"cannot merge stats for different n: {first.n} vs {second.n}"
+        )
+    return ConciliatorTrialStats(
+        n=first.n,
+        trials=first.trials + second.trials,
+        agreement_count=first.agreement_count + second.agreement_count,
+        individual_steps=first.individual_steps.merge(second.individual_steps),
+        total_steps=first.total_steps.merge(second.total_steps),
+        validity_failures=first.validity_failures + second.validity_failures,
+    )
+
+
+def merge_consensus_stats(
+    first: ConsensusTrialStats, second: ConsensusTrialStats
+) -> ConsensusTrialStats:
+    """Pool two disjoint consensus sweeps; see :func:`merge_conciliator_stats`."""
+    if first.n != second.n:
+        raise ConfigurationError(
+            f"cannot merge stats for different n: {first.n} vs {second.n}"
+        )
+    return ConsensusTrialStats(
+        n=first.n,
+        trials=first.trials + second.trials,
+        agreement_failures=first.agreement_failures + second.agreement_failures,
+        validity_failures=first.validity_failures + second.validity_failures,
+        individual_steps=first.individual_steps.merge(second.individual_steps),
+        total_steps=first.total_steps.merge(second.total_steps),
+        phases=first.phases.merge(second.phases),
+    )
+
+
+def trial_seed_tree(master_seed: int, trial: int) -> SeedTree:
+    """The seed branch for one trial of a sweep.
+
+    Derivation is by trial *index* only — the same trial gets the same
+    seeds whether it runs serially, in any worker, or in any chunk.  Both
+    the serial and the sharded execution paths call exactly this function.
+    """
+    return SeedTree(master_seed).child(f"trial-{trial}")
+
+
+def _validate_sweep(trials: int, n: int) -> None:
+    """Common fail-fast checks for every sweep entry point."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if n <= 1:
+        raise ConfigurationError(
+            f"a sweep needs at least 2 processes (inputs), got {n}"
+        )
+
+
 def _trial_schedule(family: str, n: int, trial_seeds: SeedTree):
     return make_schedule(family, n, trial_seeds.child("schedule"))
+
+
+class _ConciliatorOutcome(NamedTuple):
+    """Per-trial record shipped back from workers (must stay picklable)."""
+
+    agreement: int
+    validity_failure: int
+    individual_steps: float
+    total_steps: float
+
+
+class _ConsensusOutcome(NamedTuple):
+    agreement_failure: int
+    validity_failure: int
+    individual_steps: float
+    total_steps: float
+    phases: Optional[float]
 
 
 def run_conciliator_trials(
@@ -83,41 +175,51 @@ def run_conciliator_trials(
     trials: int = 100,
     master_seed: int = 0,
     allow_partial: Optional[bool] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ConciliatorTrialStats:
     """Run ``trials`` independent executions of a conciliator.
 
     ``allow_partial`` defaults to True exactly for the crash adversary (its
     victims never finish); agreement and validity are then judged on the
     finished processes, as the wait-free model demands.
+
+    ``workers``/``chunk_size`` shard the sweep across processes (see
+    :mod:`repro.runtime.parallel`); ``None`` defers to the session default.
+    Results are bit-identical across all worker counts and chunk sizes.
+    ``factory`` must build a fresh, deterministic instance on every call —
+    it runs once per trial, possibly in a forked worker.
     """
-    if trials < 1:
-        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    _validate_sweep(trials, len(inputs))
     if allow_partial is None:
         allow_partial = schedule_family == "crash-half"
-    seeds = SeedTree(master_seed)
+    inputs = list(inputs)
     input_map = dict(enumerate(inputs))
-    agreement_count = 0
-    validity_failures = 0
-    individual: List[float] = []
-    total: List[float] = []
-    for trial in range(trials):
-        trial_seeds = seeds.child(f"trial-{trial}")
+
+    def task(trial: int) -> _ConciliatorOutcome:
+        trial_seeds = trial_seed_tree(master_seed, trial)
         conciliator = factory()
         schedule = _trial_schedule(schedule_family, conciliator.n, trial_seeds)
         result = _run_one_conciliator(
             conciliator, inputs, schedule, trial_seeds, allow_partial
         )
-        agreement_count += result.agreement
-        validity_failures += not result.validity_holds(input_map)
-        individual.append(float(result.max_individual_steps))
-        total.append(float(result.total_steps))
+        return _ConciliatorOutcome(
+            agreement=int(result.agreement),
+            validity_failure=int(not result.validity_holds(input_map)),
+            individual_steps=float(result.max_individual_steps),
+            total_steps=float(result.total_steps),
+        )
+
+    outcomes = run_indexed_trials(
+        task, trials, workers=workers, chunk_size=chunk_size
+    )
     return ConciliatorTrialStats(
         n=len(inputs),
         trials=trials,
-        agreement_count=agreement_count,
-        individual_steps=summarize(individual),
-        total_steps=summarize(total),
-        validity_failures=validity_failures,
+        agreement_count=sum(o.agreement for o in outcomes),
+        individual_steps=summarize([o.individual_steps for o in outcomes]),
+        total_steps=summarize([o.total_steps for o in outcomes]),
+        validity_failures=sum(o.validity_failure for o in outcomes),
     )
 
 
@@ -148,25 +250,26 @@ def run_consensus_trials(
     trials: int = 50,
     master_seed: int = 0,
     allow_partial: Optional[bool] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> ConsensusTrialStats:
-    """Run ``trials`` independent consensus executions and check safety."""
-    if trials < 1:
-        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    """Run ``trials`` independent consensus executions and check safety.
+
+    Accepts the same ``workers``/``chunk_size`` sharding knobs as
+    :func:`run_conciliator_trials`, with the same bit-identical guarantee.
+    """
+    _validate_sweep(trials, len(inputs))
     if allow_partial is None:
         allow_partial = schedule_family == "crash-half"
-    seeds = SeedTree(master_seed)
+    inputs = list(inputs)
     input_map = dict(enumerate(inputs))
-    agreement_failures = 0
-    validity_failures = 0
-    individual: List[float] = []
-    total: List[float] = []
-    phases: List[float] = []
-    for trial in range(trials):
-        trial_seeds = seeds.child(f"trial-{trial}")
-        protocol = factory()
-        schedule = _trial_schedule(schedule_family, protocol.n, trial_seeds)
+
+    def task(trial: int) -> _ConsensusOutcome:
         from repro.runtime.simulator import run_programs
 
+        trial_seeds = trial_seed_tree(master_seed, trial)
+        protocol = factory()
+        schedule = _trial_schedule(schedule_family, protocol.n, trial_seeds)
         programs = [protocol.program] * protocol.n
         result = run_programs(
             programs,
@@ -175,20 +278,29 @@ def run_consensus_trials(
             inputs=list(inputs),
             allow_partial=allow_partial,
         )
-        agreement_failures += not result.agreement
-        validity_failures += not result.validity_holds(input_map)
-        individual.append(float(result.max_individual_steps))
-        total.append(float(result.total_steps))
+        phases: Optional[float] = None
         if protocol.phases_used:
-            phases.append(float(max(protocol.phases_used.values())))
+            phases = float(max(protocol.phases_used.values()))
+        return _ConsensusOutcome(
+            agreement_failure=int(not result.agreement),
+            validity_failure=int(not result.validity_holds(input_map)),
+            individual_steps=float(result.max_individual_steps),
+            total_steps=float(result.total_steps),
+            phases=phases,
+        )
+
+    outcomes = run_indexed_trials(
+        task, trials, workers=workers, chunk_size=chunk_size
+    )
+    phase_samples = [o.phases for o in outcomes if o.phases is not None]
     return ConsensusTrialStats(
         n=len(inputs),
         trials=trials,
-        agreement_failures=agreement_failures,
-        validity_failures=validity_failures,
-        individual_steps=summarize(individual),
-        total_steps=summarize(total),
-        phases=summarize(phases if phases else [0.0]),
+        agreement_failures=sum(o.agreement_failure for o in outcomes),
+        validity_failures=sum(o.validity_failure for o in outcomes),
+        individual_steps=summarize([o.individual_steps for o in outcomes]),
+        total_steps=summarize([o.total_steps for o in outcomes]),
+        phases=summarize(phase_samples if phase_samples else [0.0]),
     )
 
 
@@ -199,6 +311,8 @@ def decay_series(
     schedule_family: str = "random",
     trials: int = 50,
     master_seed: int = 0,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[float]:
     """Mean distinct-survivor counts ``Y_i`` per round across trials.
 
@@ -206,17 +320,22 @@ def decay_series(
     personae held by processes after completing round ``i+1`` — the measured
     counterpart of the decay bounds in Lemmas 1 and 3/4.
     """
-    if trials < 1:
-        raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    seeds = SeedTree(master_seed)
-    sums: Dict[int, float] = {}
-    rounds_seen = 0
-    for trial in range(trials):
-        trial_seeds = seeds.child(f"trial-{trial}")
+    _validate_sweep(trials, len(inputs))
+    inputs = list(inputs)
+
+    def task(trial: int) -> List[int]:
+        trial_seeds = trial_seed_tree(master_seed, trial)
         conciliator = factory()
         schedule = _trial_schedule(schedule_family, conciliator.n, trial_seeds)
         run_conciliator(conciliator, inputs, schedule, trial_seeds)
-        series = conciliator.survivor_series()
+        return list(conciliator.survivor_series())
+
+    all_series = run_indexed_trials(
+        task, trials, workers=workers, chunk_size=chunk_size
+    )
+    sums: Dict[int, float] = {}
+    rounds_seen = 0
+    for series in all_series:
         rounds_seen = max(rounds_seen, len(series))
         for index, count in enumerate(series):
             sums[index] = sums.get(index, 0.0) + count

@@ -69,6 +69,37 @@ class SampleSummary:
     minimum: float
     maximum: float
 
+    def merge(self, other: "SampleSummary") -> "SampleSummary":
+        """Combine two summaries as if their samples had been pooled.
+
+        Uses the parallel-variance combination (Chan et al.), so disjoint
+        sweeps aggregate without re-walking raw samples.  ``count``,
+        ``minimum`` and ``maximum`` combine exactly; ``mean`` and ``std``
+        are mathematically associative but — like any floating-point
+        reduction — may differ from a single-pass computation in the last
+        few ulps.  Paths that must be bit-identical to a serial run (the
+        sharded trial engine) therefore reduce re-ordered raw outcomes
+        instead; ``merge`` is for pooling sweeps whose samples are gone.
+        """
+        if self.count < 1 or other.count < 1:
+            raise ConfigurationError("cannot merge an empty SampleSummary")
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean_value = self.mean + delta * other.count / count
+        m2 = (
+            self.std * self.std * (self.count - 1)
+            + other.std * other.std * (other.count - 1)
+            + delta * delta * self.count * other.count / count
+        )
+        std_value = math.sqrt(max(0.0, m2) / (count - 1)) if count > 1 else 0.0
+        return SampleSummary(
+            count=count,
+            mean=mean_value,
+            std=std_value,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
     def __str__(self) -> str:
         return (
             f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "

@@ -9,7 +9,10 @@ Installed as ``python -m repro``.  Subcommands:
 - ``experiments``  regenerate the paper's experiment tables (E1-E12)
 
 Every command takes ``--seed`` and is fully reproducible; schedules come
-from the named adversary families in ``repro.workloads.schedules``.
+from the named adversary families in ``repro.workloads.schedules``.  Trial
+sweeps accept ``--workers``/``--chunk-size`` to shard trials across
+processes — results are bit-identical to a serial run for any worker count
+(``--workers 0`` uses every available CPU).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.core.consensus import (
 from repro.core.sifting_conciliator import SiftingConciliator
 from repro.core.snapshot_conciliator import SnapshotConciliator
 from repro.errors import ReproError
+from repro.runtime.parallel import parallelism
 from repro.runtime.rng import SeedTree
 from repro.runtime.simulator import run_programs
 from repro.workloads.inputs import standard_input_gallery
@@ -45,6 +49,20 @@ CONCILIATORS = {
     "cil-embedded": lambda n: CILEmbeddedConciliator(n),
     "doubling-cil": lambda n: DoublingCILConciliator(n),
 }
+
+
+def _add_parallel_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the trial-sharding knobs shared by sweep subcommands."""
+    subparser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the trial sweep; 0 = all CPUs, "
+             "1 = in-process (default). Results are identical either way.",
+    )
+    subparser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="trials dispatched per work unit (default: auto). "
+             "Affects scheduling only, never results.",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     conciliator.add_argument("--schedule", choices=list(SCHEDULE_FAMILIES),
                              default="random")
     conciliator.add_argument("--seed", type=int, default=2012)
+    _add_parallel_arguments(conciliator)
 
     decay = sub.add_parser("decay", help="survivor decay vs the paper bound")
     decay.add_argument("--algorithm", choices=["snapshot", "sifting"],
@@ -86,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     decay.add_argument("--seed", type=int, default=2012)
     decay.add_argument("--plot", action="store_true",
                        help="also render an ASCII chart of the curves")
+    _add_parallel_arguments(decay)
 
     search = sub.add_parser(
         "search", help="hill-climb for the worst oblivious schedule"
@@ -108,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scale", type=float, default=0.25)
     experiments.add_argument("--only", type=str, default="",
                              help="comma-separated ids, e.g. E1,E5")
+    _add_parallel_arguments(experiments)
     return parser
 
 
@@ -155,6 +176,8 @@ def _cmd_conciliator(args: argparse.Namespace) -> int:
         schedule_family=args.schedule,
         trials=args.trials,
         master_seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
     )
     low, high = stats.agreement_interval
     print(f"algorithm={args.algorithm} n={args.n} adversary={args.schedule} "
@@ -176,7 +199,8 @@ def _cmd_decay(args: argparse.Namespace) -> int:
         bound_fn = sifting_decay_bound
     series = decay_series(
         factory, list(range(args.n)), trials=args.trials,
-        master_seed=args.seed,
+        master_seed=args.seed, workers=args.workers,
+        chunk_size=args.chunk_size,
     )
     bounds = bound_fn(args.n, len(series))
     rows = [
@@ -266,13 +290,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     wanted = {token.strip().upper() for token in args.only.split(",") if token}
     all_ok = True
-    for experiment in ALL_EXPERIMENTS:
-        table = experiment(scale=args.scale)
-        if wanted and table.experiment_id.upper() not in wanted:
-            continue
-        print(table.render())
-        print()
-        all_ok = all_ok and table.shape_holds
+    # The experiment builders call the trial runners with default sharding,
+    # so a session-level override parallelizes every table at once.
+    with parallelism(workers=args.workers, chunk_size=args.chunk_size):
+        for experiment in ALL_EXPERIMENTS:
+            table = experiment(scale=args.scale)
+            if wanted and table.experiment_id.upper() not in wanted:
+                continue
+            print(table.render())
+            print()
+            all_ok = all_ok and table.shape_holds
     return 0 if all_ok else 1
 
 

@@ -40,6 +40,13 @@ from repro.runtime.operations import (
     Update,
     Write,
 )
+from repro.runtime.parallel import (
+    ParallelConfig,
+    get_default_parallelism,
+    parallelism,
+    run_indexed_trials,
+    set_default_parallelism,
+)
 from repro.runtime.process import Process, ProcessContext
 from repro.runtime.results import RunResult
 from repro.runtime.rng import SeedTree
@@ -81,6 +88,11 @@ __all__ = [
     "StutterSchedule",
     "LimitedSchedule",
     "Simulator",
+    "ParallelConfig",
+    "get_default_parallelism",
+    "parallelism",
+    "run_indexed_trials",
+    "set_default_parallelism",
     "TraceEvent",
     "TraceRecorder",
     "AdaptiveAdversary",

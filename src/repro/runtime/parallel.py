@@ -1,0 +1,314 @@
+"""Parallel sharded trial engine with deterministic seed partitioning.
+
+Experiment sweeps are embarrassingly parallel: every trial is a pure
+function of ``(master_seed, trial_index)`` because all randomness flows
+through a :class:`~repro.runtime.rng.SeedTree` branch named by the trial
+index.  This module exploits that purity: it shards a trial range across
+``multiprocessing`` workers and reassembles the per-trial outcomes **in
+trial-index order**, so results are bit-identical to a serial run no matter
+the worker count, the chunk size, or OS scheduling jitter.
+
+Design rules that make the engine deterministic:
+
+- a trial's seed derives from its *index*, never from which worker or chunk
+  executed it (the caller's task must already obey this; the runners in
+  :mod:`repro.analysis.experiments` do);
+- workers return compact per-trial outcome records, and the coordinator
+  reorders them by index before aggregating, so floating-point reductions
+  happen in exactly the serial order;
+- chunking only affects scheduling, never semantics.
+
+The engine degrades gracefully: with ``workers <= 1``, on platforms without
+the ``fork`` start method, or when invoked re-entrantly from inside a worker,
+it runs trials in-process with zero multiprocessing overhead.  Hung workers
+are bounded by a per-chunk timeout; incomplete chunks are retried in a fresh
+pool and, if they still cannot finish, the engine raises
+:class:`~repro.errors.StepLimitExceededError` instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, StepLimitExceededError
+
+__all__ = [
+    "ParallelConfig",
+    "available_workers",
+    "default_chunk_size",
+    "get_default_parallelism",
+    "iter_chunks",
+    "parallelism",
+    "resolve_workers",
+    "run_indexed_trials",
+    "set_default_parallelism",
+    "supports_fork",
+]
+
+#: Chunks handed out per worker when no chunk size is given; several chunks
+#: per worker smooths out trials with uneven runtimes.
+_CHUNKS_PER_WORKER = 4
+
+
+def supports_fork() -> bool:
+    """Whether this platform offers the ``fork`` start method.
+
+    The engine relies on ``fork`` so that worker processes inherit the task
+    callable (which may be a closure over protocol factories) without
+    pickling it.  Without ``fork`` the engine falls back to in-process
+    execution, which is always correct, just serial.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def available_workers() -> int:
+    """Number of CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request.
+
+    ``None`` means "use the session default" (see
+    :func:`set_default_parallelism`), ``0`` means "all available CPUs", and
+    negative counts are rejected.
+    """
+    if workers is None:
+        workers = get_default_parallelism().workers
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return available_workers()
+    return workers
+
+
+def default_chunk_size(trials: int, workers: int) -> int:
+    """Chunk size giving ~``_CHUNKS_PER_WORKER`` chunks per worker."""
+    if trials < 1 or workers < 1:
+        raise ConfigurationError(
+            f"need trials >= 1 and workers >= 1, got {trials} and {workers}"
+        )
+    return max(1, math.ceil(trials / (workers * _CHUNKS_PER_WORKER)))
+
+
+def iter_chunks(trials: int, chunk_size: int) -> Iterator[Tuple[int, int]]:
+    """Yield half-open ``(start, stop)`` index ranges covering ``trials``."""
+    if trials < 0:
+        raise ConfigurationError(f"trials must be >= 0, got {trials}")
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, trials, chunk_size):
+        yield start, min(start + chunk_size, trials)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution knobs for :func:`run_indexed_trials`.
+
+    Attributes:
+        workers: worker process count; ``1`` runs in-process, ``0`` means
+            all available CPUs.
+        chunk_size: trials dispatched per work unit; ``None`` picks
+            :func:`default_chunk_size`.  Never affects results.
+        timeout: seconds to wait for any single chunk before declaring its
+            worker hung; ``None`` waits forever.
+        retries: how many times incomplete chunks are re-dispatched in a
+            fresh pool before the run fails.
+    """
+
+    workers: int = 1
+    chunk_size: Optional[int] = None
+    timeout: Optional[float] = None
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {self.timeout}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+
+
+_default_config = ParallelConfig()
+
+
+def get_default_parallelism() -> ParallelConfig:
+    """The session-wide default :class:`ParallelConfig`."""
+    return _default_config
+
+
+def set_default_parallelism(config: ParallelConfig) -> ParallelConfig:
+    """Replace the session default; returns the previous config.
+
+    The default is what ``workers=None`` callers (the experiment runners,
+    hence every benchmark and the ``experiments`` CLI subcommand) inherit.
+    """
+    global _default_config
+    previous = _default_config
+    _default_config = config
+    return previous
+
+
+@contextmanager
+def parallelism(
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> Iterator[ParallelConfig]:
+    """Temporarily override the session default parallelism."""
+    current = get_default_parallelism()
+    overrides = {
+        key: value
+        for key, value in (
+            ("workers", workers),
+            ("chunk_size", chunk_size),
+            ("timeout", timeout),
+            ("retries", retries),
+        )
+        if value is not None
+    }
+    previous = set_default_parallelism(replace(current, **overrides))
+    try:
+        yield get_default_parallelism()
+    finally:
+        set_default_parallelism(previous)
+
+
+# The task being executed by the current pool.  Workers are forked after
+# this is set, so they inherit the callable (closures included) without any
+# pickling.  It doubles as a re-entrancy guard: a task that itself calls
+# run_indexed_trials runs its inner sweep in-process.
+_ACTIVE_TASK: Optional[Callable[[int], Any]] = None
+
+
+def _run_chunk(bounds: Tuple[int, int]) -> List[Any]:
+    """Execute one chunk of trial indices inside a worker process."""
+    task = _ACTIVE_TASK
+    if task is None:  # pragma: no cover - unreachable under fork
+        raise RuntimeError("worker forked without an active task")
+    start, stop = bounds
+    return [task(index) for index in range(start, stop)]
+
+
+def _run_serial(task: Callable[[int], Any], trials: int) -> List[Any]:
+    return [task(index) for index in range(trials)]
+
+
+def run_indexed_trials(
+    task: Callable[[int], Any],
+    trials: int,
+    *,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> List[Any]:
+    """Evaluate ``task(0..trials-1)`` and return outcomes in index order.
+
+    ``task`` must be a pure function of its index (all randomness derived
+    from the index, e.g. via ``SeedTree(master).child(f"trial-{i}")``) and
+    its return value must be picklable.  Under those conditions the result
+    list is bit-identical for every worker count and chunk size.
+
+    Parameters default to the session :class:`ParallelConfig` (see
+    :func:`parallelism`).  Raises :class:`StepLimitExceededError` if chunks
+    are still unfinished after ``retries`` re-dispatches, and re-raises any
+    exception the task itself raised in a worker.
+    """
+    if trials < 0:
+        raise ConfigurationError(f"trials must be >= 0, got {trials}")
+    config = get_default_parallelism()
+    worker_count = resolve_workers(workers)
+    if timeout is None:
+        timeout = config.timeout
+    if retries is None:
+        retries = config.retries
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if trials == 0:
+        return []
+    worker_count = min(worker_count, trials)
+    if (
+        worker_count <= 1
+        or not supports_fork()
+        or _ACTIVE_TASK is not None  # re-entrant call from inside a worker
+    ):
+        return _run_serial(task, trials)
+    if chunk_size is None:
+        chunk_size = config.chunk_size
+    if chunk_size is None:
+        chunk_size = default_chunk_size(trials, worker_count)
+    chunks = list(iter_chunks(trials, chunk_size))
+    outcomes = _run_sharded(task, chunks, worker_count, timeout, retries)
+    return [outcome for chunk in outcomes for outcome in chunk]
+
+
+def _run_sharded(
+    task: Callable[[int], Any],
+    chunks: List[Tuple[int, int]],
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+) -> List[List[Any]]:
+    """Dispatch chunks to a fork pool; retry stragglers; keep chunk order."""
+    global _ACTIVE_TASK
+    results: List[Optional[List[Any]]] = [None] * len(chunks)
+    pending = list(range(len(chunks)))
+    context = multiprocessing.get_context("fork")
+    _ACTIVE_TASK = task
+    try:
+        for _attempt in range(retries + 1):
+            if not pending:
+                break
+            pool = context.Pool(processes=min(workers, len(pending)))
+            try:
+                handles = {
+                    index: pool.apply_async(_run_chunk, (chunks[index],))
+                    for index in pending
+                }
+                pool.close()
+                timed_out: List[int] = []
+                for index, handle in handles.items():
+                    try:
+                        results[index] = handle.get(timeout)
+                    except multiprocessing.TimeoutError:
+                        timed_out.append(index)
+                # Chunks that finished while we were blocked on an earlier
+                # straggler are ready now; salvage them before retrying.
+                for index in list(timed_out):
+                    if handles[index].ready():
+                        results[index] = handles[index].get()
+                        timed_out.remove(index)
+                pending = timed_out
+            finally:
+                pool.terminate()
+                pool.join()
+        if pending:
+            raise StepLimitExceededError(
+                f"{len(pending)} of {len(chunks)} trial chunks timed out "
+                f"after {retries + 1} attempt(s) with timeout={timeout}s; "
+                f"unfinished trial ranges: {[chunks[i] for i in pending]}"
+            )
+    finally:
+        _ACTIVE_TASK = None
+    return results  # type: ignore[return-value]

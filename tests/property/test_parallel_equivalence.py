@@ -1,0 +1,188 @@
+"""Property tests: the sharded trial engine is bit-identical to serial.
+
+This is the contract every future performance PR is held to: for the same
+master seed, a sweep sharded across any number of workers with any chunk
+size must produce *exactly* the same statistics object as the serial loop —
+agreement counts, step summaries, every float bit-for-bit.  Equality is
+checked with plain ``==`` on the frozen stats dataclasses, which compares
+all float fields exactly (no tolerance).
+
+The guarantee rests on two design rules pinned down here:
+
+- trial seeds derive from the trial *index* (``trial_seed_tree``), never
+  from worker or chunk placement, keeping schedule/algorithm randomness
+  independent per trial exactly as the oblivious-adversary model demands;
+- workers ship back per-trial outcomes that the coordinator re-orders by
+  index before aggregating, so floating-point reductions happen in serial
+  order.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.experiments import (
+    decay_series,
+    run_conciliator_trials,
+    run_consensus_trials,
+)
+from repro.core.consensus import register_consensus, snapshot_consensus
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.runtime.parallel import parallelism, supports_fork
+
+needs_fork = pytest.mark.skipif(
+    not supports_fork(), reason="sharded execution requires the fork start method"
+)
+
+CONCILIATOR_FACTORIES = {
+    "snapshot": SnapshotConciliator,
+    "sifting": SiftingConciliator,
+}
+
+# Families kept cheap; "crash-half" exercises the allow_partial path.
+FAMILIES = ["random", "round-robin", "crash-half"]
+
+EQUIVALENCE_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def sweep_cases(draw):
+    kind = draw(st.sampled_from(sorted(CONCILIATOR_FACTORIES)))
+    n = draw(st.integers(min_value=2, max_value=6))
+    trials = draw(st.integers(min_value=1, max_value=9))
+    workers = draw(st.sampled_from([2, 4]))
+    chunk_size = draw(st.sampled_from([None, 1, 2, 3]))
+    family = draw(st.sampled_from(FAMILIES))
+    master_seed = draw(st.integers(min_value=0, max_value=2**32))
+    return kind, n, trials, workers, chunk_size, family, master_seed
+
+
+@needs_fork
+class TestConciliatorEquivalence:
+    @EQUIVALENCE_SETTINGS
+    @given(case=sweep_cases())
+    def test_parallel_sweep_is_bit_identical(self, case):
+        kind, n, trials, workers, chunk_size, family, master_seed = case
+        factory = CONCILIATOR_FACTORIES[kind]
+        serial = run_conciliator_trials(
+            lambda: factory(n),
+            list(range(n)),
+            schedule_family=family,
+            trials=trials,
+            master_seed=master_seed,
+            workers=1,
+        )
+        parallel = run_conciliator_trials(
+            lambda: factory(n),
+            list(range(n)),
+            schedule_family=family,
+            trials=trials,
+            master_seed=master_seed,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+        assert parallel == serial
+
+    @pytest.mark.parametrize("kind", sorted(CONCILIATOR_FACTORIES))
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("chunk_size", [1, 3])
+    def test_acceptance_grid(self, kind, workers, chunk_size):
+        """The ISSUE's pinned grid: 2/4 workers x two chunk sizes x both
+        conciliator types, one fixed master seed."""
+        factory = CONCILIATOR_FACTORIES[kind]
+        kwargs = dict(trials=12, master_seed=20120716)
+        serial = run_conciliator_trials(
+            lambda: factory(8), list(range(8)), workers=1, **kwargs
+        )
+        parallel = run_conciliator_trials(
+            lambda: factory(8),
+            list(range(8)),
+            workers=workers,
+            chunk_size=chunk_size,
+            **kwargs,
+        )
+        assert parallel == serial
+
+    def test_chunking_never_changes_results(self):
+        """Fixed worker count, sweep of chunk sizes incl. degenerate ones."""
+        reference = None
+        for chunk_size in (1, 2, 5, 7, 100):
+            stats = run_conciliator_trials(
+                lambda: SiftingConciliator(4),
+                list(range(4)),
+                trials=7,
+                master_seed=99,
+                workers=3,
+                chunk_size=chunk_size,
+            )
+            if reference is None:
+                reference = stats
+            assert stats == reference
+
+
+@needs_fork
+class TestConsensusEquivalence:
+    @EQUIVALENCE_SETTINGS
+    @given(
+        protocol=st.sampled_from(["register", "snapshot"]),
+        trials=st.integers(min_value=1, max_value=6),
+        workers=st.sampled_from([2, 4]),
+        chunk_size=st.sampled_from([None, 1, 2]),
+        master_seed=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_parallel_sweep_is_bit_identical(
+        self, protocol, trials, workers, chunk_size, master_seed
+    ):
+        n = 4
+        if protocol == "register":
+            factory = lambda: register_consensus(n, value_domain=range(n))
+        else:
+            factory = lambda: snapshot_consensus(n)
+        kwargs = dict(trials=trials, master_seed=master_seed)
+        serial = run_consensus_trials(
+            factory, list(range(n)), workers=1, **kwargs
+        )
+        parallel = run_consensus_trials(
+            factory, list(range(n)), workers=workers, chunk_size=chunk_size,
+            **kwargs,
+        )
+        assert parallel == serial
+        assert parallel.all_safe
+
+
+@needs_fork
+class TestDecayAndDefaults:
+    def test_decay_series_is_bit_identical(self):
+        serial = decay_series(
+            lambda: SnapshotConciliator(8),
+            list(range(8)),
+            trials=9,
+            master_seed=5,
+            workers=1,
+        )
+        parallel = decay_series(
+            lambda: SnapshotConciliator(8),
+            list(range(8)),
+            trials=9,
+            master_seed=5,
+            workers=4,
+            chunk_size=2,
+        )
+        assert parallel == serial
+
+    def test_session_default_parallelism_is_equivalent(self):
+        """workers=None defers to the session default (the benchmark path)."""
+        serial = run_conciliator_trials(
+            lambda: SiftingConciliator(4), list(range(4)),
+            trials=8, master_seed=3,
+        )
+        with parallelism(workers=2, chunk_size=3):
+            sharded = run_conciliator_trials(
+                lambda: SiftingConciliator(4), list(range(4)),
+                trials=8, master_seed=3,
+            )
+        assert sharded == serial

@@ -6,9 +6,13 @@ import pytest
 
 from repro.analysis.experiments import (
     decay_series,
+    merge_conciliator_stats,
+    merge_consensus_stats,
     run_conciliator_trials,
     run_consensus_trials,
+    trial_seed_tree,
 )
+from repro.runtime.rng import SeedTree
 from repro.analysis.stats import (
     SampleSummary,
     mean,
@@ -71,6 +75,73 @@ class TestStats:
         summary = summarize([1.0, 3.0])
         assert summary == SampleSummary(2, 2.0, sample_std([1.0, 3.0]), 1.0, 3.0)
         assert "mean=2.000" in str(summary)
+
+
+class TestWilsonEdges:
+    def test_zero_successes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert 0.0 < high < 0.3  # still informative, not [0, 1]
+
+    def test_all_successes(self):
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+        assert 0.7 < low < 1.0
+
+    def test_single_trial(self):
+        low, high = wilson_interval(0, 1)
+        assert low == 0.0
+        assert high < 1.0
+        low, high = wilson_interval(1, 1)
+        assert low > 0.0
+        assert high == 1.0
+
+    def test_single_trial_intervals_are_symmetric(self):
+        fail_low, fail_high = wilson_interval(0, 1)
+        win_low, win_high = wilson_interval(1, 1)
+        assert fail_high == pytest.approx(1.0 - win_low)
+        assert fail_low == pytest.approx(1.0 - win_high)
+
+
+class TestSampleSummaryMerge:
+    def test_merge_matches_pooled_summary(self):
+        left, right = [1.0, 2.0, 7.0], [4.0, 4.0]
+        merged = summarize(left).merge(summarize(right))
+        pooled = summarize(left + right)
+        assert merged.count == pooled.count
+        assert merged.minimum == pooled.minimum
+        assert merged.maximum == pooled.maximum
+        assert merged.mean == pytest.approx(pooled.mean)
+        assert merged.std == pytest.approx(pooled.std)
+
+    def test_merge_is_associative(self):
+        a, b, c = summarize([1.0, 5.0]), summarize([2.0]), summarize([8.0, 0.5])
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.count == right.count == 5
+        assert left.minimum == right.minimum
+        assert left.maximum == right.maximum
+        assert left.mean == pytest.approx(right.mean)
+        assert left.std == pytest.approx(right.std)
+
+    def test_merge_is_commutative(self):
+        a, b = summarize([1.0, 2.0, 3.0]), summarize([10.0])
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.count == ba.count
+        assert ab.mean == pytest.approx(ba.mean)
+        assert ab.std == pytest.approx(ba.std)
+
+    def test_merge_singletons(self):
+        merged = summarize([3.0]).merge(summarize([5.0]))
+        assert merged == summarize([3.0, 5.0])
+
+    def test_merge_rejects_empty(self):
+        good = summarize([1.0])
+        hollow = SampleSummary(0, 0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            good.merge(hollow)
+        with pytest.raises(ConfigurationError):
+            hollow.merge(good)
 
 
 class TestTables:
@@ -206,3 +277,114 @@ class TestRunners:
         assert len(series) == SnapshotConciliator(16).rounds
         assert series[0] <= 16
         assert series[-1] >= 1.0
+
+    def test_trial_seed_tree_matches_serial_derivation(self):
+        assert trial_seed_tree(7, 3) == SeedTree(7).child("trial-3")
+
+
+class TestSweepValidation:
+    """trials > 0 and n > 1 are rejected loudly, never degenerate stats."""
+
+    def test_conciliator_rejects_nonpositive_trials(self):
+        for trials in (0, -5):
+            with pytest.raises(ConfigurationError, match="trials"):
+                run_conciliator_trials(
+                    lambda: SiftingConciliator(2), [0, 1], trials=trials
+                )
+
+    def test_conciliator_rejects_degenerate_n(self):
+        for inputs in ([], [0]):
+            with pytest.raises(ConfigurationError, match="at least 2"):
+                run_conciliator_trials(
+                    lambda: SiftingConciliator(2), inputs, trials=5
+                )
+
+    def test_consensus_rejects_nonpositive_trials(self):
+        for trials in (0, -1):
+            with pytest.raises(ConfigurationError, match="trials"):
+                run_consensus_trials(
+                    lambda: register_consensus(2, value_domain=range(2)),
+                    [0, 1],
+                    trials=trials,
+                )
+
+    def test_consensus_rejects_degenerate_n(self):
+        for inputs in ([], [1]):
+            with pytest.raises(ConfigurationError, match="at least 2"):
+                run_consensus_trials(
+                    lambda: register_consensus(2, value_domain=range(2)),
+                    inputs,
+                    trials=5,
+                )
+
+    def test_decay_series_rejects_degenerate_sweeps(self):
+        with pytest.raises(ConfigurationError, match="trials"):
+            decay_series(lambda: SiftingConciliator(2), [0, 1], trials=0)
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            decay_series(lambda: SiftingConciliator(2), [0], trials=5)
+
+
+class TestMergeStats:
+    """Pooling disjoint sweeps via SampleSummary.merge."""
+
+    def _shard(self, master_seed, trials=6):
+        return run_conciliator_trials(
+            lambda: SiftingConciliator(4),
+            list(range(4)),
+            trials=trials,
+            master_seed=master_seed,
+        )
+
+    def test_merge_conciliator_stats_pools_counts_exactly(self):
+        first, second = self._shard(1), self._shard(2, trials=4)
+        merged = merge_conciliator_stats(first, second)
+        assert merged.trials == 10
+        assert merged.agreement_count == (
+            first.agreement_count + second.agreement_count
+        )
+        assert merged.validity_failures == (
+            first.validity_failures + second.validity_failures
+        )
+        assert merged.individual_steps.count == 10
+        assert merged.total_steps.maximum == max(
+            first.total_steps.maximum, second.total_steps.maximum
+        )
+        # the pooled rate is consistent with the pooled Wilson interval
+        low, high = merged.agreement_interval
+        assert low <= merged.agreement_rate <= high
+
+    def test_merge_conciliator_stats_rejects_mismatched_n(self):
+        small = self._shard(1)
+        big = run_conciliator_trials(
+            lambda: SiftingConciliator(8),
+            list(range(8)),
+            trials=3,
+            master_seed=1,
+        )
+        with pytest.raises(ConfigurationError, match="different n"):
+            merge_conciliator_stats(small, big)
+
+    def test_merge_consensus_stats(self):
+        def shard(seed):
+            return run_consensus_trials(
+                lambda: register_consensus(3, value_domain=range(3)),
+                list(range(3)),
+                trials=4,
+                master_seed=seed,
+            )
+
+        first, second = shard(10), shard(11)
+        merged = merge_consensus_stats(first, second)
+        assert merged.trials == 8
+        assert merged.all_safe == (first.all_safe and second.all_safe)
+        assert merged.phases.count == first.phases.count + second.phases.count
+        with pytest.raises(ConfigurationError, match="different n"):
+            merge_consensus_stats(
+                first,
+                run_consensus_trials(
+                    lambda: register_consensus(4, value_domain=range(4)),
+                    list(range(4)),
+                    trials=2,
+                    master_seed=1,
+                ),
+            )

@@ -117,3 +117,32 @@ class TestExperimentsCommand:
         assert code == 0
         assert "[E12]" in output
         assert "[E1]" not in output
+
+
+class TestParallelFlags:
+    def test_defaults_are_serial(self):
+        for command in ("conciliator", "decay", "experiments"):
+            args = build_parser().parse_args([command])
+            assert args.workers == 1
+            assert args.chunk_size is None
+
+    def test_conciliator_with_workers_matches_serial(self, capsys):
+        command = ["conciliator", "--algorithm", "sifting", "--n", "6",
+                   "--trials", "12", "--seed", "9"]
+        assert main(command) == 0
+        serial_output = capsys.readouterr().out
+        assert main(command + ["--workers", "2", "--chunk-size", "3"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert parallel_output == serial_output
+
+    def test_decay_accepts_workers(self, capsys):
+        code = main(["decay", "--algorithm", "sifting", "--n", "8",
+                     "--trials", "4", "--workers", "2"])
+        assert code == 0
+        assert "paper bound" in capsys.readouterr().out
+
+    def test_negative_workers_is_a_configuration_error(self, capsys):
+        code = main(["conciliator", "--n", "4", "--trials", "4",
+                     "--workers", "-2"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err

@@ -1,0 +1,196 @@
+"""Unit tests for the sharded trial engine (repro.runtime.parallel)."""
+
+import time
+
+import pytest
+
+from repro.analysis.experiments import trial_seed_tree
+from repro.errors import ConfigurationError, StepLimitExceededError
+from repro.runtime.parallel import (
+    ParallelConfig,
+    available_workers,
+    default_chunk_size,
+    get_default_parallelism,
+    iter_chunks,
+    parallelism,
+    resolve_workers,
+    run_indexed_trials,
+    set_default_parallelism,
+    supports_fork,
+)
+from repro.runtime.rng import SeedTree
+
+needs_fork = pytest.mark.skipif(
+    not supports_fork(), reason="sharded execution requires the fork start method"
+)
+
+
+class TestChunking:
+    def test_chunks_partition_the_range(self):
+        chunks = list(iter_chunks(10, 3))
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        covered = [i for start, stop in chunks for i in range(start, stop)]
+        assert covered == list(range(10))
+
+    def test_oversized_chunk_is_one_chunk(self):
+        assert list(iter_chunks(4, 100)) == [(0, 4)]
+
+    def test_empty_range(self):
+        assert list(iter_chunks(0, 5)) == []
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_chunks(-1, 2))
+        with pytest.raises(ConfigurationError):
+            list(iter_chunks(5, 0))
+
+    def test_default_chunk_size_scales_with_workers(self):
+        assert default_chunk_size(100, 4) == 7  # ceil(100 / 16)
+        assert default_chunk_size(1, 8) == 1
+        with pytest.raises(ConfigurationError):
+            default_chunk_size(0, 4)
+
+
+class TestConfig:
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) == get_default_parallelism().workers
+        assert resolve_workers(0) == available_workers()
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(workers=-1)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(retries=-1)
+
+    def test_parallelism_context_restores_default(self):
+        before = get_default_parallelism()
+        with parallelism(workers=7, chunk_size=2) as config:
+            assert config.workers == 7
+            assert config.chunk_size == 2
+            assert get_default_parallelism() is config
+        assert get_default_parallelism() is before
+
+    def test_parallelism_zero_workers_means_all_cpus(self):
+        with parallelism(workers=0):
+            assert resolve_workers(None) == available_workers()
+
+    def test_set_default_returns_previous(self):
+        original = get_default_parallelism()
+        replacement = ParallelConfig(workers=2)
+        assert set_default_parallelism(replacement) is original
+        assert set_default_parallelism(original) is replacement
+
+
+class TestSerialPath:
+    def test_workers_one_runs_in_process(self):
+        """In-process execution must not fork: closure side effects are
+        visible to the caller, which a worker process could never do."""
+        seen = []
+
+        def task(index):
+            seen.append(index)
+            return index * index
+
+        assert run_indexed_trials(task, 5, workers=1) == [0, 1, 4, 9, 16]
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_zero_trials(self):
+        assert run_indexed_trials(lambda i: i, 0, workers=4) == []
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_indexed_trials(lambda i: i, -1)
+
+
+@needs_fork
+class TestShardedPath:
+    def test_results_ordered_by_index(self):
+        result = run_indexed_trials(
+            lambda i: i * 10, 11, workers=4, chunk_size=2
+        )
+        assert result == [i * 10 for i in range(11)]
+
+    def test_seed_partitioning_is_by_trial_index(self):
+        """Every trial sees the seed derived from its index — the same one
+        the serial loop derives — regardless of worker/chunk placement."""
+        expected = [
+            SeedTree(42).child(f"trial-{i}").child("schedule").seed
+            for i in range(9)
+        ]
+
+        def task(index):
+            return trial_seed_tree(42, index).child("schedule").seed
+
+        for workers, chunk_size in ((2, 1), (3, 2), (4, 100)):
+            assert (
+                run_indexed_trials(
+                    task, 9, workers=workers, chunk_size=chunk_size
+                )
+                == expected
+            )
+
+    def test_worker_exception_propagates(self):
+        def task(index):
+            if index == 3:
+                raise ValueError("trial 3 exploded")
+            return index
+
+        with pytest.raises(ValueError, match="trial 3 exploded"):
+            run_indexed_trials(task, 6, workers=2, chunk_size=1)
+
+    def test_hung_worker_surfaces_step_limit_error(self):
+        def task(index):
+            time.sleep(60)
+
+        with pytest.raises(StepLimitExceededError, match="timed out"):
+            run_indexed_trials(
+                task, 2, workers=2, chunk_size=1, timeout=0.4, retries=0
+            )
+
+    def test_reentrant_call_falls_back_to_serial(self):
+        """A task that itself sweeps must not fork a pool inside a worker."""
+
+        def inner(index):
+            return index
+
+        def outer(index):
+            return sum(run_indexed_trials(inner, 3, workers=4, chunk_size=1))
+
+        assert run_indexed_trials(outer, 4, workers=2, chunk_size=1) == [3] * 4
+
+
+@needs_fork
+class TestRetrySemantics:
+    def test_retry_completes_after_transient_hang(self, tmp_path):
+        marker = tmp_path / "first-attempt"
+
+        def task(index):
+            if not marker.exists():
+                marker.write_text("hung")
+                time.sleep(60)
+            return index * 2
+
+        result = run_indexed_trials(
+            task, 4, workers=2, chunk_size=4, timeout=1.0, retries=1
+        )
+        assert result == [0, 2, 4, 6]
+        assert marker.exists()
+
+    def test_exhausted_retries_raise(self):
+        def task(index):
+            time.sleep(60)
+
+        started = time.time()
+        with pytest.raises(StepLimitExceededError):
+            run_indexed_trials(
+                task, 2, workers=2, chunk_size=1, timeout=0.3, retries=1
+            )
+        # two attempts, each bounded by the timeout (plus pool overhead)
+        assert time.time() - started < 30
