@@ -16,17 +16,24 @@ across processes via :mod:`repro.runtime.parallel` when asked
 (``workers > 1``).  Per-trial outcomes are reassembled in trial order before
 aggregation, so a parallel sweep is **bit-identical** to the serial one —
 the contract pinned down by ``tests/property/test_parallel_equivalence.py``.
+
+Long sweeps are additionally *crash-safe*: pass ``checkpoint_path`` and
+completed trial chunks are journaled durably as they finish; re-running the
+same sweep with ``resume=True`` replays the journal and executes only the
+remainder, producing statistics bit-identical to an uninterrupted run (the
+contract pinned down by ``tests/property/test_checkpoint_resume.py``).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.analysis.stats import SampleSummary, summarize, wilson_interval
 from repro.core.conciliator import Conciliator, run_conciliator
 from repro.core.consensus import ConsensusProtocol
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.runtime.parallel import run_indexed_trials
 from repro.runtime.results import RunResult
 from repro.runtime.rng import SeedTree
@@ -46,7 +53,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ConciliatorTrialStats:
-    """Aggregates over repeated conciliator executions."""
+    """Aggregates over repeated conciliator executions.
+
+    ``kind`` records which conciliator produced the sweep (the instance's
+    ``name``); :func:`merge_conciliator_stats` refuses to pool sweeps of
+    different kinds, since a blend of, say, sifting and snapshot trials
+    estimates nothing.
+    """
 
     n: int
     trials: int
@@ -54,6 +67,7 @@ class ConciliatorTrialStats:
     individual_steps: SampleSummary
     total_steps: SampleSummary
     validity_failures: int
+    kind: str = ""
 
     @property
     def agreement_rate(self) -> float:
@@ -76,6 +90,7 @@ class ConsensusTrialStats:
     individual_steps: SampleSummary
     total_steps: SampleSummary
     phases: SampleSummary
+    kind: str = ""
 
     @property
     def all_safe(self) -> bool:
@@ -91,12 +106,12 @@ def merge_conciliator_stats(
     Counts combine exactly; the step summaries combine through
     :meth:`SampleSummary.merge`, i.e. without re-walking raw samples.  Use
     distinct master seeds (or disjoint trial ranges) per shard so the pooled
-    trials stay independent.
+    trials stay independent.  Sweeps with different ``n`` or different
+    conciliator kinds are incompatible and are rejected with
+    :class:`ConfigurationError` — pooling them would silently fabricate a
+    distribution no protocol configuration ever produced.
     """
-    if first.n != second.n:
-        raise ConfigurationError(
-            f"cannot merge stats for different n: {first.n} vs {second.n}"
-        )
+    _check_mergeable("conciliator", first, second)
     return ConciliatorTrialStats(
         n=first.n,
         trials=first.trials + second.trials,
@@ -104,6 +119,7 @@ def merge_conciliator_stats(
         individual_steps=first.individual_steps.merge(second.individual_steps),
         total_steps=first.total_steps.merge(second.total_steps),
         validity_failures=first.validity_failures + second.validity_failures,
+        kind=first.kind or second.kind,
     )
 
 
@@ -111,10 +127,7 @@ def merge_consensus_stats(
     first: ConsensusTrialStats, second: ConsensusTrialStats
 ) -> ConsensusTrialStats:
     """Pool two disjoint consensus sweeps; see :func:`merge_conciliator_stats`."""
-    if first.n != second.n:
-        raise ConfigurationError(
-            f"cannot merge stats for different n: {first.n} vs {second.n}"
-        )
+    _check_mergeable("consensus", first, second)
     return ConsensusTrialStats(
         n=first.n,
         trials=first.trials + second.trials,
@@ -123,7 +136,22 @@ def merge_consensus_stats(
         individual_steps=first.individual_steps.merge(second.individual_steps),
         total_steps=first.total_steps.merge(second.total_steps),
         phases=first.phases.merge(second.phases),
+        kind=first.kind or second.kind,
     )
+
+
+def _check_mergeable(what: str, first: Any, second: Any) -> None:
+    """Reject pooling sweeps that were run under different configurations."""
+    if first.n != second.n:
+        raise ConfigurationError(
+            f"cannot merge {what} stats for different n: "
+            f"{first.n} vs {second.n}"
+        )
+    if first.kind and second.kind and first.kind != second.kind:
+        raise ConfigurationError(
+            f"cannot merge {what} stats for different protocol kinds: "
+            f"{first.kind!r} vs {second.kind!r}"
+        )
 
 
 def trial_seed_tree(master_seed: int, trial: int) -> SeedTree:
@@ -148,6 +176,32 @@ def _validate_sweep(trials: int, n: int) -> None:
 
 def _trial_schedule(family: str, n: int, trial_seeds: SeedTree):
     return make_schedule(family, n, trial_seeds.child("schedule"))
+
+
+def _protocol_kind(instance: Any) -> str:
+    """Stable identity of the protocol a sweep exercises."""
+    return getattr(instance, "name", None) or type(instance).__name__
+
+
+def _resolve_checkpoint(checkpoint_path: Optional[str], resume: bool) -> None:
+    """Fail fast on ambiguous checkpoint requests.
+
+    An existing journal is only consumed when the caller explicitly asked to
+    resume; otherwise a stale file from an earlier sweep would silently
+    masquerade as fresh progress.
+    """
+    if checkpoint_path is None:
+        if resume:
+            raise ConfigurationError(
+                "resume=True requires checkpoint_path to name the journal"
+            )
+        return
+    if os.path.exists(checkpoint_path) and not resume:
+        raise CheckpointError(
+            f"checkpoint journal {checkpoint_path!r} already exists; pass "
+            "resume=True (--resume) to continue it, or remove the file to "
+            "start over"
+        )
 
 
 class _ConciliatorOutcome(NamedTuple):
@@ -177,6 +231,8 @@ def run_conciliator_trials(
     allow_partial: Optional[bool] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> ConciliatorTrialStats:
     """Run ``trials`` independent executions of a conciliator.
 
@@ -189,12 +245,23 @@ def run_conciliator_trials(
     Results are bit-identical across all worker counts and chunk sizes.
     ``factory`` must build a fresh, deterministic instance on every call —
     it runs once per trial, possibly in a forked worker.
+
+    ``checkpoint_path`` journals completed trial chunks durably; a killed
+    sweep re-run with ``resume=True`` replays the journal and continues,
+    with stats bit-identical to an uninterrupted run.
     """
     _validate_sweep(trials, len(inputs))
+    _resolve_checkpoint(checkpoint_path, resume)
     if allow_partial is None:
         allow_partial = schedule_family == "crash-half"
     inputs = list(inputs)
     input_map = dict(enumerate(inputs))
+    kind = _protocol_kind(factory())
+    run_key = (
+        f"conciliator|kind={kind}|n={len(inputs)}|trials={trials}"
+        f"|seed={master_seed}|schedule={schedule_family}"
+        f"|partial={int(allow_partial)}"
+    )
 
     def task(trial: int) -> _ConciliatorOutcome:
         trial_seeds = trial_seed_tree(master_seed, trial)
@@ -211,7 +278,12 @@ def run_conciliator_trials(
         )
 
     outcomes = run_indexed_trials(
-        task, trials, workers=workers, chunk_size=chunk_size
+        task,
+        trials,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint_path=checkpoint_path,
+        run_key=run_key,
     )
     return ConciliatorTrialStats(
         n=len(inputs),
@@ -220,6 +292,7 @@ def run_conciliator_trials(
         individual_steps=summarize([o.individual_steps for o in outcomes]),
         total_steps=summarize([o.total_steps for o in outcomes]),
         validity_failures=sum(o.validity_failure for o in outcomes),
+        kind=kind,
     )
 
 
@@ -252,17 +325,27 @@ def run_consensus_trials(
     allow_partial: Optional[bool] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> ConsensusTrialStats:
     """Run ``trials`` independent consensus executions and check safety.
 
-    Accepts the same ``workers``/``chunk_size`` sharding knobs as
-    :func:`run_conciliator_trials`, with the same bit-identical guarantee.
+    Accepts the same ``workers``/``chunk_size`` sharding and
+    ``checkpoint_path``/``resume`` crash-safety knobs as
+    :func:`run_conciliator_trials`, with the same bit-identical guarantees.
     """
     _validate_sweep(trials, len(inputs))
+    _resolve_checkpoint(checkpoint_path, resume)
     if allow_partial is None:
         allow_partial = schedule_family == "crash-half"
     inputs = list(inputs)
     input_map = dict(enumerate(inputs))
+    kind = _protocol_kind(factory())
+    run_key = (
+        f"consensus|kind={kind}|n={len(inputs)}|trials={trials}"
+        f"|seed={master_seed}|schedule={schedule_family}"
+        f"|partial={int(allow_partial)}"
+    )
 
     def task(trial: int) -> _ConsensusOutcome:
         from repro.runtime.simulator import run_programs
@@ -290,7 +373,12 @@ def run_consensus_trials(
         )
 
     outcomes = run_indexed_trials(
-        task, trials, workers=workers, chunk_size=chunk_size
+        task,
+        trials,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint_path=checkpoint_path,
+        run_key=run_key,
     )
     phase_samples = [o.phases for o in outcomes if o.phases is not None]
     return ConsensusTrialStats(
@@ -301,6 +389,7 @@ def run_consensus_trials(
         individual_steps=summarize([o.individual_steps for o in outcomes]),
         total_steps=summarize([o.total_steps for o in outcomes]),
         phases=summarize(phase_samples if phase_samples else [0.0]),
+        kind=kind,
     )
 
 
@@ -313,6 +402,8 @@ def decay_series(
     master_seed: int = 0,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> List[float]:
     """Mean distinct-survivor counts ``Y_i`` per round across trials.
 
@@ -321,7 +412,13 @@ def decay_series(
     counterpart of the decay bounds in Lemmas 1 and 3/4.
     """
     _validate_sweep(trials, len(inputs))
+    _resolve_checkpoint(checkpoint_path, resume)
     inputs = list(inputs)
+    kind = _protocol_kind(factory())
+    run_key = (
+        f"decay|kind={kind}|n={len(inputs)}|trials={trials}"
+        f"|seed={master_seed}|schedule={schedule_family}"
+    )
 
     def task(trial: int) -> List[int]:
         trial_seeds = trial_seed_tree(master_seed, trial)
@@ -331,7 +428,12 @@ def decay_series(
         return list(conciliator.survivor_series())
 
     all_series = run_indexed_trials(
-        task, trials, workers=workers, chunk_size=chunk_size
+        task,
+        trials,
+        workers=workers,
+        chunk_size=chunk_size,
+        checkpoint_path=checkpoint_path,
+        run_key=run_key,
     )
     sums: Dict[int, float] = {}
     rounds_seen = 0

@@ -83,6 +83,13 @@ class SampleSummary:
         """
         if self.count < 1 or other.count < 1:
             raise ConfigurationError("cannot merge an empty SampleSummary")
+        for side in (self, other):
+            values = (side.mean, side.std, side.minimum, side.maximum)
+            if not all(math.isfinite(value) for value in values):
+                raise ConfigurationError(
+                    f"cannot merge a SampleSummary with non-finite moments: "
+                    f"{side}"
+                )
         count = self.count + other.count
         delta = other.mean - self.mean
         mean_value = self.mean + delta * other.count / count

@@ -12,7 +12,9 @@ Every command takes ``--seed`` and is fully reproducible; schedules come
 from the named adversary families in ``repro.workloads.schedules``.  Trial
 sweeps accept ``--workers``/``--chunk-size`` to shard trials across
 processes — results are bit-identical to a serial run for any worker count
-(``--workers 0`` uses every available CPU).
+(``--workers 0`` uses every available CPU).  Long sweeps accept
+``--checkpoint PATH`` to journal finished trial chunks and ``--resume`` to
+continue a killed sweep from that journal with bit-identical statistics.
 """
 
 from __future__ import annotations
@@ -65,6 +67,21 @@ def _add_parallel_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checkpoint_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Attach the crash-safety knobs shared by long sweep subcommands."""
+    subparser.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help="journal completed trial chunks to PATH so a killed sweep "
+             "can be resumed. Never changes results.",
+    )
+    subparser.add_argument(
+        "--resume", action="store_true",
+        help="replay an existing --checkpoint journal and run only the "
+             "remaining trials; stats are bit-identical to an "
+             "uninterrupted run.",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -96,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
                              default="random")
     conciliator.add_argument("--seed", type=int, default=2012)
     _add_parallel_arguments(conciliator)
+    _add_checkpoint_arguments(conciliator)
 
     decay = sub.add_parser("decay", help="survivor decay vs the paper bound")
     decay.add_argument("--algorithm", choices=["snapshot", "sifting"],
@@ -106,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     decay.add_argument("--plot", action="store_true",
                        help="also render an ASCII chart of the curves")
     _add_parallel_arguments(decay)
+    _add_checkpoint_arguments(decay)
 
     search = sub.add_parser(
         "search", help="hill-climb for the worst oblivious schedule"
@@ -178,6 +197,8 @@ def _cmd_conciliator(args: argparse.Namespace) -> int:
         master_seed=args.seed,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
     low, high = stats.agreement_interval
     print(f"algorithm={args.algorithm} n={args.n} adversary={args.schedule} "
@@ -200,7 +221,8 @@ def _cmd_decay(args: argparse.Namespace) -> int:
     series = decay_series(
         factory, list(range(args.n)), trials=args.trials,
         master_seed=args.seed, workers=args.workers,
-        chunk_size=args.chunk_size,
+        chunk_size=args.chunk_size, checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
     bounds = bound_fn(args.n, len(series))
     rows = [

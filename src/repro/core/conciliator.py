@@ -103,8 +103,17 @@ def run_conciliator(
     *,
     record_trace: bool = False,
     step_limit: int = 50_000_000,
+    hooks: Sequence[Any] = (),
+    allow_partial: bool = False,
+    skip_guard: Optional[int] = None,
 ) -> RunResult:
-    """Run one conciliator execution: every process proposes its input."""
+    """Run one conciliator execution: every process proposes its input.
+
+    ``hooks`` attaches fault injectors and invariant monitors (see
+    :mod:`repro.runtime.faults` and :mod:`repro.runtime.monitors`) to the
+    underlying simulator; ``allow_partial``/``skip_guard`` support fault
+    sweeps that deliberately crash or starve processes.
+    """
     programs = [conciliator.program] * len(inputs)
     return run_programs(
         programs,
@@ -113,4 +122,7 @@ def run_conciliator(
         inputs=list(inputs),
         record_trace=record_trace,
         step_limit=step_limit,
+        hooks=hooks,
+        allow_partial=allow_partial,
+        skip_guard=skip_guard,
     )

@@ -194,8 +194,17 @@ def run_consensus(
     *,
     record_trace: bool = False,
     step_limit: int = 50_000_000,
+    hooks: Sequence[Any] = (),
+    allow_partial: bool = False,
+    skip_guard: Optional[int] = None,
 ) -> RunResult:
-    """Run one consensus execution with the given input assignment."""
+    """Run one consensus execution with the given input assignment.
+
+    ``hooks`` attaches fault injectors and invariant monitors (see
+    :mod:`repro.runtime.faults` and :mod:`repro.runtime.monitors`);
+    ``allow_partial``/``skip_guard`` support fault sweeps that crash or
+    starve processes on purpose.
+    """
     if len(inputs) != protocol.n:
         raise ConfigurationError(
             f"{len(inputs)} inputs supplied for n={protocol.n} processes"
@@ -208,4 +217,7 @@ def run_consensus(
         inputs=list(inputs),
         record_trace=record_trace,
         step_limit=step_limit,
+        hooks=hooks,
+        allow_partial=allow_partial,
+        skip_guard=skip_guard,
     )

@@ -9,6 +9,8 @@ behaviour.
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Sequence
+
 __all__ = [
     "ReproError",
     "SimulationError",
@@ -17,6 +19,7 @@ __all__ = [
     "ProtocolViolationError",
     "InvalidOperationError",
     "ConfigurationError",
+    "CheckpointError",
 ]
 
 
@@ -28,7 +31,34 @@ class SimulationError(ReproError):
     """An error occurred while executing a simulated run."""
 
 
-class ScheduleExhaustedError(SimulationError):
+class _DiagnosableRunError(SimulationError):
+    """A run failure that carries enough state to diagnose from logs alone.
+
+    Fault sweeps run unattended for hours; when one dies, the exception text
+    (and these structured attributes) must say *which* processes were stuck
+    and how far each one got, without re-running anything.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        unfinished_pids: Optional[Sequence[int]] = None,
+        steps_by_pid: Optional[Dict[int, int]] = None,
+    ):
+        self.unfinished_pids = (
+            tuple(sorted(unfinished_pids)) if unfinished_pids else ()
+        )
+        self.steps_by_pid = dict(steps_by_pid) if steps_by_pid else {}
+        if self.unfinished_pids:
+            message += f" [unfinished pids: {list(self.unfinished_pids)}]"
+        if self.steps_by_pid:
+            executed = {pid: self.steps_by_pid[pid] for pid in sorted(self.steps_by_pid)}
+            message += f" [steps executed: {executed}]"
+        super().__init__(message)
+
+
+class ScheduleExhaustedError(_DiagnosableRunError):
     """The adversary's schedule ended before every process finished.
 
     A finite schedule is a legitimate adversary choice (the model allows
@@ -39,7 +69,7 @@ class ScheduleExhaustedError(SimulationError):
     """
 
 
-class StepLimitExceededError(SimulationError):
+class StepLimitExceededError(_DiagnosableRunError):
     """A safety valve tripped: the run exceeded its configured step budget."""
 
 
@@ -58,3 +88,14 @@ class InvalidOperationError(SimulationError):
 
 class ConfigurationError(ReproError):
     """Invalid parameters were supplied to a protocol or experiment."""
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint journal is corrupt or inconsistent with the run.
+
+    Raised when a journal's integrity hash chain does not verify, or when a
+    resume attempt supplies a configuration (run key, trial count, chunk
+    size) that differs from the one the journal was written under.  Silently
+    mixing incompatible sweeps would be worse than failing: the whole point
+    of the journal is bit-identical resumption.
+    """

@@ -31,6 +31,24 @@ from repro.runtime.adaptive import (
     SiftKillerAdversary,
     run_adaptive_programs,
 )
+from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    InterceptedResult,
+    RegisterFault,
+    StallFault,
+    StepHook,
+)
+from repro.runtime.monitors import (
+    AdoptCommitCoherenceMonitor,
+    InvariantMonitor,
+    InvariantViolation,
+    RegisterSemanticsMonitor,
+    ValidityMonitor,
+    WaitFreedomWatchdog,
+)
 from repro.runtime.operations import (
     MaxRead,
     MaxWrite,
@@ -95,6 +113,20 @@ __all__ = [
     "set_default_parallelism",
     "TraceEvent",
     "TraceRecorder",
+    "CheckpointJournal",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "InterceptedResult",
+    "RegisterFault",
+    "StallFault",
+    "StepHook",
+    "AdoptCommitCoherenceMonitor",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "RegisterSemanticsMonitor",
+    "ValidityMonitor",
+    "WaitFreedomWatchdog",
     "AdaptiveAdversary",
     "AdversaryView",
     "PendingKindAdversary",

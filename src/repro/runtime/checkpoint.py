@@ -1,0 +1,276 @@
+"""Crash-safe checkpoint journals for long experiment sweeps.
+
+A multi-hour sweep that dies at 95% (OOM kill, pre-empted CI runner,
+Ctrl-C) should not restart from zero.  :class:`CheckpointJournal` makes the
+sharded trial engine resumable: every completed chunk of trials is appended
+to a journal file as one JSON line carrying the pickled per-trial outcomes,
+and a re-run with the same configuration replays completed chunks from the
+journal and executes only the rest.  Because the engine aggregates
+outcomes strictly in trial-index order, a resumed sweep is **bit-identical**
+to an uninterrupted one.
+
+Safety properties:
+
+- **append-only + fsync**: each record is flushed and fsynced before the
+  chunk is considered durable, so a SIGKILL loses at most in-flight chunks;
+- **hash chain**: every record's SHA-256 covers the previous record's hash,
+  so truncation in the middle, reordering, or editing is detected and
+  reported as :class:`~repro.errors.CheckpointError` rather than silently
+  producing wrong statistics;
+- **torn tail tolerance**: a partial final line (the crash happened
+  mid-append) is truncated away on open — that chunk simply re-runs;
+- **configuration binding**: the header pins ``run_key`` (a caller-supplied
+  description of the sweep), ``trials`` and ``chunk_size``; resuming with a
+  different configuration fails loudly instead of pooling incompatible
+  results.
+
+The payload is pickled (then base64-encoded) rather than JSON-encoded so
+arbitrary picklable outcome records — the engine's contract — round-trip
+with their exact types.  A journal is a local, trusted artifact produced by
+this library for this library; do not feed journals from untrusted sources
+to :meth:`CheckpointJournal.open` (unpickling executes code).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointJournal"]
+
+_VERSION = 1
+_GENESIS = "0" * 64
+
+
+class _NothingDurable(CheckpointError):
+    """Internal: the journal file holds no complete record (torn header)."""
+
+
+def _canonical(payload: Dict[str, Any]) -> bytes:
+    """Canonical JSON encoding: the byte string the hash chain covers."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _chain_hash(previous: str, payload: Dict[str, Any]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(previous.encode("ascii"))
+    hasher.update(_canonical(payload))
+    return hasher.hexdigest()
+
+
+def _encode_outcomes(outcomes: List[Any]) -> str:
+    return base64.b64encode(pickle.dumps(outcomes, protocol=4)).decode("ascii")
+
+
+def _decode_outcomes(payload: str) -> List[Any]:
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+class CheckpointJournal:
+    """Append-only, hash-chained journal of completed trial chunks.
+
+    Use :meth:`open` rather than the constructor: it creates a fresh
+    journal (writing the header) or loads and verifies an existing one,
+    tolerating a torn final line.
+
+    Attributes:
+        path: journal file location.
+        run_key: caller-supplied sweep identity the journal is bound to.
+        trials: total trial count of the sweep.
+        chunk_size: chunk granularity the sweep was started with.  A resumed
+            run must reuse it so chunk boundaries line up; :meth:`open`
+            returns the journal's value and callers adopt it.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        run_key: str,
+        trials: int,
+        chunk_size: int,
+        *,
+        completed: Optional[Dict[Tuple[int, int], List[Any]]] = None,
+        last_hash: str = _GENESIS,
+    ):
+        self.path = path
+        self.run_key = run_key
+        self.trials = trials
+        self.chunk_size = chunk_size
+        self._completed: Dict[Tuple[int, int], List[Any]] = dict(completed or {})
+        self._last_hash = last_hash
+
+    # ----- construction ----------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: str, *, run_key: str, trials: int, chunk_size: int
+    ) -> "CheckpointJournal":
+        """Create a new journal or load + verify an existing one.
+
+        For an existing journal the header's ``run_key`` and ``trials``
+        must match; ``chunk_size`` is taken from the journal (the sweep's
+        original chunking wins, so resuming with different worker counts
+        still lines up on the same chunk boundaries).
+        """
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            try:
+                return cls._load(path, run_key=run_key, trials=trials)
+            except _NothingDurable:
+                # The crash happened before even the header became durable;
+                # start the journal over.
+                pass
+        header = {
+            "kind": "header",
+            "version": _VERSION,
+            "run_key": run_key,
+            "trials": trials,
+            "chunk_size": chunk_size,
+        }
+        header_hash = _chain_hash(_GENESIS, header)
+        journal = cls(path, run_key, trials, chunk_size, last_hash=header_hash)
+        record = dict(header, hash=header_hash)
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return journal
+
+    @classmethod
+    def _load(cls, path: str, *, run_key: str, trials: int) -> "CheckpointJournal":
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.split(b"\n")
+        # A torn *tail* (an unterminated final line, or an unparseable final
+        # record) is the signature of a crash mid-append: drop it and
+        # truncate the file so future appends extend a clean prefix.  An
+        # unparseable record with durable records *after* it is corruption,
+        # not a crash artifact, and must fail loudly.
+        valid_bytes = 0
+        records: List[Dict[str, Any]] = []
+        torn = False
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            terminated = index < len(lines) - 1
+            record = None
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                record = None
+            if record is None or not terminated:
+                later = any(lines[j] for j in range(index + 1, len(lines)))
+                if later:
+                    raise CheckpointError(
+                        f"checkpoint journal {path!r}: unreadable record "
+                        f"{index} with durable records after it — the file "
+                        "is corrupt, not merely torn; refusing to resume"
+                    )
+                torn = True
+                break
+            records.append(record)
+            valid_bytes += len(line) + 1
+        if not records:
+            raise _NothingDurable(
+                f"checkpoint journal {path!r} contains no durable records"
+            )
+        header = records[0]
+        if header.get("kind") != "header" or header.get("version") != _VERSION:
+            raise CheckpointError(
+                f"checkpoint journal {path!r} has an unrecognized header: "
+                f"{header!r}"
+            )
+        expected = _chain_hash(
+            _GENESIS, {key: header[key] for key in header if key != "hash"}
+        )
+        if header.get("hash") != expected:
+            raise CheckpointError(
+                f"checkpoint journal {path!r}: header hash mismatch "
+                "(file corrupted or edited)"
+            )
+        if header["run_key"] != run_key:
+            raise CheckpointError(
+                f"checkpoint journal {path!r} was written for run_key="
+                f"{header['run_key']!r}, but this sweep is {run_key!r}; "
+                "refusing to mix incompatible sweeps"
+            )
+        if header["trials"] != trials:
+            raise CheckpointError(
+                f"checkpoint journal {path!r} covers {header['trials']} "
+                f"trials, but this sweep has {trials}; refusing to resume"
+            )
+        completed: Dict[Tuple[int, int], List[Any]] = {}
+        last_hash = header["hash"]
+        for index, record in enumerate(records[1:], start=1):
+            if record.get("kind") != "chunk":
+                raise CheckpointError(
+                    f"checkpoint journal {path!r}: record {index} has "
+                    f"unexpected kind {record.get('kind')!r}"
+                )
+            body = {key: record[key] for key in record if key != "hash"}
+            if record.get("hash") != _chain_hash(last_hash, body):
+                raise CheckpointError(
+                    f"checkpoint journal {path!r}: integrity hash mismatch "
+                    f"at record {index} (file corrupted, edited, or "
+                    "truncated mid-chain)"
+                )
+            last_hash = record["hash"]
+            bounds = (record["start"], record["stop"])
+            completed[bounds] = _decode_outcomes(record["payload"])
+        if torn:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+        return cls(
+            path,
+            run_key,
+            trials,
+            header["chunk_size"],
+            completed=completed,
+            last_hash=last_hash,
+        )
+
+    # ----- recording and replay --------------------------------------------
+
+    def record_chunk(self, start: int, stop: int, outcomes: List[Any]) -> None:
+        """Durably append one completed chunk (flush + fsync)."""
+        if (start, stop) in self._completed:
+            return
+        body = {
+            "kind": "chunk",
+            "start": start,
+            "stop": stop,
+            "payload": _encode_outcomes(list(outcomes)),
+        }
+        record_hash = _chain_hash(self._last_hash, body)
+        record = dict(body, hash=record_hash)
+        with open(self.path, "a", encoding="ascii") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._last_hash = record_hash
+        self._completed[(start, stop)] = list(outcomes)
+
+    def outcomes_for(self, start: int, stop: int) -> Optional[List[Any]]:
+        """Journaled outcomes for a chunk, or ``None`` if not completed."""
+        return self._completed.get((start, stop))
+
+    @property
+    def completed_chunks(self) -> Dict[Tuple[int, int], List[Any]]:
+        """All journaled chunks (bounds -> outcomes), for inspection."""
+        return dict(self._completed)
+
+    @property
+    def completed_trials(self) -> int:
+        """How many trials the journal already covers."""
+        return sum(stop - start for start, stop in self._completed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointJournal(path={self.path!r}, run_key={self.run_key!r}, "
+            f"completed={self.completed_trials}/{self.trials})"
+        )

@@ -1,0 +1,348 @@
+"""Declarative fault injection for simulated runs.
+
+The paper's wait-freedom guarantees are claims about *hostile* executions:
+processes may crash at any point, be starved for arbitrarily long windows,
+and the survivors must still terminate.  This module turns those hostile
+conditions into first-class, declarative experiment inputs instead of
+ad-hoc schedule constructions:
+
+- :class:`CrashFault` — fail-stop a chosen process after a chosen number of
+  charged steps (in-model: equivalent to the adversary never scheduling the
+  process again);
+- :class:`StallFault` — starve a process for a window of the execution
+  (in-model: the adversary withholds its slots);
+- :class:`RegisterFault` — **out-of-model** register misbehaviour (lossy
+  writes, stale reads) used to prove that the invariant monitors in
+  :mod:`repro.runtime.monitors` catch real bugs.  Because these faults step
+  outside the atomic-register model the paper assumes, a
+  :class:`FaultPlan` containing them must be constructed with
+  ``allow_out_of_model=True``; experiments using them are detector
+  calibration, never reproduction evidence.
+
+A :class:`FaultPlan` is immutable and reusable; :meth:`FaultPlan.injector`
+builds a fresh stateful :class:`FaultInjector` (a :class:`StepHook`) for
+each run, which the :class:`~repro.runtime.simulator.Simulator` consults at
+every scheduled slot.  Crash and stall triggers are functions of charged
+step counts only, so a faulted run remains a deterministic function of
+``(programs, inputs, schedule, seed tree, plan)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.operations import Operation, Read, Write
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.runtime.results import RunResult
+    from repro.runtime.simulator import Simulator
+
+__all__ = [
+    "CRASH",
+    "EXECUTE",
+    "SKIP",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "InterceptedResult",
+    "RegisterFault",
+    "StallFault",
+    "StepHook",
+]
+
+# Slot decisions a hook may return from :meth:`StepHook.before_step`.
+EXECUTE = "execute"
+SKIP = "skip"
+CRASH = "crash"
+
+
+class StepHook:
+    """Observer/interceptor interface the simulator consults at every step.
+
+    Fault injectors and invariant monitors both subclass this.  All methods
+    are no-ops by default, so a hook overrides only what it needs.  Hooks
+    must not touch shared objects directly: they observe operations and
+    results, and may only influence execution through the documented return
+    values (``before_step`` slot decisions and ``intercept`` overrides).
+    """
+
+    def on_run_start(self, simulator: "Simulator") -> None:
+        """Called once before the first slot is consumed."""
+
+    def before_step(
+        self,
+        pid: int,
+        process_steps: int,
+        global_steps: int,
+        operation: Optional[Operation],
+    ) -> Optional[str]:
+        """Decide what happens to this slot.
+
+        Args:
+            pid: the scheduled process.
+            process_steps: charged steps ``pid`` has executed so far.
+            global_steps: charged steps executed by everyone so far.
+            operation: the operation ``pid`` would execute.
+
+        Returns ``None`` (or :data:`EXECUTE`) to let the step run,
+        :data:`SKIP` to withhold the slot (starvation), or :data:`CRASH` to
+        fail-stop the process permanently.
+        """
+        return None
+
+    def intercept(
+        self, pid: int, operation: Operation
+    ) -> Optional["InterceptedResult"]:
+        """Optionally replace the operation's execution entirely.
+
+        Returning an :class:`InterceptedResult` prevents the target object
+        from being touched and delivers ``.value`` to the process instead —
+        this is how out-of-model register faults are realized.  Returning
+        ``None`` executes the operation normally.
+        """
+        return None
+
+    def after_step(
+        self, pid: int, step_index: int, operation: Operation, result: Any
+    ) -> None:
+        """Called after each charged step with the (possibly faulty) result."""
+
+    def on_crash(self, pid: int, steps_taken: int) -> None:
+        """Called once when a process is fail-stopped by a fault."""
+
+    def on_finish(self, pid: int, output: Any) -> None:
+        """Called once when a process finishes with its output value."""
+
+    def on_run_end(self, result: "RunResult") -> None:
+        """Called once with the final :class:`RunResult`."""
+
+
+@dataclass(frozen=True)
+class InterceptedResult:
+    """Wrapper distinguishing "replace the result with X" from "no opinion"."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Fail-stop ``pid`` after it has executed ``after_steps`` charged steps.
+
+    ``after_steps=0`` crashes the process before it takes any step.  A crash
+    is in-model: it is indistinguishable from an adversary that stops
+    scheduling the process, which is exactly how crash failures manifest in
+    an asynchronous system.
+    """
+
+    pid: int
+    after_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ConfigurationError(f"crash pid must be >= 0, got {self.pid}")
+        if self.after_steps < 0:
+            raise ConfigurationError(
+                f"after_steps must be >= 0, got {self.after_steps}"
+            )
+
+
+@dataclass(frozen=True)
+class StallFault:
+    """Starve ``pid`` while the global charged-step count is in a window.
+
+    The window is ``[start_step, start_step + duration)`` measured in steps
+    charged to *any* process; while it is open, slots granted to ``pid``
+    are withheld.  In-model: the adversary simply schedules around the
+    process for a while.
+    """
+
+    pid: int
+    start_step: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ConfigurationError(f"stall pid must be >= 0, got {self.pid}")
+        if self.start_step < 0:
+            raise ConfigurationError(
+                f"start_step must be >= 0, got {self.start_step}"
+            )
+        if self.duration < 1:
+            raise ConfigurationError(
+                f"duration must be >= 1, got {self.duration}"
+            )
+
+
+#: Register fault kinds: drop a write on the floor / serve a stale read.
+LOSSY_WRITE = "lossy-write"
+STALE_READ = "stale-read"
+_REGISTER_FAULT_KINDS = (LOSSY_WRITE, STALE_READ)
+
+
+@dataclass(frozen=True)
+class RegisterFault:
+    """Out-of-model register misbehaviour, for detector calibration only.
+
+    ``kind`` is ``"lossy-write"`` (the matching write is silently dropped;
+    the writer still believes it succeeded) or ``"stale-read"`` (the
+    matching read returns the value the register held *before* its most
+    recent write — the weak behaviour regular registers permit, which
+    Hadzilacos–Hu–Toueg show breaks naive consensus protocols).
+
+    ``obj_name`` selects target objects by substring match against the
+    shared object's name.  ``op_index`` picks which matching operation
+    (0-based, counted per fault) misbehaves and ``count`` how many
+    consecutive matching operations after it do too.
+    """
+
+    kind: str
+    obj_name: str
+    op_index: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _REGISTER_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown register fault kind {self.kind!r}; "
+                f"choose from {_REGISTER_FAULT_KINDS}"
+            )
+        if not self.obj_name:
+            raise ConfigurationError("obj_name must be a non-empty pattern")
+        if self.op_index < 0:
+            raise ConfigurationError(
+                f"op_index must be >= 0, got {self.op_index}"
+            )
+        if self.count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {self.count}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, composable bundle of faults for one run.
+
+    In-model faults (crashes, stalls) compose freely.  Out-of-model
+    register faults must be explicitly opted into with
+    ``allow_out_of_model=True``, which keeps reproduction sweeps honest: a
+    plan that could produce physically-impossible executions cannot be
+    built by accident.
+    """
+
+    crashes: Tuple[CrashFault, ...] = ()
+    stalls: Tuple[StallFault, ...] = ()
+    register_faults: Tuple[RegisterFault, ...] = ()
+    allow_out_of_model: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "register_faults", tuple(self.register_faults))
+        if self.register_faults and not self.allow_out_of_model:
+            raise ConfigurationError(
+                "register faults violate the atomic-register model; pass "
+                "allow_out_of_model=True to confirm this plan is for "
+                "detector calibration, not reproduction evidence"
+            )
+        seen_crashes = set()
+        for crash in self.crashes:
+            if crash.pid in seen_crashes:
+                raise ConfigurationError(
+                    f"pid {crash.pid} has more than one crash fault"
+                )
+            seen_crashes.add(crash.pid)
+
+    @property
+    def crashed_pids(self) -> Tuple[int, ...]:
+        """Pids this plan fail-stops, in ascending order."""
+        return tuple(sorted(crash.pid for crash in self.crashes))
+
+    @property
+    def is_in_model(self) -> bool:
+        """True when every fault is expressible as adversary scheduling."""
+        return not self.register_faults
+
+    def injector(self) -> "FaultInjector":
+        """Build a fresh stateful injector for one run."""
+        return FaultInjector(self)
+
+
+class FaultInjector(StepHook):
+    """Per-run stateful executor of a :class:`FaultPlan`.
+
+    Crash and stall decisions are pure functions of charged step counts, so
+    the injected behaviour is reproducible.  Register faults additionally
+    track, per fault, how many matching operations have been seen, and keep
+    a per-object history of applied writes so stale reads can serve the
+    previous value.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._crash_budget: Dict[int, int] = {
+            crash.pid: crash.after_steps for crash in plan.crashes
+        }
+        self._fault_matches: List[int] = [0] * len(plan.register_faults)
+        self._write_history: Dict[str, List[Any]] = {}
+        #: (fault, pid, step) triples for every fault actually delivered.
+        self.injected: List[Tuple[RegisterFault, int, int]] = []
+        self._global_steps = 0
+
+    # ----- slot decisions --------------------------------------------------
+
+    def before_step(
+        self,
+        pid: int,
+        process_steps: int,
+        global_steps: int,
+        operation: Optional[Operation],
+    ) -> Optional[str]:
+        self._global_steps = global_steps
+        budget = self._crash_budget.get(pid)
+        if budget is not None and process_steps >= budget:
+            return CRASH
+        for stall in self.plan.stalls:
+            if stall.pid != pid:
+                continue
+            if stall.start_step <= global_steps < stall.start_step + stall.duration:
+                return SKIP
+        return None
+
+    # ----- register faults -------------------------------------------------
+
+    def _matches(self, fault: RegisterFault, operation: Operation) -> bool:
+        if fault.kind == LOSSY_WRITE and not isinstance(operation, Write):
+            return False
+        if fault.kind == STALE_READ and not isinstance(operation, Read):
+            return False
+        return fault.obj_name in operation.obj.name
+
+    def intercept(
+        self, pid: int, operation: Operation
+    ) -> Optional[InterceptedResult]:
+        for index, fault in enumerate(self.plan.register_faults):
+            if not self._matches(fault, operation):
+                continue
+            match = self._fault_matches[index]
+            self._fault_matches[index] = match + 1
+            if not fault.op_index <= match < fault.op_index + fault.count:
+                continue
+            self.injected.append((fault, pid, self._global_steps))
+            if fault.kind == LOSSY_WRITE:
+                # The write is dropped; the writer sees a normal ack.
+                return InterceptedResult(None)
+            history = self._write_history.get(operation.obj.name, [])
+            stale = history[-2] if len(history) >= 2 else None
+            return InterceptedResult(stale)
+        return None
+
+    def after_step(
+        self, pid: int, step_index: int, operation: Operation, result: Any
+    ) -> None:
+        # Track write history for stale reads.  Intercepted (lossy) writes
+        # are recorded too: the stale value a later read serves should be
+        # what an observer believes was overwritten.
+        if isinstance(operation, Write):
+            self._write_history.setdefault(operation.obj.name, []).append(
+                operation.value
+            )

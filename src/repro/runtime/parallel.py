@@ -20,10 +20,19 @@ Design rules that make the engine deterministic:
 
 The engine degrades gracefully: with ``workers <= 1``, on platforms without
 the ``fork`` start method, or when invoked re-entrantly from inside a worker,
-it runs trials in-process with zero multiprocessing overhead.  Hung workers
-are bounded by a per-chunk timeout; incomplete chunks are retried in a fresh
-pool and, if they still cannot finish, the engine raises
-:class:`~repro.errors.StepLimitExceededError` instead of deadlocking.
+it runs trials in-process with zero multiprocessing overhead.  Hung or
+failing chunks are retried with exponential backoff in fresh pools; chunks
+that keep failing are *quarantined* (the rest of the sweep still completes
+and is journaled) and the run then fails loudly — with
+:class:`~repro.errors.StepLimitExceededError` for timeouts, or the chunk's
+own exception for task errors.
+
+Crash safety: pass ``checkpoint_path`` (plus a ``run_key`` describing the
+sweep) and every completed chunk is appended to an
+append-only, hash-chained :class:`~repro.runtime.checkpoint.CheckpointJournal`.
+A killed sweep re-invoked with the same arguments replays journaled chunks
+and executes only the remainder; because aggregation is by trial index, the
+resumed result is bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -31,11 +40,13 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, StepLimitExceededError
+from repro.runtime.checkpoint import CheckpointJournal
 
 __all__ = [
     "ParallelConfig",
@@ -121,13 +132,17 @@ class ParallelConfig:
         timeout: seconds to wait for any single chunk before declaring its
             worker hung; ``None`` waits forever.
         retries: how many times incomplete chunks are re-dispatched in a
-            fresh pool before the run fails.
+            fresh pool before they are quarantined and the run fails.
+        backoff: base delay in seconds before the first re-dispatch;
+            subsequent re-dispatches double it (capped at 30s).  ``0``
+            retries immediately (used by tests).
     """
 
     workers: int = 1
     chunk_size: Optional[int] = None
     timeout: Optional[float] = None
     retries: int = 1
+    backoff: float = 0.25
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -145,6 +160,10 @@ class ParallelConfig:
         if self.retries < 0:
             raise ConfigurationError(
                 f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff < 0:
+            raise ConfigurationError(
+                f"backoff must be >= 0, got {self.backoff}"
             )
 
 
@@ -174,6 +193,7 @@ def parallelism(
     chunk_size: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    backoff: Optional[float] = None,
 ) -> Iterator[ParallelConfig]:
     """Temporarily override the session default parallelism."""
     current = get_default_parallelism()
@@ -184,6 +204,7 @@ def parallelism(
             ("chunk_size", chunk_size),
             ("timeout", timeout),
             ("retries", retries),
+            ("backoff", backoff),
         )
         if value is not None
     }
@@ -222,6 +243,9 @@ def run_indexed_trials(
     chunk_size: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    checkpoint_path: Optional[str] = None,
+    run_key: str = "",
 ) -> List[Any]:
     """Evaluate ``task(0..trials-1)`` and return outcomes in index order.
 
@@ -232,8 +256,16 @@ def run_indexed_trials(
 
     Parameters default to the session :class:`ParallelConfig` (see
     :func:`parallelism`).  Raises :class:`StepLimitExceededError` if chunks
-    are still unfinished after ``retries`` re-dispatches, and re-raises any
-    exception the task itself raised in a worker.
+    are still unfinished after ``retries`` backed-off re-dispatches, and
+    re-raises the underlying exception when chunks are quarantined for
+    repeatedly failing.
+
+    With ``checkpoint_path``, every completed chunk is durably journaled
+    (see :class:`~repro.runtime.checkpoint.CheckpointJournal`); re-running
+    with the same arguments resumes from the journal and produces results
+    bit-identical to an uninterrupted run.  ``run_key`` should describe the
+    sweep's full configuration so a stale journal cannot silently pollute a
+    different sweep.
     """
     if trials < 0:
         raise ConfigurationError(f"trials must be >= 0, got {trials}")
@@ -245,22 +277,59 @@ def run_indexed_trials(
         retries = config.retries
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if backoff is None:
+        backoff = config.backoff
+    if backoff < 0:
+        raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
     if trials == 0:
         return []
     worker_count = min(worker_count, trials)
-    if (
+    serial = (
         worker_count <= 1
         or not supports_fork()
         or _ACTIVE_TASK is not None  # re-entrant call from inside a worker
-    ):
+    )
+    if serial and checkpoint_path is None:
         return _run_serial(task, trials)
     if chunk_size is None:
         chunk_size = config.chunk_size
     if chunk_size is None:
         chunk_size = default_chunk_size(trials, worker_count)
+    journal: Optional[CheckpointJournal] = None
+    if checkpoint_path is not None:
+        journal = CheckpointJournal.open(
+            checkpoint_path, run_key=run_key, trials=trials, chunk_size=chunk_size
+        )
+        # The journal's original chunking wins so resumed chunk boundaries
+        # line up even if today's worker count differs.
+        chunk_size = journal.chunk_size
     chunks = list(iter_chunks(trials, chunk_size))
-    outcomes = _run_sharded(task, chunks, worker_count, timeout, retries)
+    if serial:
+        outcomes = _run_chunked_serial(task, chunks, journal)
+    else:
+        outcomes = _run_sharded(
+            task, chunks, worker_count, timeout, retries, backoff, journal
+        )
     return [outcome for chunk in outcomes for outcome in chunk]
+
+
+def _run_chunked_serial(
+    task: Callable[[int], Any],
+    chunks: List[Tuple[int, int]],
+    journal: Optional[CheckpointJournal],
+) -> List[List[Any]]:
+    """In-process execution with the same chunk/journal structure as the pool."""
+    results: List[List[Any]] = []
+    for start, stop in chunks:
+        replayed = journal.outcomes_for(start, stop) if journal else None
+        if replayed is not None:
+            results.append(replayed)
+            continue
+        outcomes = [task(index) for index in range(start, stop)]
+        if journal is not None:
+            journal.record_chunk(start, stop, outcomes)
+        results.append(outcomes)
+    return results
 
 
 def _run_sharded(
@@ -269,17 +338,35 @@ def _run_sharded(
     workers: int,
     timeout: Optional[float],
     retries: int,
+    backoff: float,
+    journal: Optional[CheckpointJournal] = None,
 ) -> List[List[Any]]:
-    """Dispatch chunks to a fork pool; retry stragglers; keep chunk order."""
+    """Dispatch chunks to a fork pool; retry stragglers; keep chunk order.
+
+    Chunks that time out or raise are re-dispatched in fresh pools with
+    exponential backoff.  When retries are exhausted the surviving chunks
+    have still completed (and been journaled), and the run fails loudly:
+    poison chunks re-raise their own exception, hung chunks raise
+    :class:`StepLimitExceededError`.
+    """
     global _ACTIVE_TASK
     results: List[Optional[List[Any]]] = [None] * len(chunks)
-    pending = list(range(len(chunks)))
+    pending = []
+    for index, (start, stop) in enumerate(chunks):
+        replayed = journal.outcomes_for(start, stop) if journal else None
+        if replayed is not None:
+            results[index] = replayed
+        else:
+            pending.append(index)
+    failures: Dict[int, BaseException] = {}
     context = multiprocessing.get_context("fork")
     _ACTIVE_TASK = task
     try:
-        for _attempt in range(retries + 1):
+        for attempt in range(retries + 1):
             if not pending:
                 break
+            if attempt > 0 and backoff > 0:
+                time.sleep(min(backoff * 2 ** (attempt - 1), 30.0))
             pool = context.Pool(processes=min(workers, len(pending)))
             try:
                 handles = {
@@ -287,27 +374,59 @@ def _run_sharded(
                     for index in pending
                 }
                 pool.close()
+                incomplete: List[int] = []
                 timed_out: List[int] = []
+                # Journal each chunk the moment it is collected — durability
+                # must not wait for the sweep's stragglers, or a mid-run kill
+                # would leave nothing to resume from.
+                def _collected(index: int, outcomes: List[Any]) -> None:
+                    results[index] = outcomes
+                    failures.pop(index, None)
+                    if journal is not None:
+                        start, stop = chunks[index]
+                        journal.record_chunk(start, stop, outcomes)
+
                 for index, handle in handles.items():
                     try:
-                        results[index] = handle.get(timeout)
+                        _collected(index, handle.get(timeout))
                     except multiprocessing.TimeoutError:
+                        incomplete.append(index)
                         timed_out.append(index)
+                    except BaseException as error:  # the task's own exception
+                        incomplete.append(index)
+                        failures[index] = error
                 # Chunks that finished while we were blocked on an earlier
                 # straggler are ready now; salvage them before retrying.
                 for index in list(timed_out):
                     if handles[index].ready():
-                        results[index] = handles[index].get()
-                        timed_out.remove(index)
-                pending = timed_out
+                        try:
+                            _collected(index, handles[index].get())
+                            incomplete.remove(index)
+                            timed_out.remove(index)
+                        except BaseException as error:
+                            failures[index] = error
+                            timed_out.remove(index)
+                pending = incomplete
             finally:
                 pool.terminate()
                 pool.join()
         if pending:
+            quarantined = sorted(index for index in pending if index in failures)
+            hung = sorted(index for index in pending if index not in failures)
+            if quarantined:
+                error = failures[quarantined[0]]
+                error.add_note(
+                    f"{len(quarantined)} of {len(chunks)} trial chunks "
+                    f"quarantined as poison after {retries + 1} attempt(s); "
+                    f"quarantined trial ranges: "
+                    f"{[chunks[i] for i in quarantined]}; "
+                    f"hung trial ranges: {[chunks[i] for i in hung]}"
+                )
+                raise error
             raise StepLimitExceededError(
-                f"{len(pending)} of {len(chunks)} trial chunks timed out "
+                f"{len(hung)} of {len(chunks)} trial chunks timed out "
                 f"after {retries + 1} attempt(s) with timeout={timeout}s; "
-                f"unfinished trial ranges: {[chunks[i] for i in pending]}"
+                f"unfinished trial ranges: {[chunks[i] for i in hung]}"
             )
     finally:
         _ACTIVE_TASK = None

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Optional, Set
 
 from repro.runtime.trace import TraceRecorder
 
@@ -22,6 +22,8 @@ class RunResult:
             free and not counted, per the model in Section 1.1.
         completed: True if every process finished.
         trace: the full operation trace, if recording was enabled.
+        crashed: pids fail-stopped by fault injection during the run
+            (empty for fault-free executions).
     """
 
     n: int
@@ -30,6 +32,17 @@ class RunResult:
     completed: bool
     trace: Optional[TraceRecorder] = None
     annotations: Dict[str, Any] = field(default_factory=dict)
+    crashed: FrozenSet[int] = frozenset()
+
+    @property
+    def survivors(self) -> Set[int]:
+        """Pids that were not crashed by fault injection."""
+        return {pid for pid in self.steps_by_pid if pid not in self.crashed}
+
+    @property
+    def survivors_completed(self) -> bool:
+        """True if every non-crashed process finished — the wait-free bar."""
+        return all(pid in self.outputs for pid in self.survivors)
 
     @property
     def total_steps(self) -> int:

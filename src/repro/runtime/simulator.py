@@ -10,7 +10,15 @@ are not included when computing the complexity").
 
 Determinism: a run is a pure function of (programs, inputs, schedule, seed
 tree), so every experiment in the repository can be reproduced from a single
-master seed.
+master seed.  Fault injection preserves this: a
+:class:`~repro.runtime.faults.FaultPlan` triggers on charged step counts
+only, so a faulted run is a pure function of the same tuple plus the plan.
+
+Step hooks (:class:`~repro.runtime.faults.StepHook`) are consulted at every
+slot: an injector may crash a process, withhold its slot, or intercept an
+operation, while invariant monitors (:mod:`repro.runtime.monitors`) observe
+every charged step and completion to check validity, coherence, and
+wait-freedom inline.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from repro.errors import (
     SimulationError,
     StepLimitExceededError,
 )
+from repro.runtime.faults import CRASH, SKIP, StepHook
 from repro.runtime.process import Process, ProcessContext, Program
 from repro.runtime.results import RunResult
 from repro.runtime.rng import SeedTree
@@ -48,6 +57,13 @@ class Simulator:
             forever.  Randomized wait-free protocols terminate with
             probability 1, so hitting this limit indicates a bug or an
             astronomically unlucky seed.
+        hooks: :class:`~repro.runtime.faults.StepHook` instances consulted
+            at every slot — fault injectors first, then monitors, so
+            monitors observe the post-fault execution.
+        skip_guard: consecutive free-slot threshold before the run is
+            declared starved (default ``max(100_000, 1_000 * n)``).  Fault
+            sweeps that starve processes on purpose lower it so stuck runs
+            fail fast.
     """
 
     def __init__(
@@ -57,6 +73,8 @@ class Simulator:
         *,
         record_trace: bool = False,
         step_limit: int = _DEFAULT_STEP_LIMIT,
+        hooks: Sequence[StepHook] = (),
+        skip_guard: Optional[int] = None,
     ):
         pids = sorted(process.pid for process in processes)
         if pids != list(range(len(processes))):
@@ -66,42 +84,62 @@ class Simulator:
                 f"schedule covers {schedule.n} processes but {len(processes)} "
                 "were supplied"
             )
+        if skip_guard is not None and skip_guard < 1:
+            raise SimulationError(f"skip_guard must be >= 1, got {skip_guard}")
         self.processes: Dict[int, Process] = {p.pid: p for p in processes}
         self.n = len(processes)
         self.schedule = schedule
         self.step_limit = step_limit
+        self.hooks: List[StepHook] = list(hooks)
+        self.skip_guard = skip_guard
         self.trace: Optional[TraceRecorder] = TraceRecorder() if record_trace else None
         self._steps_by_pid: Dict[int, int] = {pid: 0 for pid in self.processes}
         self._unfinished = set(self.processes)
+        self._crashed: set = set()
+
+    @property
+    def crashed_pids(self) -> frozenset:
+        """Pids fail-stopped by fault injection during this run."""
+        return frozenset(self._crashed)
 
     def run(self, *, allow_partial: bool = False) -> RunResult:
-        """Execute the schedule until every process finishes.
+        """Execute the schedule until every surviving process finishes.
 
         Returns a :class:`RunResult`.  If the schedule ends first, raises
         :class:`ScheduleExhaustedError` unless ``allow_partial`` is True, in
         which case a partial result (``completed=False``) is returned —
-        useful for deliberately starving processes in tests.
+        useful for deliberately starving processes in tests.  Processes
+        crashed by a fault hook do not count as unfinished: wait-freedom
+        demands only that the survivors terminate.
         """
+        for hook in self.hooks:
+            hook.on_run_start(self)
         for process in self.processes.values():
             if not process.started:
                 process.start()
             if process.finished:
                 self._unfinished.discard(process.pid)
+                for hook in self.hooks:
+                    hook.on_finish(process.pid, process.output)
 
         step_index = 0
         # Starvation guard: an infinite schedule that never again names an
         # unfinished process (e.g. after crashes) would spin forever on free
         # no-ops; after this many consecutive skips we declare starvation.
-        skip_guard = max(100_000, 1_000 * self.n)
+        skip_guard = (
+            self.skip_guard
+            if self.skip_guard is not None
+            else max(100_000, 1_000 * self.n)
+        )
         consecutive_skips = 0
         if self._unfinished:
             for pid in self.schedule:
                 if pid not in self.processes:
                     continue
                 process = self.processes[pid]
-                if process.finished:
-                    # Free no-op: the model does not charge finished
-                    # processes for slots they no longer use.
+                if process.finished or pid in self._crashed:
+                    # Free no-op: the model does not charge finished (or
+                    # crashed) processes for slots they no longer use.
                     consecutive_skips += 1
                     if consecutive_skips >= skip_guard:
                         if allow_partial:
@@ -109,7 +147,28 @@ class Simulator:
                         raise ScheduleExhaustedError(
                             f"processes {sorted(self._unfinished)} appear "
                             f"starved: {skip_guard} consecutive slots went to "
-                            "finished processes"
+                            "finished or crashed processes",
+                            unfinished_pids=self._unfinished,
+                            steps_by_pid=self._steps_by_pid,
+                        )
+                    continue
+                action = self._consult_hooks(pid, step_index, process)
+                if action == CRASH:
+                    self._crash(pid)
+                    if not self._unfinished:
+                        break
+                    continue
+                if action == SKIP:
+                    consecutive_skips += 1
+                    if consecutive_skips >= skip_guard:
+                        if allow_partial:
+                            break
+                        raise ScheduleExhaustedError(
+                            f"processes {sorted(self._unfinished)} appear "
+                            f"starved: {skip_guard} consecutive slots were "
+                            "withheld by fault injection",
+                            unfinished_pids=self._unfinished,
+                            steps_by_pid=self._steps_by_pid,
                         )
                     continue
                 consecutive_skips = 0
@@ -117,17 +176,23 @@ class Simulator:
                 step_index += 1
                 if step_index > self.step_limit:
                     raise StepLimitExceededError(
-                        f"run exceeded step limit {self.step_limit}"
+                        f"run exceeded step limit {self.step_limit}",
+                        unfinished_pids=self._unfinished,
+                        steps_by_pid=self._steps_by_pid,
                     )
                 if process.finished:
                     self._unfinished.discard(pid)
+                    for hook in self.hooks:
+                        hook.on_finish(pid, process.output)
                     if not self._unfinished:
                         break
             else:
                 if not allow_partial and self._unfinished:
                     raise ScheduleExhaustedError(
                         f"schedule ended with processes {sorted(self._unfinished)} "
-                        "unfinished"
+                        "unfinished",
+                        unfinished_pids=self._unfinished,
+                        steps_by_pid=self._steps_by_pid,
                     )
 
         outputs = {
@@ -135,13 +200,42 @@ class Simulator:
             for pid, process in self.processes.items()
             if process.finished
         }
-        return RunResult(
+        result = RunResult(
             n=self.n,
             outputs=outputs,
             steps_by_pid=dict(self._steps_by_pid),
-            completed=not self._unfinished,
+            completed=not self._unfinished and not self._crashed,
             trace=self.trace,
+            crashed=frozenset(self._crashed),
         )
+        for hook in self.hooks:
+            hook.on_run_end(result)
+        return result
+
+    def _consult_hooks(
+        self, pid: int, step_index: int, process: Process
+    ) -> Optional[str]:
+        """Ask every hook about this slot; crash wins over skip over execute."""
+        action: Optional[str] = None
+        for hook in self.hooks:
+            decision = hook.before_step(
+                pid,
+                self._steps_by_pid[pid],
+                step_index,
+                process.pending_operation,
+            )
+            if decision == CRASH:
+                return CRASH
+            if decision == SKIP:
+                action = SKIP
+        return action
+
+    def _crash(self, pid: int) -> None:
+        """Fail-stop ``pid``: it keeps its state but never steps again."""
+        self._crashed.add(pid)
+        self._unfinished.discard(pid)
+        for hook in self.hooks:
+            hook.on_crash(pid, self._steps_by_pid[pid])
 
     def _execute_one(self, process: Process, step_index: int) -> None:
         operation = process.pending_operation
@@ -149,7 +243,15 @@ class Simulator:
             raise SimulationError(
                 f"process {process.pid} scheduled with no pending operation"
             )
-        result = operation.obj.apply(operation, process.pid)
+        intercepted = None
+        for hook in self.hooks:
+            intercepted = hook.intercept(process.pid, operation)
+            if intercepted is not None:
+                break
+        if intercepted is not None:
+            result = intercepted.value
+        else:
+            result = operation.obj.apply(operation, process.pid)
         self._steps_by_pid[process.pid] += 1
         if self.trace is not None:
             self.trace.record(
@@ -162,6 +264,8 @@ class Simulator:
                     result=result,
                 )
             )
+        for hook in self.hooks:
+            hook.after_step(process.pid, step_index, operation, result)
         process.complete_step(result)
 
 
@@ -174,6 +278,8 @@ def run_programs(
     record_trace: bool = False,
     step_limit: int = _DEFAULT_STEP_LIMIT,
     allow_partial: bool = False,
+    hooks: Sequence[StepHook] = (),
+    skip_guard: Optional[int] = None,
 ) -> RunResult:
     """Convenience wrapper: build processes from programs and run them.
 
@@ -186,6 +292,8 @@ def run_programs(
         schedule: the adversary schedule.
         seeds: seed tree for this run.
         inputs: optional input values, one per process.
+        hooks: fault injectors and invariant monitors for this run.
+        skip_guard: starvation threshold override (see :class:`Simulator`).
     """
     n = len(programs)
     if inputs is not None and len(inputs) != n:
@@ -207,5 +315,7 @@ def run_programs(
         schedule,
         record_trace=record_trace,
         step_limit=step_limit,
+        hooks=hooks,
+        skip_guard=skip_guard,
     )
     return simulator.run(allow_partial=allow_partial)

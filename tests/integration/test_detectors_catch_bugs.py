@@ -25,6 +25,7 @@ from repro.analysis.linearizability import (
 from repro.errors import ProtocolViolationError, ScheduleExhaustedError
 from repro.memory.bounded_max_register import BoundedMaxRegister
 from repro.memory.emulated_snapshot import EmulatedSnapshot
+from repro.memory.register import AtomicRegister
 from repro.runtime.operations import Read, Write
 from repro.runtime.rng import SeedTree
 from repro.runtime.scheduler import ExplicitSchedule, RandomSchedule
@@ -237,3 +238,122 @@ class TestTraceCheckerCatchesStaleScans:
         ]
         with pytest.raises(ProtocolViolationError):
             check_snapshot_semantics(events, n=2)
+
+
+class TestMonitorsCatchInjectedRegisterFaults:
+    """Calibrate the inline monitors against known-bad executions.
+
+    The out-of-model RegisterFault injector deliberately violates atomic
+    register semantics (a lossy write, a stale read).  A monitor that fails
+    to flag these injected faults would also miss the equivalent real bug in
+    a register emulation, so each fault kind must be caught — and the same
+    monitors must stay silent on the honest execution of the same program.
+    """
+
+    def _conflict_program(self, register):
+        # Two processes race on one register; each decides what it reads
+        # last.  Any dropped or stale value changes an observable output.
+        def program(ctx):
+            yield Write(register, ctx.pid)
+            value = yield Read(register)
+            return value
+
+        return program
+
+    def _run(self, register, fault_plans, monitors):
+        from repro.runtime.scheduler import RoundRobinSchedule
+
+        hooks = [plan.injector() for plan in fault_plans] + list(monitors)
+        return run_programs(
+            [self._conflict_program(register)] * 2,
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            hooks=hooks,
+        )
+
+    def test_lossy_write_caught_by_register_semantics_monitor(self):
+        from repro.runtime.faults import FaultPlan, RegisterFault
+        from repro.runtime.monitors import RegisterSemanticsMonitor
+
+        register = AtomicRegister("decision-reg")
+        plan = FaultPlan(
+            register_faults=(
+                RegisterFault(kind="lossy-write", obj_name="decision-reg",
+                              op_index=1),
+            ),
+            allow_out_of_model=True,
+        )
+        monitor = RegisterSemanticsMonitor(strict=False)
+        self._run(register, [plan], [monitor])
+        assert not monitor.ok, "lossy write escaped the detector"
+        assert "atomic register semantics" in monitor.violations[0].message
+
+    def test_stale_read_caught_by_register_semantics_monitor(self):
+        from repro.runtime.faults import FaultPlan, RegisterFault
+        from repro.runtime.monitors import RegisterSemanticsMonitor
+
+        register = AtomicRegister("decision-reg")
+        plan = FaultPlan(
+            register_faults=(
+                RegisterFault(kind="stale-read", obj_name="decision-reg"),
+            ),
+            allow_out_of_model=True,
+        )
+        monitor = RegisterSemanticsMonitor(strict=False)
+        self._run(register, [plan], [monitor])
+        assert not monitor.ok, "stale read escaped the detector"
+
+    def test_strict_monitor_halts_the_faulty_run(self):
+        from repro.runtime.faults import FaultPlan, RegisterFault
+        from repro.runtime.monitors import RegisterSemanticsMonitor
+
+        register = AtomicRegister("decision-reg")
+        plan = FaultPlan(
+            register_faults=(
+                RegisterFault(kind="stale-read", obj_name="decision-reg"),
+            ),
+            allow_out_of_model=True,
+        )
+        with pytest.raises(ProtocolViolationError):
+            self._run(register, [plan], [RegisterSemanticsMonitor()])
+
+    def test_honest_execution_not_flagged(self):
+        from repro.runtime.monitors import RegisterSemanticsMonitor
+
+        register = AtomicRegister("decision-reg")
+        monitor = RegisterSemanticsMonitor()
+        self._run(register, [], [monitor])
+        assert monitor.ok
+
+    def test_lossy_write_on_proposal_breaks_validity_detectably(self):
+        """End-to-end calibration: dropping a conciliator's proposal write
+        can leak a non-input default to a decision; the validity monitor
+        (not just the register monitor) must see the consequence."""
+        from repro.runtime.faults import FaultPlan, RegisterFault
+        from repro.runtime.monitors import ValidityMonitor
+        from repro.runtime.scheduler import RoundRobinSchedule
+
+        register = AtomicRegister("proposal", initial="BOGUS")
+
+        def propose_then_decide(ctx):
+            yield Write(register, ctx.input_value)
+            decided = yield Read(register)
+            return decided
+
+        plan = FaultPlan(
+            register_faults=(
+                RegisterFault(kind="lossy-write", obj_name="proposal",
+                              count=2),
+            ),
+            allow_out_of_model=True,
+        )
+        monitor = ValidityMonitor(allowed_inputs=["a", "b"], strict=False)
+        result = run_programs(
+            [propose_then_decide] * 2,
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            inputs=["a", "b"],
+            hooks=[plan.injector(), monitor],
+        )
+        assert set(result.outputs.values()) == {"BOGUS"}
+        assert not monitor.ok, "validity monitor missed the leaked default"

@@ -143,6 +143,18 @@ class TestSampleSummaryMerge:
         with pytest.raises(ConfigurationError):
             hollow.merge(good)
 
+    def test_merge_rejects_non_finite_moments(self):
+        good = summarize([1.0, 2.0])
+        for poisoned in (
+            SampleSummary(3, float("nan"), 0.0, 0.0, 1.0),
+            SampleSummary(3, 1.0, float("inf"), 0.0, 1.0),
+            SampleSummary(3, 1.0, 0.0, float("-inf"), 1.0),
+        ):
+            with pytest.raises(ConfigurationError, match="non-finite"):
+                good.merge(poisoned)
+            with pytest.raises(ConfigurationError, match="non-finite"):
+                poisoned.merge(good)
+
 
 class TestTables:
     def test_format_float(self):
@@ -363,6 +375,32 @@ class TestMergeStats:
         )
         with pytest.raises(ConfigurationError, match="different n"):
             merge_conciliator_stats(small, big)
+
+    def test_stats_record_the_protocol_kind(self):
+        stats = self._shard(1)
+        assert stats.kind == SiftingConciliator(4).name
+
+    def test_merge_conciliator_stats_rejects_mismatched_kind(self):
+        sifting = self._shard(1)
+        snapshot = run_conciliator_trials(
+            lambda: SnapshotConciliator(4),
+            list(range(4)),
+            trials=3,
+            master_seed=1,
+        )
+        assert sifting.kind != snapshot.kind
+        with pytest.raises(ConfigurationError, match="different protocol kinds"):
+            merge_conciliator_stats(sifting, snapshot)
+
+    def test_merge_tolerates_a_missing_kind(self):
+        # Stats deserialized from older sweeps carry no kind; they merge
+        # with anything and adopt the known kind.
+        from dataclasses import replace
+
+        first = self._shard(1)
+        unkinded = replace(self._shard(2), kind="")
+        merged = merge_conciliator_stats(first, unkinded)
+        assert merged.kind == first.kind
 
     def test_merge_consensus_stats(self):
         def shard(seed):

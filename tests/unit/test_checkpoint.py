@@ -1,0 +1,158 @@
+"""Unit tests for the crash-safe checkpoint journal (repro.runtime.checkpoint)."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import CheckpointJournal
+
+
+def open_journal(path, **overrides):
+    options = dict(run_key="sweep|seed=1", trials=10, chunk_size=3)
+    options.update(overrides)
+    return CheckpointJournal.open(str(path), **options)
+
+
+class TestCreation:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        assert journal.completed_trials == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["run_key"] == "sweep|seed=1"
+        assert header["trials"] == 10
+        assert header["chunk_size"] == 3
+
+    def test_empty_file_is_treated_as_fresh(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        path.write_text("")
+        journal = open_journal(path)
+        assert journal.completed_trials == 0
+
+    def test_header_only_torn_file_restarts(self, tmp_path):
+        # The kill happened mid-write of the very first line: nothing is
+        # durable, so the journal must start over rather than refuse.
+        path = tmp_path / "sweep.journal"
+        path.write_text('{"kind": "head')
+        journal = open_journal(path)
+        assert journal.completed_trials == 0
+        assert json.loads(path.read_text().splitlines()[0])["kind"] == "header"
+
+
+class TestRecordAndReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        journal.record_chunk(0, 3, ["a", "b", "c"])
+        journal.record_chunk(3, 6, ["d", "e", "f"])
+        assert journal.completed_trials == 6
+
+        reopened = open_journal(path)
+        assert reopened.chunk_size == 3
+        assert reopened.outcomes_for(0, 3) == ["a", "b", "c"]
+        assert reopened.outcomes_for(3, 6) == ["d", "e", "f"]
+        assert reopened.outcomes_for(6, 9) is None
+
+    def test_outcomes_preserve_types(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        payload = [(1, 2.5), {"k": frozenset({3})}, None]
+        journal.record_chunk(0, 3, payload)
+        assert open_journal(path).outcomes_for(0, 3) == payload
+
+    def test_recording_a_chunk_twice_is_idempotent(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        journal.record_chunk(0, 3, ["a", "b", "c"])
+        journal.record_chunk(0, 3, ["a", "b", "c"])
+        assert len(path.read_text().splitlines()) == 2  # header + one chunk
+
+    def test_completed_chunks_view(self, tmp_path):
+        journal = open_journal(tmp_path / "sweep.journal")
+        journal.record_chunk(3, 6, ["d", "e", "f"])
+        assert journal.completed_chunks == {(3, 6): ["d", "e", "f"]}
+
+
+class TestConfigurationBinding:
+    def test_mismatched_run_key_rejected(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        open_journal(path).record_chunk(0, 3, [1, 2, 3])
+        with pytest.raises(CheckpointError, match="run_key"):
+            open_journal(path, run_key="different|seed=2")
+
+    def test_mismatched_trials_rejected(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        open_journal(path).record_chunk(0, 3, [1, 2, 3])
+        with pytest.raises(CheckpointError, match="trials"):
+            open_journal(path, trials=99)
+
+    def test_journal_chunk_size_wins_on_reopen(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        open_journal(path, chunk_size=3)
+        reopened = open_journal(path, chunk_size=7)
+        assert reopened.chunk_size == 3
+
+
+class TestIntegrity:
+    def test_torn_tail_is_truncated_and_rerunnable(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        journal.record_chunk(0, 3, ["a", "b", "c"])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "chunk", "start": 3')  # no newline: torn
+        reopened = open_journal(path)
+        assert reopened.outcomes_for(0, 3) == ["a", "b", "c"]
+        assert reopened.outcomes_for(3, 6) is None
+        # The torn bytes were removed, so appending again keeps a clean file.
+        reopened.record_chunk(3, 6, ["d", "e", "f"])
+        assert open_journal(path).completed_trials == 6
+
+    def test_edited_record_detected(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        journal.record_chunk(0, 3, ["a", "b", "c"])
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["stop"] = 4  # tamper without re-hashing
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="integrity hash"):
+            open_journal(path)
+
+    def test_edited_header_detected(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        journal.record_chunk(0, 3, ["a", "b", "c"])
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["trials"] = 10_000
+        lines[0] = json.dumps(header, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="header hash"):
+            open_journal(path)
+
+    def test_mid_file_corruption_is_not_mistaken_for_a_torn_tail(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        journal.record_chunk(0, 3, ["a", "b", "c"])
+        journal.record_chunk(3, 6, ["d", "e", "f"])
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage-not-json"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt, not merely torn"):
+            open_journal(path)
+
+    def test_deleted_middle_record_breaks_the_chain(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = open_journal(path)
+        journal.record_chunk(0, 3, ["a", "b", "c"])
+        journal.record_chunk(3, 6, ["d", "e", "f"])
+        lines = path.read_text().splitlines()
+        del lines[1]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="integrity hash"):
+            open_journal(path)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     InvalidOperationError,
     ProtocolViolationError,
@@ -43,3 +44,57 @@ class TestHierarchy:
 
         with pytest.raises(ReproError):
             snapshot_rounds(0, 0.5)
+
+    def test_checkpoint_error_is_a_repro_error(self):
+        assert issubclass(CheckpointError, ReproError)
+        assert not issubclass(CheckpointError, SimulationError)
+
+
+class TestRunDiagnostics:
+    """Schedule/step-limit errors carry who was unfinished and how far
+    everyone got, so a failed sweep is debuggable from its message alone."""
+
+    def test_schedule_exhausted_reports_unfinished_pids_and_steps(self):
+        error = ScheduleExhaustedError(
+            "schedule ended",
+            unfinished_pids={2, 0},
+            steps_by_pid={0: 5, 1: 9, 2: 0},
+        )
+        assert error.unfinished_pids == (0, 2)
+        assert error.steps_by_pid == {0: 5, 1: 9, 2: 0}
+        message = str(error)
+        assert "unfinished pids: [0, 2]" in message
+        assert "steps executed: {0: 5, 1: 9, 2: 0}" in message
+
+    def test_step_limit_error_reports_the_same_diagnostics(self):
+        error = StepLimitExceededError(
+            "limit hit", unfinished_pids={1}, steps_by_pid={0: 3, 1: 100}
+        )
+        assert error.unfinished_pids == (1,)
+        assert "unfinished pids: [1]" in str(error)
+
+    def test_diagnostics_are_optional(self):
+        error = ScheduleExhaustedError("plain message")
+        assert error.unfinished_pids == ()
+        assert error.steps_by_pid == {}
+        assert str(error) == "plain message"
+
+    def test_simulator_populates_diagnostics(self):
+        from repro.memory.register import AtomicRegister
+        from repro.runtime.operations import Read
+        from repro.runtime.rng import SeedTree
+        from repro.runtime.scheduler import ExplicitSchedule
+        from repro.runtime.simulator import run_programs
+
+        register = AtomicRegister("r")
+
+        def two_reads(ctx):
+            yield Read(register)
+            yield Read(register)
+
+        with pytest.raises(ScheduleExhaustedError) as excinfo:
+            run_programs(
+                [two_reads] * 2, ExplicitSchedule([0, 0], n=2), SeedTree(0)
+            )
+        assert excinfo.value.unfinished_pids == (1,)
+        assert excinfo.value.steps_by_pid == {0: 2, 1: 0}

@@ -1,0 +1,249 @@
+"""Unit tests for inline invariant monitors (repro.runtime.monitors)."""
+
+import pytest
+
+from repro.adoptcommit.base import ADOPT, COMMIT, AdoptCommitResult
+from repro.errors import ConfigurationError, ProtocolViolationError
+from repro.memory.register import AtomicRegister
+from repro.runtime.faults import CrashFault, FaultPlan, RegisterFault
+from repro.runtime.monitors import (
+    AdoptCommitCoherenceMonitor,
+    InvariantViolation,
+    RegisterSemanticsMonitor,
+    ValidityMonitor,
+    WaitFreedomWatchdog,
+)
+from repro.runtime.operations import Read, Write
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import RoundRobinSchedule
+from repro.runtime.simulator import run_programs
+
+
+def constant_program(value, steps=1):
+    def program(ctx):
+        register = AtomicRegister(f"pad-{ctx.pid}")
+        for _ in range(steps):
+            yield Write(register, ctx.pid)
+        return value
+
+    return program
+
+
+class TestValidityMonitor:
+    def test_valid_outputs_pass(self):
+        monitor = ValidityMonitor(allowed_inputs=[0, 1])
+        run_programs(
+            [constant_program(0), constant_program(1)],
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            hooks=[monitor],
+        )
+        assert monitor.ok
+        assert monitor.violations == []
+
+    def test_invented_value_raises_in_strict_mode(self):
+        monitor = ValidityMonitor(allowed_inputs=[0, 1])
+        with pytest.raises(ProtocolViolationError, match="not among the inputs"):
+            run_programs(
+                [constant_program(42)],
+                RoundRobinSchedule(1),
+                SeedTree(0),
+                hooks=[monitor],
+            )
+
+    def test_non_strict_mode_records_and_continues(self):
+        monitor = ValidityMonitor(allowed_inputs=[0, 1], strict=False)
+        result = run_programs(
+            [constant_program(42), constant_program(0)],
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            hooks=[monitor],
+        )
+        assert result.completed
+        assert not monitor.ok
+        assert len(monitor.violations) == 1
+        violation = monitor.violations[0]
+        assert violation.monitor == "validity"
+        assert violation.pid == 0
+        assert "42" in str(violation)
+
+    def test_adopt_commit_outputs_are_unwrapped(self):
+        monitor = ValidityMonitor(allowed_inputs=["a", "b"])
+        outcome = AdoptCommitResult(COMMIT, "a")
+        run_programs(
+            [constant_program(outcome)],
+            RoundRobinSchedule(1),
+            SeedTree(0),
+            hooks=[monitor],
+        )
+        assert monitor.ok
+
+
+class TestAdoptCommitCoherenceMonitor:
+    def test_coherent_outcomes_pass(self):
+        monitor = AdoptCommitCoherenceMonitor()
+        run_programs(
+            [
+                constant_program(AdoptCommitResult(COMMIT, "v")),
+                constant_program(AdoptCommitResult(ADOPT, "v")),
+            ],
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            hooks=[monitor],
+        )
+        assert monitor.ok
+
+    def test_two_committed_values_flagged(self):
+        monitor = AdoptCommitCoherenceMonitor(strict=False)
+        run_programs(
+            [
+                constant_program(AdoptCommitResult(COMMIT, "x")),
+                constant_program(AdoptCommitResult(COMMIT, "y")),
+            ],
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            hooks=[monitor],
+        )
+        assert not monitor.ok
+        assert "committed" in monitor.violations[0].message
+
+    def test_adopt_differing_from_commit_flagged(self):
+        monitor = AdoptCommitCoherenceMonitor(strict=False)
+        run_programs(
+            [
+                constant_program(AdoptCommitResult(COMMIT, "x")),
+                constant_program(AdoptCommitResult(ADOPT, "y")),
+            ],
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            hooks=[monitor],
+        )
+        assert not monitor.ok
+
+    def test_bare_outputs_are_ignored(self):
+        monitor = AdoptCommitCoherenceMonitor()
+        run_programs(
+            [constant_program("just-a-value")],
+            RoundRobinSchedule(1),
+            SeedTree(0),
+            hooks=[monitor],
+        )
+        assert monitor.ok
+
+
+class TestWaitFreedomWatchdog:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WaitFreedomWatchdog(0)
+
+    def test_fast_processes_pass(self):
+        watchdog = WaitFreedomWatchdog(step_budget=10)
+        run_programs(
+            [constant_program(0, steps=3)] * 2,
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            hooks=[watchdog],
+        )
+        assert watchdog.ok
+
+    def test_overrunning_process_flagged_once(self):
+        watchdog = WaitFreedomWatchdog(step_budget=2, strict=False)
+        result = run_programs(
+            [constant_program(0, steps=6)],
+            RoundRobinSchedule(1),
+            SeedTree(0),
+            hooks=[watchdog],
+        )
+        assert result.completed
+        assert not watchdog.ok
+        assert len(watchdog.violations) == 1  # flagged once, not per step
+        assert "budget 2" in watchdog.violations[0].message
+
+    def test_strict_mode_halts_at_offending_step(self):
+        watchdog = WaitFreedomWatchdog(step_budget=2)
+        with pytest.raises(ProtocolViolationError, match="without deciding"):
+            run_programs(
+                [constant_program(0, steps=6)],
+                RoundRobinSchedule(1),
+                SeedTree(0),
+                hooks=[watchdog],
+            )
+
+    def test_crashed_processes_are_exempt(self):
+        # pid 0 crashes after 1 step and would have overrun the budget;
+        # the watchdog must not blame the crash victim.
+        watchdog = WaitFreedomWatchdog(step_budget=3, strict=False)
+        plan = FaultPlan(crashes=(CrashFault(pid=0, after_steps=1),))
+        run_programs(
+            [constant_program(0, steps=10), constant_program(1, steps=2)],
+            RoundRobinSchedule(2),
+            SeedTree(0),
+            hooks=[plan.injector(), watchdog],
+            allow_partial=True,
+        )
+        assert watchdog.ok
+
+
+class TestRegisterSemanticsMonitor:
+    def test_honest_registers_pass(self):
+        register = AtomicRegister("r")
+        monitor = RegisterSemanticsMonitor()
+
+        def program(ctx):
+            yield Write(register, ctx.pid)
+            value = yield Read(register)
+            return value
+
+        run_programs(
+            [program] * 3, RoundRobinSchedule(3), SeedTree(0), hooks=[monitor]
+        )
+        assert monitor.ok
+
+    def test_lossy_write_detected(self):
+        register = AtomicRegister("r")
+        plan = FaultPlan(
+            register_faults=(
+                RegisterFault(kind="lossy-write", obj_name="r"),
+            ),
+            allow_out_of_model=True,
+        )
+        monitor = RegisterSemanticsMonitor(strict=False)
+
+        def program(ctx):
+            yield Write(register, "v")
+            value = yield Read(register)
+            return value
+
+        # Injector first, monitor second: the monitor observes the faulty
+        # execution, exactly as it would observe a buggy emulation.
+        run_programs(
+            [program],
+            RoundRobinSchedule(1),
+            SeedTree(0),
+            hooks=[plan.injector(), monitor],
+        )
+        assert not monitor.ok
+        assert "atomic register semantics" in monitor.violations[0].message
+
+    def test_reads_before_any_write_are_unchecked(self):
+        register = AtomicRegister("r", initial="seeded")
+        monitor = RegisterSemanticsMonitor()
+
+        def program(ctx):
+            value = yield Read(register)
+            return value
+
+        run_programs(
+            [program], RoundRobinSchedule(1), SeedTree(0), hooks=[monitor]
+        )
+        assert monitor.ok
+
+
+class TestInvariantViolation:
+    def test_str_includes_monitor_and_pid(self):
+        violation = InvariantViolation("validity", 3, "bad value")
+        assert str(violation) == "[validity] pid 3: bad value"
+
+    def test_str_without_pid(self):
+        violation = InvariantViolation("validity", None, "bad value")
+        assert str(violation) == "[validity] bad value"

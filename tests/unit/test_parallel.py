@@ -5,7 +5,8 @@ import time
 import pytest
 
 from repro.analysis.experiments import trial_seed_tree
-from repro.errors import ConfigurationError, StepLimitExceededError
+from repro.errors import CheckpointError, ConfigurationError, StepLimitExceededError
+from repro.runtime.checkpoint import CheckpointJournal
 from repro.runtime.parallel import (
     ParallelConfig,
     available_workers,
@@ -68,6 +69,12 @@ class TestConfig:
             ParallelConfig(timeout=0.0)
         with pytest.raises(ConfigurationError):
             ParallelConfig(retries=-1)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(backoff=-0.1)
+
+    def test_backoff_override_via_context(self):
+        with parallelism(backoff=0.0) as config:
+            assert config.backoff == 0.0
 
     def test_parallelism_context_restores_default(self):
         before = get_default_parallelism()
@@ -194,3 +201,153 @@ class TestRetrySemantics:
             )
         # two attempts, each bounded by the timeout (plus pool overhead)
         assert time.time() - started < 30
+
+    def test_hung_chunk_message_names_unfinished_ranges(self):
+        def task(index):
+            time.sleep(60) if index == 1 else None
+            return index
+
+        with pytest.raises(StepLimitExceededError, match=r"\(1, 2\)"):
+            run_indexed_trials(
+                task, 3, workers=2, chunk_size=1, timeout=0.5, retries=0,
+                backoff=0.0,
+            )
+
+    def test_poison_chunk_quarantined_with_context(self):
+        """A chunk that fails on every attempt is quarantined: its own
+        exception propagates, annotated with the quarantined ranges, and
+        the healthy chunks still complete (visible via the journal)."""
+
+        def task(index):
+            if index == 2:
+                raise RuntimeError("poison trial")
+            return index
+
+        with pytest.raises(RuntimeError, match="poison trial") as excinfo:
+            run_indexed_trials(
+                task, 4, workers=2, chunk_size=1, retries=1, backoff=0.0
+            )
+        notes = "".join(getattr(excinfo.value, "__notes__", []))
+        assert "quarantined" in notes
+        assert "(2, 3)" in notes
+
+    def test_backoff_delays_retries(self):
+        def task(index):
+            raise RuntimeError("always fails")
+
+        started = time.time()
+        with pytest.raises(RuntimeError):
+            run_indexed_trials(
+                task, 2, workers=2, chunk_size=1, retries=2, backoff=0.3
+            )
+        # retries at +0.3s and +0.6s: total must reflect the backoff.
+        assert time.time() - started >= 0.8
+
+
+@needs_fork
+class TestCheckpointedExecution:
+    def test_checkpointed_run_matches_plain_run(self, tmp_path):
+        journal_path = tmp_path / "sweep.journal"
+        plain = run_indexed_trials(lambda i: i * 3, 10, workers=2, chunk_size=3)
+        checkpointed = run_indexed_trials(
+            lambda i: i * 3, 10, workers=2, chunk_size=3,
+            checkpoint_path=str(journal_path), run_key="triples",
+        )
+        assert checkpointed == plain
+        journal = CheckpointJournal.open(
+            str(journal_path), run_key="triples", trials=10, chunk_size=3
+        )
+        assert journal.completed_trials == 10
+
+    def test_resume_skips_journaled_chunks(self, tmp_path):
+        """Journaled chunks are replayed, not re-executed: a task that would
+        now produce different values still yields the journaled outcomes."""
+        journal_path = str(tmp_path / "sweep.journal")
+        run_indexed_trials(
+            lambda i: ("first", i), 6, workers=2, chunk_size=2,
+            checkpoint_path=journal_path, run_key="sweep",
+        )
+        resumed = run_indexed_trials(
+            lambda i: ("second", i), 6, workers=2, chunk_size=2,
+            checkpoint_path=journal_path, run_key="sweep",
+        )
+        assert resumed == [("first", i) for i in range(6)]
+
+    def test_partial_journal_resumes_bit_identically(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.journal")
+        journal = CheckpointJournal.open(
+            journal_path, run_key="sweep", trials=6, chunk_size=2
+        )
+        journal.record_chunk(0, 2, [0, 10])
+        resumed = run_indexed_trials(
+            lambda i: i * 10, 6, workers=2, chunk_size=2,
+            checkpoint_path=journal_path, run_key="sweep",
+        )
+        assert resumed == [0, 10, 20, 30, 40, 50]
+
+    def test_journal_chunking_wins_over_todays_request(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.journal")
+        run_indexed_trials(
+            lambda i: i, 6, workers=2, chunk_size=2,
+            checkpoint_path=journal_path, run_key="sweep",
+        )
+        # Re-run asking for a different chunk size: boundaries must still
+        # line up with the journal's original chunking.
+        resumed = run_indexed_trials(
+            lambda i: i, 6, workers=2, chunk_size=5,
+            checkpoint_path=journal_path, run_key="sweep",
+        )
+        assert resumed == list(range(6))
+
+    def test_mismatched_run_key_rejected(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.journal")
+        run_indexed_trials(
+            lambda i: i, 4, workers=2, chunk_size=2,
+            checkpoint_path=journal_path, run_key="sweep-a",
+        )
+        with pytest.raises(CheckpointError, match="run_key"):
+            run_indexed_trials(
+                lambda i: i, 4, workers=2, chunk_size=2,
+                checkpoint_path=journal_path, run_key="sweep-b",
+            )
+
+    def test_serial_path_honours_checkpoints_too(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.journal")
+        first = run_indexed_trials(
+            lambda i: i * 7, 5, workers=1, chunk_size=2,
+            checkpoint_path=journal_path, run_key="serial-sweep",
+        )
+        resumed = run_indexed_trials(
+            lambda i: ("changed", i), 5, workers=1, chunk_size=2,
+            checkpoint_path=journal_path, run_key="serial-sweep",
+        )
+        assert first == [0, 7, 14, 21, 28]
+        assert resumed == first
+
+    def test_healthy_chunks_journaled_despite_poison(self, tmp_path):
+        """Quarantine + checkpointing compose: when a poison chunk fails the
+        run, the healthy chunks' outcomes are already durable, so the fixed
+        re-run only executes the formerly-poison chunk."""
+        journal_path = str(tmp_path / "sweep.journal")
+
+        def poisoned(index):
+            if index == 2:
+                raise RuntimeError("poison trial")
+            return index
+
+        with pytest.raises(RuntimeError):
+            run_indexed_trials(
+                poisoned, 5, workers=2, chunk_size=1, retries=0, backoff=0.0,
+                checkpoint_path=journal_path, run_key="sweep",
+            )
+        journal = CheckpointJournal.open(
+            journal_path, run_key="sweep", trials=5, chunk_size=1
+        )
+        assert journal.completed_trials == 4
+        assert journal.outcomes_for(2, 3) is None
+
+        recovered = run_indexed_trials(
+            lambda i: i, 5, workers=2, chunk_size=1,
+            checkpoint_path=journal_path, run_key="sweep",
+        )
+        assert recovered == [0, 1, 2, 3, 4]
