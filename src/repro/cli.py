@@ -7,6 +7,8 @@ Installed as ``python -m repro``.  Subcommands:
 - ``decay``        print a survivor-decay table against the paper's bound
 - ``tas``          run test-and-set trials and report the winner statistics
 - ``experiments``  regenerate the paper's experiment tables (E1-E12)
+- ``fuzz``         chaos-fuzz random protocol/schedule/fault scenarios
+- ``replay``       re-run the regression corpus and report reproduction
 
 Every command takes ``--seed`` and is fully reproducible; schedules come
 from the named adversary families in ``repro.workloads.schedules``.  Trial
@@ -148,6 +150,78 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--only", type=str, default="",
                              help="comma-separated ids, e.g. E1,E5")
     _add_parallel_arguments(experiments)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="chaos-fuzz random protocol/schedule/fault scenarios under "
+             "the full oracle suite",
+    )
+    # Not required=True: --list-stacks works without a sizing mode; the
+    # handler enforces exactly-one-of otherwise.
+    sizing = fuzz.add_mutually_exclusive_group()
+    sizing.add_argument(
+        "--trials", type=int, default=None,
+        help="run exactly this many scenarios (supports --checkpoint)",
+    )
+    sizing.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="keep launching scenario waves until this wall-clock budget "
+             "expires",
+    )
+    fuzz.add_argument("--seed", type=int, default=2012,
+                      help="master seed; the scenario sequence is a pure "
+                           "function of (seed, config)")
+    fuzz.add_argument(
+        "--stacks", type=str, default="",
+        help="comma-separated stack names to fuzz (default: every honest "
+             "stack); see --list-stacks",
+    )
+    fuzz.add_argument("--list-stacks", action="store_true",
+                      help="print the registered stack names and exit")
+    fuzz.add_argument(
+        "--corpus", type=str, default=None, metavar="DIR",
+        help="write minimized reproducers for oracle violations into DIR "
+             "(e.g. tests/corpus)",
+    )
+    shrink_group = fuzz.add_mutually_exclusive_group()
+    shrink_group.add_argument(
+        "--shrink", dest="shrink", action="store_true", default=True,
+        help="delta-debug violations down to minimal reproducers (default)",
+    )
+    shrink_group.add_argument(
+        "--no-shrink", dest="shrink", action="store_false",
+        help="record violating scenarios verbatim, skipping minimization",
+    )
+    fuzz.add_argument(
+        "--allow-out-of-model", action="store_true",
+        help="also inject out-of-model register faults (lossy writes, "
+             "stale reads); safety oracles other than validity/termination "
+             "are demoted to degradations for those scenarios",
+    )
+    fuzz.add_argument("--min-n", type=int, default=2)
+    fuzz.add_argument("--max-n", type=int, default=5)
+    fuzz.add_argument(
+        "--no-adaptive", dest="include_adaptive", action="store_false",
+        default=True,
+        help="draw only oblivious schedule families, no adaptive adversaries",
+    )
+    fuzz.add_argument(
+        "--trial-wall-clock", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock safety valve (default: 30)",
+    )
+    fuzz.add_argument("--json", action="store_true",
+                      help="print the full campaign report as JSON")
+    _add_parallel_arguments(fuzz)
+    _add_checkpoint_arguments(fuzz)
+
+    replay = sub.add_parser(
+        "replay", help="re-run the regression corpus and check each case "
+                       "still fires its recorded oracles",
+    )
+    replay.add_argument("--corpus", type=str, default="tests/corpus",
+                        metavar="DIR", help="corpus directory to replay")
+    replay.add_argument("--json", action="store_true",
+                        help="print per-case verdicts as JSON")
     return parser
 
 
@@ -325,6 +399,104 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import FuzzConfig, run_fuzz_campaign, stack_names
+
+    if args.list_stacks:
+        for name in stack_names(include_planted=True):
+            print(name)
+        return 0
+    stacks = tuple(
+        token.strip() for token in args.stacks.split(",") if token.strip()
+    )
+    config = FuzzConfig(
+        stacks=stacks,
+        min_n=args.min_n,
+        max_n=args.max_n,
+        include_adaptive=args.include_adaptive,
+        allow_out_of_model=args.allow_out_of_model,
+    )
+    trial_wall_clock = args.trial_wall_clock
+    report = run_fuzz_campaign(
+        args.seed,
+        config,
+        trials=args.trials,
+        time_budget=args.time_budget,
+        corpus_dir=Path(args.corpus) if args.corpus else None,
+        shrink=args.shrink,
+        **({} if trial_wall_clock is None
+           else {"trial_wall_clock": trial_wall_clock}),
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        statuses = " ".join(
+            f"{name}={count}"
+            for name, count in sorted(report.statuses.items())
+        )
+        print(f"seed={report.master_seed} trials={report.trials} "
+              f"stopped-by={report.stopped_by} "
+              f"elapsed={report.elapsed_seconds:.1f}s")
+        print(f"statuses: {statuses or '(none)'}")
+        for finding in report.findings:
+            oracles = ", ".join(finding.oracles)
+            where = finding.corpus_file or "(not saved)"
+            print(f"  trial {finding.trial}: {finding.status} [{oracles}] "
+                  f"stack={finding.scenario.stack} "
+                  f"shrunk-to n={finding.shrunk.n} -> {where}")
+        if report.corpus_files:
+            print(f"corpus: {len(report.corpus_files)} file(s) written")
+        print("ok" if report.ok else "VIOLATIONS FOUND")
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import load_corpus, replay_case
+
+    cases = load_corpus(Path(args.corpus))
+    if not cases:
+        print(f"no corpus cases under {args.corpus}")
+        return 0
+    reports = []
+    failures = 0
+    for path, case in cases:
+        verdict = replay_case(case, wall_clock_seconds=60.0)
+        reports.append((path, verdict))
+        if not verdict.reproduced:
+            failures += 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps([
+            {
+                "file": path.name,
+                "reproduced": verdict.reproduced,
+                "matched": list(verdict.matched),
+                "missing": list(verdict.missing),
+                "status": verdict.outcome.status,
+            }
+            for path, verdict in reports
+        ], indent=2, sort_keys=True))
+    else:
+        for path, verdict in reports:
+            mark = "ok " if verdict.reproduced else "FAIL"
+            print(f"{mark} {path.name}: matched={list(verdict.matched)} "
+                  f"missing={list(verdict.missing)}")
+        print(f"{len(reports)} case(s), {failures} failed to reproduce")
+    return 0 if failures == 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -335,6 +507,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "search": _cmd_search,
         "tas": _cmd_tas,
         "experiments": _cmd_experiments,
+        "fuzz": _cmd_fuzz,
+        "replay": _cmd_replay,
     }
     try:
         return handlers[args.command](args)

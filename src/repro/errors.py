@@ -20,6 +20,7 @@ __all__ = [
     "InvalidOperationError",
     "ConfigurationError",
     "CheckpointError",
+    "BudgetExceededError",
 ]
 
 
@@ -88,6 +89,16 @@ class InvalidOperationError(SimulationError):
 
 class ConfigurationError(ReproError):
     """Invalid parameters were supplied to a protocol or experiment."""
+
+
+class BudgetExceededError(ReproError):
+    """A wall-clock or evaluation budget ran out before the work finished.
+
+    Raised by the chaos fuzzer's per-trial deadline hook and by budgeted
+    searches.  Unlike :class:`StepLimitExceededError` this is not evidence
+    of a protocol bug: it marks work that was *cut short* so a campaign can
+    record the fact and move on instead of hanging.
+    """
 
 
 class CheckpointError(ReproError):

@@ -1,0 +1,260 @@
+"""Delta-debugging shrinker: minimize a violating scenario.
+
+Given a scenario whose run fired some oracle, the shrinker searches for the
+*smallest* scenario that still fires the same oracle: it drops faults,
+zeroes fault parameters, lowers ``n`` by dropping the highest pid,
+materializes randomized schedule families into explicit slot lists, and
+then ddmin-deletes slot chunks.  Every candidate is validated by actually
+re-running it — a simplification is kept only if the same oracle name still
+fires — so the final reproducer is self-certifying.
+
+Because scenario runs are deterministic, shrinking is too: the same input
+scenario always minimizes to the same reproducer, which is what keeps
+corpus files byte-stable across machines and campaign re-runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fuzz.scenario import Scenario, ScenarioOutcome, run_scenario
+from repro.runtime.budget import Deadline
+from repro.runtime.faults import CrashFault, FaultPlan, StallFault
+from repro.workloads.schedules import ScheduleSpec
+
+__all__ = ["ShrinkResult", "shrink_scenario"]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized scenario plus shrink statistics."""
+
+    scenario: Scenario
+    outcome: ScenarioOutcome
+    oracles: FrozenSet[str]
+    attempts: int
+    improvements: int
+    stopped_early: bool
+
+
+def _with_faults(scenario: Scenario, faults: FaultPlan) -> Scenario:
+    return replace(scenario, faults=faults)
+
+
+def _fault_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Drop whole faults, then shrink the surviving faults' parameters."""
+    plan = scenario.faults
+    for index in range(len(plan.register_faults)):
+        remaining = plan.register_faults[:index] + plan.register_faults[index + 1:]
+        yield _with_faults(scenario, replace(
+            plan,
+            register_faults=remaining,
+            allow_out_of_model=bool(remaining),
+        ))
+    for index in range(len(plan.stalls)):
+        yield _with_faults(scenario, replace(
+            plan, stalls=plan.stalls[:index] + plan.stalls[index + 1:],
+        ))
+    for index in range(len(plan.crashes)):
+        yield _with_faults(scenario, replace(
+            plan, crashes=plan.crashes[:index] + plan.crashes[index + 1:],
+        ))
+    for index, crash in enumerate(plan.crashes):
+        if crash.after_steps > 0:
+            shrunk = CrashFault(pid=crash.pid, after_steps=0)
+            yield _with_faults(scenario, replace(
+                plan,
+                crashes=plan.crashes[:index] + (shrunk,) + plan.crashes[index + 1:],
+            ))
+    for index, stall in enumerate(plan.stalls):
+        for shrunk in (
+            StallFault(pid=stall.pid, start_step=0, duration=stall.duration),
+            StallFault(pid=stall.pid, start_step=stall.start_step,
+                       duration=max(1, stall.duration // 2)),
+        ):
+            if shrunk != stall:
+                yield _with_faults(scenario, replace(
+                    plan,
+                    stalls=plan.stalls[:index] + (shrunk,) + plan.stalls[index + 1:],
+                ))
+    for index, fault in enumerate(plan.register_faults):
+        shrunk = replace(fault, op_index=0, count=1)
+        if shrunk != fault:
+            yield _with_faults(scenario, replace(
+                plan,
+                register_faults=(plan.register_faults[:index] + (shrunk,)
+                                 + plan.register_faults[index + 1:]),
+            ))
+
+
+def _drop_pid_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Lower ``n`` by removing the highest pid and remapping everything."""
+    if scenario.n < 2:
+        return
+    dropped = scenario.n - 1
+    n = scenario.n - 1
+    plan = scenario.faults
+    faults = replace(
+        plan,
+        crashes=tuple(c for c in plan.crashes if c.pid != dropped),
+        stalls=tuple(s for s in plan.stalls if s.pid != dropped),
+        allow_out_of_model=plan.allow_out_of_model,
+    )
+    schedule: Optional[ScheduleSpec] = scenario.schedule
+    if schedule is not None:
+        if schedule.family == "explicit":
+            slots = tuple(s for s in schedule.slots if s != dropped)
+            if not slots:
+                return
+            schedule = ScheduleSpec("explicit", n, slots=slots)
+        else:
+            schedule = ScheduleSpec(schedule.family, n, seed=schedule.seed)
+    yield replace(scenario, n=n, schedule=schedule, faults=faults)
+
+
+def _slot_candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """ddmin over explicit slots: delete chunks, largest first."""
+    schedule = scenario.schedule
+    if schedule is None or schedule.family != "explicit":
+        return
+    slots = list(schedule.slots)
+    chunk = max(1, len(slots) // 2)
+    while chunk >= 1:
+        for start in range(0, len(slots), chunk):
+            remaining = tuple(slots[:start] + slots[start + chunk:])
+            if not remaining:
+                continue
+            yield replace(
+                scenario,
+                schedule=ScheduleSpec("explicit", scenario.n, slots=remaining),
+            )
+        if chunk == 1:
+            break
+        chunk //= 2
+
+
+def _materialize_candidates(
+    scenario: Scenario, outcome: ScenarioOutcome
+) -> Iterator[Scenario]:
+    """Turn a randomized schedule family into an explicit prefix.
+
+    Explicit schedules unlock slot-level ddmin.  The prefix length is taken
+    from the failing run's own step count (plus slack for skipped slots);
+    if truncation changes the outcome, the candidate simply fails to
+    reproduce and is discarded.
+    """
+    schedule = scenario.schedule
+    if schedule is None or schedule.family == "explicit":
+        return
+    length = max(4 * outcome.total_steps + 16 * scenario.n, 8 * scenario.n)
+    length = min(length, 4096)
+    slots = tuple(itertools.islice(iter(schedule.build()), length))
+    if not slots:
+        return
+    try:
+        yield replace(
+            scenario,
+            schedule=ScheduleSpec("explicit", scenario.n, slots=slots),
+        )
+    except ConfigurationError:  # pragma: no cover - defensive
+        return
+
+
+def _size(scenario: Scenario) -> Tuple[int, int, int]:
+    """Lexicographic cost: prefer fewer processes, fewer faults, fewer slots."""
+    plan = scenario.faults
+    fault_count = len(plan.crashes) + len(plan.stalls) + len(plan.register_faults)
+    slots = 0
+    if scenario.schedule is not None and scenario.schedule.slots is not None:
+        slots = len(scenario.schedule.slots)
+    return (scenario.n, fault_count, slots)
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    oracles: FrozenSet[str],
+    *,
+    max_reproductions: int = 300,
+    deadline_seconds: Optional[float] = None,
+    wall_clock_seconds: Optional[float] = None,
+    run: Callable[..., ScenarioOutcome] = run_scenario,
+) -> ShrinkResult:
+    """Minimize ``scenario`` while any oracle in ``oracles`` still fires.
+
+    ``max_reproductions`` and ``deadline_seconds`` bound the work (the same
+    budget machinery as the campaign itself); hitting either returns the
+    best reproducer found so far with ``stopped_early=True``.  ``run`` is
+    injectable for tests.
+    """
+    if not oracles:
+        raise ConfigurationError("shrinking needs at least one target oracle")
+    deadline = Deadline(deadline_seconds)
+    attempts = 0
+    improvements = 0
+    stopped_early = False
+
+    def reproduces(candidate: Scenario) -> Optional[ScenarioOutcome]:
+        nonlocal attempts
+        attempts += 1
+        outcome = run(candidate, wall_clock_seconds=wall_clock_seconds)
+        if set(outcome.oracle_names) & oracles:
+            return outcome
+        return None
+
+    current = scenario
+    current_outcome = run(scenario, wall_clock_seconds=wall_clock_seconds)
+    if not set(current_outcome.oracle_names) & oracles:
+        raise ConfigurationError(
+            f"scenario does not reproduce any of {sorted(oracles)}; it "
+            f"fired {list(current_outcome.oracle_names)}"
+        )
+
+    passes = (
+        _fault_candidates,
+        _drop_pid_candidates,
+        lambda s: _materialize_candidates(s, current_outcome),
+        _slot_candidates,
+    )
+    # Greedy descent with restart: accept the first reproducing candidate
+    # that shrinks the (n, faults, slots) cost — or the one-shot schedule
+    # materialization, which grows the slot count but unlocks slot-level
+    # ddmin — then start the passes over from the top.  Restarting keeps
+    # every candidate derived from the *current* scenario, so improvements
+    # can never be silently undone by stale candidates.
+    while True:
+        if attempts >= max_reproductions or deadline.expired():
+            stopped_early = True
+            break
+        improved: Optional[Tuple[Scenario, ScenarioOutcome]] = None
+        for pass_index, candidates_of in enumerate(passes):
+            for candidate in candidates_of(current):
+                if attempts >= max_reproductions or deadline.expired():
+                    stopped_early = True
+                    break
+                try:
+                    outcome = reproduces(candidate)
+                except ConfigurationError:
+                    continue
+                if outcome is None:
+                    continue
+                materialized = pass_index == 2
+                if materialized or _size(candidate) < _size(current):
+                    improved = (candidate, outcome)
+                    break
+            if improved is not None or stopped_early:
+                break
+        if improved is None:
+            break
+        current, current_outcome = improved
+        improvements += 1
+    return ShrinkResult(
+        scenario=current,
+        outcome=current_outcome,
+        oracles=frozenset(oracles),
+        attempts=attempts,
+        improvements=improvements,
+        stopped_early=stopped_early,
+    )

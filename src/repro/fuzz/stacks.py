@@ -1,0 +1,299 @@
+"""Protocol stack registry for the chaos fuzzer.
+
+A *stack* is one runnable composition from the paper's toolbox: a bare
+conciliator (Algorithms 1-3 and their variants), an adopt-commit object, or
+a full consensus protocol (conciliator + adopt-commit phases).  The fuzzer
+draws stacks from this registry, so adding an entry here automatically
+exposes the new protocol to every fuzz campaign.
+
+Each :class:`StackSpec` knows how to build programs for a given ``n`` and
+input assignment, and supplies the per-process step budget the
+wait-freedom oracle enforces.  Budgets come in two flavours:
+
+- *exact* — a proven worst-case individual bound (``step_bound()``), so a
+  single extra step is a genuine wait-freedom violation;
+- *generous* — for protocols whose worst case is probabilistic (the
+  geometric phase count of consensus), a bound chosen so an honest run
+  exceeds it with probability at most ``2**-GEOMETRIC_PHASES`` per
+  scenario.  Exceeding a generous budget is still reported as a
+  violation: at that likelihood the alternative explanation is a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.adoptcommit.base import AdoptCommitObject
+from repro.adoptcommit.collect_ac import CollectAdoptCommit
+from repro.adoptcommit.encoders import DomainEncoder
+from repro.adoptcommit.flag_ac import BinaryAdoptCommit, FlagAdoptCommit
+from repro.adoptcommit.snapshot_ac import SnapshotAdoptCommit
+from repro.baselines import DoublingCILConciliator, NaiveConciliator
+from repro.core.cil_embedded import CILEmbeddedConciliator
+from repro.core.compose import ChainedConciliator
+from repro.core.conciliator import Conciliator
+from repro.core.consensus import (
+    ConsensusProtocol,
+    register_consensus,
+    snapshot_consensus,
+)
+from repro.core.emulated_conciliator import EmulatedSnapshotConciliator
+from repro.core.indirect_conciliator import IndirectSnapshotConciliator
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.errors import ConfigurationError
+from repro.runtime.process import Program
+
+__all__ = [
+    "GEOMETRIC_PHASES",
+    "BuiltStack",
+    "StackSpec",
+    "conciliator_budget",
+    "get_stack",
+    "register_stack",
+    "stack_names",
+]
+
+#: Phase allowance for protocols whose round count is geometric with
+#: success probability >= 1/2 per phase: an honest run needs more phases
+#: with probability <= 2**-GEOMETRIC_PHASES.
+GEOMETRIC_PHASES = 64
+
+#: Stack kinds, which determine the oracles applied to outputs.
+CONCILIATOR = "conciliator"
+ADOPT_COMMIT = "adopt-commit"
+CONSENSUS = "consensus"
+_KINDS = (CONCILIATOR, ADOPT_COMMIT, CONSENSUS)
+
+
+@dataclass
+class BuiltStack:
+    """One stack instantiated for a concrete run."""
+
+    programs: List[Program]
+    #: Per-process step budget enforced by the wait-freedom watchdog.
+    step_budget: int
+    #: True when ``step_budget`` is a proven worst-case bound.
+    exact_budget: bool
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """A named, buildable protocol composition.
+
+    Attributes:
+        name: registry key, also recorded in scenarios and corpus cases.
+        kind: ``"conciliator"``, ``"adopt-commit"``, or ``"consensus"`` —
+            selects which output oracles apply.
+        builder: ``(n, inputs) -> BuiltStack``.
+        min_n: smallest process count the stack supports.
+        workloads: input-gallery names this stack accepts (``None`` = all).
+        planted: True for deliberately buggy calibration stacks, which are
+            excluded from honest campaigns.
+    """
+
+    name: str
+    kind: str
+    builder: Callable[[int, Sequence[Any]], BuiltStack] = field(compare=False)
+    min_n: int = 1
+    workloads: Optional[Tuple[str, ...]] = None
+    planted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown stack kind {self.kind!r}; choose from {_KINDS}"
+            )
+
+    def build(self, n: int, inputs: Sequence[Any]) -> BuiltStack:
+        """Instantiate fresh shared state and programs for one run."""
+        if n < self.min_n:
+            raise ConfigurationError(
+                f"stack {self.name!r} needs n >= {self.min_n}, got {n}"
+            )
+        return self.builder(n, inputs)
+
+
+def _domain(inputs: Sequence[Any]) -> List[Any]:
+    """Input values deduplicated in first-appearance order (encoder domain)."""
+    seen: List[Any] = []
+    for value in inputs:
+        if value not in seen:
+            seen.append(value)
+    return seen
+
+
+def conciliator_budget(conciliator: Conciliator) -> Tuple[int, bool]:
+    """Per-process step budget for a conciliator, and whether it is exact.
+
+    Algorithm 3 (:class:`CILEmbeddedConciliator`) has no ``step_bound``
+    method, but its individual step count *is* bounded: each main-loop
+    iteration either returns or advances the inner conciliator by one
+    operation, so the loop costs at most ``2 * inner + 3`` charged steps
+    (one proposal read per iteration, one inner step, plus a final write),
+    and the combine stage adds one write, one adopt-commit invocation, and
+    one read.
+    """
+    if isinstance(conciliator, CILEmbeddedConciliator):
+        inner = conciliator.inner.step_bound()
+        combine = conciliator.combine_ac.step_bound() + 2
+        return 2 * inner + 3 + combine, True
+    return conciliator.step_bound(), True
+
+
+def _conciliator_stack(
+    make: Callable[[int], Conciliator]
+) -> Callable[[int, Sequence[Any]], BuiltStack]:
+    def build(n: int, inputs: Sequence[Any]) -> BuiltStack:
+        conciliator = make(n)
+        budget, exact = conciliator_budget(conciliator)
+        return BuiltStack([conciliator.program] * n, budget, exact)
+
+    return build
+
+
+def _adopt_commit_stack(
+    make: Callable[[int, Sequence[Any]], AdoptCommitObject]
+) -> Callable[[int, Sequence[Any]], BuiltStack]:
+    def build(n: int, inputs: Sequence[Any]) -> BuiltStack:
+        ac = make(n, inputs)
+
+        def program(ctx):
+            result = yield from ac.invoke(ctx, ctx.input_value)
+            return result
+
+        return BuiltStack([program] * n, ac.step_bound(), True)
+
+    return build
+
+
+def _consensus_stack(
+    make: Callable[[int, Sequence[Any]], ConsensusProtocol]
+) -> Callable[[int, Sequence[Any]], BuiltStack]:
+    def build(n: int, inputs: Sequence[Any]) -> BuiltStack:
+        protocol = make(n, inputs)
+        conciliator, adopt_commit = protocol.phase(0)
+        per_phase = conciliator_budget(conciliator)[0] + adopt_commit.step_bound()
+        return BuiltStack(
+            [protocol.program] * n, GEOMETRIC_PHASES * per_phase, False
+        )
+
+    return build
+
+
+STACKS: Dict[str, StackSpec] = {}
+
+
+def register_stack(spec: StackSpec, *, overwrite: bool = False) -> StackSpec:
+    """Add a stack to the registry (tests use this to plant custom bugs)."""
+    if spec.name in STACKS and not overwrite:
+        raise ConfigurationError(f"stack {spec.name!r} already registered")
+    STACKS[spec.name] = spec
+    return spec
+
+
+def get_stack(name: str) -> StackSpec:
+    """Look up a stack by name."""
+    try:
+        return STACKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown stack {name!r}; choose from {sorted(STACKS)}"
+        ) from None
+
+
+def stack_names(*, include_planted: bool = False) -> List[str]:
+    """Registered stack names, honest-only by default, in a stable order."""
+    return [
+        name
+        for name, spec in STACKS.items()
+        if include_planted or not spec.planted
+    ]
+
+
+# ----- the honest registry --------------------------------------------------
+
+register_stack(StackSpec(
+    "snapshot", CONCILIATOR,
+    _conciliator_stack(lambda n: SnapshotConciliator(n)),
+))
+register_stack(StackSpec(
+    "snapshot-maxreg", CONCILIATOR,
+    _conciliator_stack(lambda n: SnapshotConciliator(n, use_max_registers=True)),
+))
+register_stack(StackSpec(
+    "indirect-snapshot", CONCILIATOR,
+    _conciliator_stack(lambda n: IndirectSnapshotConciliator(n)),
+))
+register_stack(StackSpec(
+    "emulated-snapshot", CONCILIATOR,
+    _conciliator_stack(lambda n: EmulatedSnapshotConciliator(n)),
+))
+register_stack(StackSpec(
+    "sifting", CONCILIATOR,
+    _conciliator_stack(lambda n: SiftingConciliator(n)),
+))
+register_stack(StackSpec(
+    "sifting-anonymous", CONCILIATOR,
+    _conciliator_stack(lambda n: SiftingConciliator(n, anonymous=True)),
+))
+register_stack(StackSpec(
+    "cil-embedded", CONCILIATOR,
+    _conciliator_stack(lambda n: CILEmbeddedConciliator(n)),
+))
+register_stack(StackSpec(
+    "doubling-cil", CONCILIATOR,
+    _conciliator_stack(lambda n: DoublingCILConciliator(n)),
+))
+register_stack(StackSpec(
+    "naive", CONCILIATOR,
+    _conciliator_stack(lambda n: NaiveConciliator(n)),
+))
+register_stack(StackSpec(
+    "chained-sift-snap", CONCILIATOR,
+    _conciliator_stack(lambda n: ChainedConciliator(
+        [
+            SiftingConciliator(n, name="chained.sift"),
+            SnapshotConciliator(n, name="chained.snap"),
+        ],
+        name="chained-sift-snap",
+    )),
+))
+
+register_stack(StackSpec(
+    "snapshot-ac", ADOPT_COMMIT,
+    _adopt_commit_stack(lambda n, inputs: SnapshotAdoptCommit(n)),
+))
+register_stack(StackSpec(
+    "collect-ac", ADOPT_COMMIT,
+    _adopt_commit_stack(lambda n, inputs: CollectAdoptCommit(n)),
+))
+register_stack(StackSpec(
+    "flag-ac", ADOPT_COMMIT,
+    _adopt_commit_stack(
+        lambda n, inputs: FlagAdoptCommit(n, DomainEncoder(_domain(inputs)))
+    ),
+))
+register_stack(StackSpec(
+    "binary-ac", ADOPT_COMMIT,
+    _adopt_commit_stack(lambda n, inputs: BinaryAdoptCommit(n)),
+    workloads=("binary", "unanimous"),
+))
+
+register_stack(StackSpec(
+    "snapshot-consensus", CONSENSUS,
+    _consensus_stack(lambda n, inputs: snapshot_consensus(n)),
+))
+register_stack(StackSpec(
+    "register-consensus", CONSENSUS,
+    _consensus_stack(lambda n, inputs: register_consensus(n, _domain(inputs))),
+))
+register_stack(StackSpec(
+    "cil-register-consensus", CONSENSUS,
+    _consensus_stack(
+        lambda n, inputs: register_consensus(
+            n, _domain(inputs), linear_total_work=True
+        )
+    ),
+))

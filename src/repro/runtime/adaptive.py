@@ -30,9 +30,16 @@ Provided strategies:
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
-from repro.errors import SimulationError, StepLimitExceededError
+from repro.errors import (
+    ConfigurationError,
+    ScheduleExhaustedError,
+    SimulationError,
+    StepLimitExceededError,
+)
+from repro.runtime.faults import CRASH, SKIP, StepHook
 from repro.runtime.operations import Operation
 from repro.runtime.process import Process, ProcessContext, Program
 from repro.runtime.results import RunResult
@@ -40,12 +47,16 @@ from repro.runtime.rng import SeedTree
 from repro.runtime.trace import TraceEvent, TraceRecorder
 
 __all__ = [
+    "ADAPTIVE_FAMILIES",
     "AdversaryView",
     "AdaptiveAdversary",
+    "AdaptiveSpec",
     "PendingKindAdversary",
     "LongestFirstAdversary",
     "ShortestFirstAdversary",
     "RandomAdaptiveAdversary",
+    "SiftKillerAdversary",
+    "make_adaptive",
     "run_adaptive_programs",
 ]
 
@@ -53,15 +64,26 @@ __all__ = [
 class AdversaryView:
     """Read-only view of execution state offered to an adaptive adversary."""
 
-    def __init__(self, processes: Dict[int, Process], steps: Dict[int, int]):
+    def __init__(
+        self,
+        processes: Dict[int, Process],
+        steps: Dict[int, int],
+        crashed: Optional[Set[int]] = None,
+    ):
         self._processes = processes
         self._steps = steps
+        self._crashed = crashed if crashed is not None else set()
 
     def unfinished(self) -> List[int]:
-        """Pids that still have an operation to execute, sorted."""
+        """Pids that still have an operation to execute, sorted.
+
+        Processes fail-stopped by a fault hook are excluded: a crashed
+        process has no next operation for even an omniscient adversary to
+        schedule.
+        """
         return sorted(
             pid for pid, process in self._processes.items()
-            if not process.finished
+            if not process.finished and pid not in self._crashed
         )
 
     def pending_operation(self, pid: int) -> Optional[Operation]:
@@ -195,6 +217,86 @@ class SiftKillerAdversary(AdaptiveAdversary):
         return busy_readers[0][0] if busy_readers else candidates[0]
 
 
+#: Named adaptive strategies, for experiment sweeps and fuzz scenarios.
+ADAPTIVE_FAMILIES = (
+    "pending-reads",
+    "pending-writes",
+    "longest-first",
+    "shortest-first",
+    "random-adaptive",
+    "sift-killer",
+)
+
+_READ_KINDS = ("read", "scan", "maxread")
+_WRITE_KINDS = ("write", "update", "maxwrite")
+
+
+def make_adaptive(name: str, seed: int = 0) -> AdaptiveAdversary:
+    """Build the named adaptive strategy (see :data:`ADAPTIVE_FAMILIES`)."""
+    if name == "pending-reads":
+        return PendingKindAdversary(_READ_KINDS)
+    if name == "pending-writes":
+        return PendingKindAdversary(_WRITE_KINDS)
+    if name == "longest-first":
+        return LongestFirstAdversary()
+    if name == "shortest-first":
+        return ShortestFirstAdversary()
+    if name == "random-adaptive":
+        return RandomAdaptiveAdversary(seed)
+    if name == "sift-killer":
+        return SiftKillerAdversary()
+    raise ConfigurationError(
+        f"unknown adaptive adversary {name!r}; choose from {ADAPTIVE_FAMILIES}"
+    )
+
+
+@dataclass(frozen=True)
+class AdaptiveSpec:
+    """A serializable, hashable description of one adaptive adversary.
+
+    The adaptive counterpart of
+    :class:`~repro.workloads.schedules.ScheduleSpec`: pins the strategy
+    name and its private seed so a fuzz scenario that used an adaptive
+    adversary replays identically from its JSON form.
+    """
+
+    name: str
+    seed: int = 0
+
+    _JSON_VERSION = 1
+
+    def __post_init__(self) -> None:
+        if self.name not in ADAPTIVE_FAMILIES:
+            raise ConfigurationError(
+                f"unknown adaptive adversary {self.name!r}; choose from "
+                f"{ADAPTIVE_FAMILIES}"
+            )
+
+    def build(self) -> AdaptiveAdversary:
+        """Construct a fresh adversary instance (strategies are stateful)."""
+        return make_adaptive(self.name, self.seed)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": self._JSON_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "AdaptiveSpec":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"adaptive spec JSON must be an object, got {type(data).__name__}"
+            )
+        if data.get("version") != cls._JSON_VERSION:
+            raise ConfigurationError(
+                f"unsupported adaptive spec version {data.get('version')!r}; "
+                f"this build reads version {cls._JSON_VERSION}"
+            )
+        return cls(name=str(data["name"]), seed=int(data.get("seed", 0)))
+
+
 def run_adaptive_programs(
     programs: Sequence[Program],
     adversary: AdaptiveAdversary,
@@ -203,14 +305,30 @@ def run_adaptive_programs(
     inputs: Optional[Sequence[Any]] = None,
     record_trace: bool = False,
     step_limit: int = 50_000_000,
+    hooks: Sequence[StepHook] = (),
+    skip_guard: Optional[int] = None,
 ) -> RunResult:
     """Execute programs under an adaptive adversary.
 
     The loop mirrors :class:`repro.runtime.simulator.Simulator` but asks the
     adversary for the next pid at every step instead of consuming a fixed
-    schedule.  Since the adversary only picks among unfinished processes,
+    schedule.  Since the adversary only picks among runnable processes,
     runs always complete (subject to ``step_limit``).
+
+    ``hooks`` attaches the same :class:`~repro.runtime.faults.StepHook`
+    instances the oblivious simulator takes — fault injectors may crash a
+    process (it disappears from the adversary's view) or withhold slots,
+    and invariant monitors observe every charged step, so the full monitor
+    suite rides along adaptive runs too.  One difference: adaptive runs
+    have no :class:`~repro.runtime.simulator.Simulator`, so ``on_run_start``
+    is not emitted.  ``skip_guard`` bounds consecutive withheld slots
+    (default ``max(10_000, 1_000 * n)``) — an adversary that keeps naming a
+    stalled process would otherwise spin forever.
     """
+    # Local import: simulator imports faults, and the note helper lives with
+    # the other hook plumbing there.
+    from repro.runtime.simulator import _note_hook_failure
+
     n = len(programs)
     if inputs is not None and len(inputs) != n:
         raise SimulationError(
@@ -229,20 +347,79 @@ def run_adaptive_programs(
 
     steps: Dict[int, int] = {pid: 0 for pid in processes}
     trace = TraceRecorder() if record_trace else None
+    crashed: Set[int] = set()
+    guard = skip_guard if skip_guard is not None else max(10_000, 1_000 * n)
+    hooks = list(hooks)
+
+    def emit(stage: str, *args: Any, pid: Optional[int] = None,
+             step: Optional[int] = None) -> None:
+        for hook in hooks:
+            try:
+                getattr(hook, stage)(*args)
+            except BaseException as error:
+                _note_hook_failure(error, hook, stage, pid=pid, global_step=step)
+                raise
+
     for process in processes.values():
         process.start()
+        if process.finished:
+            emit("on_finish", process.pid, process.output, pid=process.pid)
 
-    view = AdversaryView(processes, steps)
+    view = AdversaryView(processes, steps, crashed)
     step_index = 0
-    while any(not process.finished for process in processes.values()):
+    consecutive_skips = 0
+    while view.unfinished():
         pid = adversary.choose(view)
         process = processes[pid]
-        if process.finished:
+        if process.finished or pid in crashed:
             raise SimulationError(
-                f"adaptive adversary chose finished process {pid}"
+                f"adaptive adversary chose unrunnable process {pid}"
             )
+        action: Optional[str] = None
+        for hook in hooks:
+            try:
+                decision = hook.before_step(
+                    pid, steps[pid], step_index, process.pending_operation
+                )
+            except BaseException as error:
+                _note_hook_failure(error, hook, "before_step",
+                                   pid=pid, global_step=step_index)
+                raise
+            if decision == CRASH:
+                action = CRASH
+                break
+            if decision == SKIP:
+                action = SKIP
+        if action == CRASH:
+            crashed.add(pid)
+            emit("on_crash", pid, steps[pid], pid=pid)
+            continue
+        if action == SKIP:
+            consecutive_skips += 1
+            if consecutive_skips >= guard:
+                raise ScheduleExhaustedError(
+                    f"adaptive run appears starved: {guard} consecutive "
+                    "slots were withheld by fault injection",
+                    unfinished_pids=view.unfinished(),
+                    steps_by_pid=steps,
+                )
+            continue
+        consecutive_skips = 0
         operation = process.pending_operation
-        result = operation.obj.apply(operation, pid)
+        intercepted = None
+        for hook in hooks:
+            try:
+                intercepted = hook.intercept(pid, operation)
+            except BaseException as error:
+                _note_hook_failure(error, hook, "intercept",
+                                   pid=pid, global_step=step_index)
+                raise
+            if intercepted is not None:
+                break
+        if intercepted is not None:
+            result = intercepted.value
+        else:
+            result = operation.obj.apply(operation, pid)
         steps[pid] += 1
         if trace is not None:
             trace.record(
@@ -255,18 +432,31 @@ def run_adaptive_programs(
                     result=result,
                 )
             )
+        emit("after_step", pid, step_index, operation, result,
+             pid=pid, step=step_index)
         process.complete_step(result)
+        if process.finished:
+            emit("on_finish", pid, process.output, pid=pid, step=step_index)
         step_index += 1
         if step_index > step_limit:
             raise StepLimitExceededError(
-                f"adaptive run exceeded step limit {step_limit}"
+                f"adaptive run exceeded step limit {step_limit}",
+                unfinished_pids=view.unfinished(),
+                steps_by_pid=steps,
             )
 
-    outputs = {pid: process.output for pid, process in processes.items()}
-    return RunResult(
+    outputs = {
+        pid: process.output
+        for pid, process in processes.items()
+        if process.finished
+    }
+    result = RunResult(
         n=n,
         outputs=outputs,
         steps_by_pid=dict(steps),
-        completed=True,
+        completed=not crashed and len(outputs) == n,
         trace=trace,
+        crashed=frozenset(crashed),
     )
+    emit("on_run_end", result)
+    return result

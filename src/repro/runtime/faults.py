@@ -252,6 +252,9 @@ class FaultPlan:
                 )
             seen_crashes.add(crash.pid)
 
+    #: JSON format version written by :meth:`to_json`.
+    _JSON_VERSION = 1
+
     @property
     def crashed_pids(self) -> Tuple[int, ...]:
         """Pids this plan fail-stops, in ascending order."""
@@ -262,9 +265,91 @@ class FaultPlan:
         """True when every fault is expressible as adversary scheduling."""
         return not self.register_faults
 
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (self.crashes or self.stalls or self.register_faults)
+
     def injector(self) -> "FaultInjector":
         """Build a fresh stateful injector for one run."""
         return FaultInjector(self)
+
+    def to_json(self) -> Dict[str, Any]:
+        """A plain-JSON description that :meth:`from_json` restores exactly.
+
+        Plans are value objects (frozen dataclasses), so the round trip
+        preserves equality and hashing — the properties the fuzzer's corpus
+        uses to deduplicate minimized reproducers.
+        """
+        return {
+            "version": self._JSON_VERSION,
+            "crashes": [
+                {"pid": crash.pid, "after_steps": crash.after_steps}
+                for crash in self.crashes
+            ],
+            "stalls": [
+                {
+                    "pid": stall.pid,
+                    "start_step": stall.start_step,
+                    "duration": stall.duration,
+                }
+                for stall in self.stalls
+            ],
+            "register_faults": [
+                {
+                    "kind": fault.kind,
+                    "obj_name": fault.obj_name,
+                    "op_index": fault.op_index,
+                    "count": fault.count,
+                }
+                for fault in self.register_faults
+            ],
+            "allow_out_of_model": self.allow_out_of_model,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output.
+
+        Unknown versions are rejected with
+        :class:`~repro.errors.ConfigurationError`; every fault re-runs its
+        own validation, so a hand-edited corpus case cannot smuggle in an
+        out-of-model fault without the explicit opt-in flag.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"fault plan JSON must be an object, got {type(data).__name__}"
+            )
+        if data.get("version") != cls._JSON_VERSION:
+            raise ConfigurationError(
+                f"unsupported fault plan version {data.get('version')!r}; "
+                f"this build reads version {cls._JSON_VERSION}"
+            )
+        return cls(
+            crashes=tuple(
+                CrashFault(pid=int(entry["pid"]),
+                           after_steps=int(entry["after_steps"]))
+                for entry in data.get("crashes", ())
+            ),
+            stalls=tuple(
+                StallFault(
+                    pid=int(entry["pid"]),
+                    start_step=int(entry["start_step"]),
+                    duration=int(entry["duration"]),
+                )
+                for entry in data.get("stalls", ())
+            ),
+            register_faults=tuple(
+                RegisterFault(
+                    kind=str(entry["kind"]),
+                    obj_name=str(entry["obj_name"]),
+                    op_index=int(entry["op_index"]),
+                    count=int(entry["count"]),
+                )
+                for entry in data.get("register_faults", ())
+            ),
+            allow_out_of_model=bool(data.get("allow_out_of_model", False)),
+        )
 
 
 class FaultInjector(StepHook):

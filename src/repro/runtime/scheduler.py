@@ -76,7 +76,15 @@ class Schedule:
 
 
 class ExplicitSchedule(Schedule):
-    """A finite schedule given as a literal sequence of pids."""
+    """A finite schedule given as a literal sequence of pids.
+
+    Explicit schedules are value objects: two instances with the same slots
+    and the same ``n`` are equal and hash alike, and :meth:`to_json` /
+    :meth:`from_json` round-trip them exactly.  The fuzzer's regression
+    corpus relies on both properties for deduplication and replay.
+    """
+
+    _JSON_VERSION = 1
 
     def __init__(self, slots: Sequence[int], n: Optional[int] = None):
         self.slots = list(slots)
@@ -88,6 +96,49 @@ class ExplicitSchedule(Schedule):
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.slots)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExplicitSchedule):
+            return NotImplemented
+        return self.n == other.n and self.slots == other.slots
+
+    def __hash__(self) -> int:
+        return hash((self.n, tuple(self.slots)))
+
+    def __repr__(self) -> str:
+        return f"ExplicitSchedule({self.slots!r}, n={self.n})"
+
+    def to_json(self) -> Dict[str, object]:
+        """A plain-JSON description that :meth:`from_json` restores exactly."""
+        return {
+            "version": self._JSON_VERSION,
+            "kind": "explicit",
+            "n": self.n,
+            "slots": list(self.slots),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ExplicitSchedule":
+        """Rebuild a schedule from :meth:`to_json` output.
+
+        Rejects unknown versions/kinds with
+        :class:`~repro.errors.ConfigurationError` so a future format change
+        cannot be silently misread as today's.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"explicit schedule JSON must be an object, got {type(data).__name__}"
+            )
+        if data.get("version") != cls._JSON_VERSION:
+            raise ConfigurationError(
+                f"unsupported explicit schedule version {data.get('version')!r}; "
+                f"this build reads version {cls._JSON_VERSION}"
+            )
+        if data.get("kind") != "explicit":
+            raise ConfigurationError(
+                f"expected kind 'explicit', got {data.get('kind')!r}"
+            )
+        return cls(list(data["slots"]), n=int(data["n"]))
 
 
 class RoundRobinSchedule(Schedule):

@@ -42,6 +42,29 @@ __all__ = ["Simulator", "run_programs"]
 _DEFAULT_STEP_LIMIT = 50_000_000
 
 
+def _note_hook_failure(
+    error: BaseException,
+    hook: StepHook,
+    stage: str,
+    *,
+    pid: Optional[int] = None,
+    global_step: Optional[int] = None,
+) -> None:
+    """Attach who/where context to an exception escaping a step hook.
+
+    Fuzz campaigns surface hook failures (including strict monitor
+    violations) far from the run that produced them; the note pins the hook
+    class, lifecycle stage, pid, and global step so the failure is
+    diagnosable from the traceback alone.
+    """
+    where = [f"in {type(hook).__name__}.{stage}"]
+    if pid is not None:
+        where.append(f"pid={pid}")
+    if global_step is not None:
+        where.append(f"global step={global_step}")
+    error.add_note("raised " + ", ".join(where))
+
+
 class Simulator:
     """Executes one run of a protocol under an oblivious schedule.
 
@@ -112,15 +135,14 @@ class Simulator:
         crashed by a fault hook do not count as unfinished: wait-freedom
         demands only that the survivors terminate.
         """
-        for hook in self.hooks:
-            hook.on_run_start(self)
+        self._emit("on_run_start", self)
         for process in self.processes.values():
             if not process.started:
                 process.start()
             if process.finished:
                 self._unfinished.discard(process.pid)
-                for hook in self.hooks:
-                    hook.on_finish(process.pid, process.output)
+                self._emit("on_finish", process.pid, process.output,
+                           pid=process.pid)
 
         step_index = 0
         # Starvation guard: an infinite schedule that never again names an
@@ -182,8 +204,8 @@ class Simulator:
                     )
                 if process.finished:
                     self._unfinished.discard(pid)
-                    for hook in self.hooks:
-                        hook.on_finish(pid, process.output)
+                    self._emit("on_finish", pid, process.output,
+                               pid=pid, step=step_index)
                     if not self._unfinished:
                         break
             else:
@@ -208,9 +230,23 @@ class Simulator:
             trace=self.trace,
             crashed=frozenset(self._crashed),
         )
-        for hook in self.hooks:
-            hook.on_run_end(result)
+        self._emit("on_run_end", result)
         return result
+
+    def _emit(
+        self,
+        stage: str,
+        *args: Any,
+        pid: Optional[int] = None,
+        step: Optional[int] = None,
+    ) -> None:
+        """Call a void notification method on every hook, noting failures."""
+        for hook in self.hooks:
+            try:
+                getattr(hook, stage)(*args)
+            except BaseException as error:
+                _note_hook_failure(error, hook, stage, pid=pid, global_step=step)
+                raise
 
     def _consult_hooks(
         self, pid: int, step_index: int, process: Process
@@ -218,12 +254,17 @@ class Simulator:
         """Ask every hook about this slot; crash wins over skip over execute."""
         action: Optional[str] = None
         for hook in self.hooks:
-            decision = hook.before_step(
-                pid,
-                self._steps_by_pid[pid],
-                step_index,
-                process.pending_operation,
-            )
+            try:
+                decision = hook.before_step(
+                    pid,
+                    self._steps_by_pid[pid],
+                    step_index,
+                    process.pending_operation,
+                )
+            except BaseException as error:
+                _note_hook_failure(error, hook, "before_step",
+                                   pid=pid, global_step=step_index)
+                raise
             if decision == CRASH:
                 return CRASH
             if decision == SKIP:
@@ -234,8 +275,7 @@ class Simulator:
         """Fail-stop ``pid``: it keeps its state but never steps again."""
         self._crashed.add(pid)
         self._unfinished.discard(pid)
-        for hook in self.hooks:
-            hook.on_crash(pid, self._steps_by_pid[pid])
+        self._emit("on_crash", pid, self._steps_by_pid[pid], pid=pid)
 
     def _execute_one(self, process: Process, step_index: int) -> None:
         operation = process.pending_operation
@@ -245,7 +285,12 @@ class Simulator:
             )
         intercepted = None
         for hook in self.hooks:
-            intercepted = hook.intercept(process.pid, operation)
+            try:
+                intercepted = hook.intercept(process.pid, operation)
+            except BaseException as error:
+                _note_hook_failure(error, hook, "intercept",
+                                   pid=process.pid, global_step=step_index)
+                raise
             if intercepted is not None:
                 break
         if intercepted is not None:
@@ -264,8 +309,8 @@ class Simulator:
                     result=result,
                 )
             )
-        for hook in self.hooks:
-            hook.after_step(process.pid, step_index, operation, result)
+        self._emit("after_step", process.pid, step_index, operation, result,
+                   pid=process.pid, step=step_index)
         process.complete_step(result)
 
 

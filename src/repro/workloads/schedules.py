@@ -8,13 +8,15 @@ branch (so schedules stay independent of algorithm coins).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.runtime.rng import SeedTree
 from repro.runtime.scheduler import (
     BlockSchedule,
     CrashSchedule,
+    ExplicitSchedule,
     FrontRunnerSchedule,
     RandomSchedule,
     ReversedRoundRobinSchedule,
@@ -22,7 +24,7 @@ from repro.runtime.scheduler import (
     Schedule,
 )
 
-__all__ = ["SCHEDULE_FAMILIES", "make_schedule", "schedule_gallery"]
+__all__ = ["SCHEDULE_FAMILIES", "ScheduleSpec", "make_schedule", "schedule_gallery"]
 
 SCHEDULE_FAMILIES = (
     "round-robin",
@@ -59,6 +61,99 @@ def make_schedule(family: str, n: int, seeds: SeedTree) -> Schedule:
     raise ConfigurationError(
         f"unknown schedule family {family!r}; choose from {SCHEDULE_FAMILIES}"
     )
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """A serializable, hashable description of one adversary schedule.
+
+    A spec pins everything needed to rebuild the schedule bit-for-bit: the
+    family name (one of :data:`SCHEDULE_FAMILIES`, or ``"explicit"``), the
+    process count, the adversary's private seed, and — for explicit
+    schedules — the literal slot sequence.  Specs are frozen dataclasses,
+    so equality and hashing come for free; that plus the versioned JSON
+    round trip is what lets the fuzzer deduplicate scenarios and replay a
+    corpus case byte-for-byte.
+    """
+
+    family: str
+    n: int
+    seed: int = 0
+    slots: Optional[Tuple[int, ...]] = None
+
+    _JSON_VERSION = 1
+
+    def __post_init__(self) -> None:
+        if self.family == "explicit":
+            if self.slots is None:
+                raise ConfigurationError(
+                    "an explicit ScheduleSpec needs a slots tuple"
+                )
+            object.__setattr__(self, "slots", tuple(self.slots))
+            # Validate the slot sequence eagerly (range checks live there).
+            ExplicitSchedule(list(self.slots), n=self.n)
+        elif self.family in SCHEDULE_FAMILIES:
+            if self.slots is not None:
+                raise ConfigurationError(
+                    f"family {self.family!r} does not take explicit slots"
+                )
+        else:
+            raise ConfigurationError(
+                f"unknown schedule family {self.family!r}; choose from "
+                f"{SCHEDULE_FAMILIES + ('explicit',)}"
+            )
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+
+    @property
+    def is_finite(self) -> bool:
+        """True when the schedule can end before every process finishes.
+
+        Explicit schedules are finite lists, and ``crash-half`` starves the
+        crashed half forever; runs under either need ``allow_partial`` and
+        cannot support a whole-run termination oracle (per-process step
+        budgets still apply).
+        """
+        return self.family in ("explicit", "crash-half")
+
+    def build(self) -> Schedule:
+        """Construct the described schedule."""
+        if self.family == "explicit":
+            assert self.slots is not None
+            return ExplicitSchedule(list(self.slots), n=self.n)
+        return make_schedule(self.family, self.n, SeedTree(self.seed))
+
+    def to_json(self) -> Dict[str, Any]:
+        """A plain-JSON description that :meth:`from_json` restores exactly."""
+        data: Dict[str, Any] = {
+            "version": self._JSON_VERSION,
+            "family": self.family,
+            "n": self.n,
+            "seed": self.seed,
+        }
+        if self.slots is not None:
+            data["slots"] = list(self.slots)
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ScheduleSpec":
+        """Rebuild a spec from :meth:`to_json` output (versions are pinned)."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"schedule spec JSON must be an object, got {type(data).__name__}"
+            )
+        if data.get("version") != cls._JSON_VERSION:
+            raise ConfigurationError(
+                f"unsupported schedule spec version {data.get('version')!r}; "
+                f"this build reads version {cls._JSON_VERSION}"
+            )
+        slots = data.get("slots")
+        return cls(
+            family=str(data["family"]),
+            n=int(data["n"]),
+            seed=int(data.get("seed", 0)),
+            slots=None if slots is None else tuple(int(s) for s in slots),
+        )
 
 
 def schedule_gallery(n: int, seeds: SeedTree) -> Dict[str, Schedule]:

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.conciliator import Conciliator
 from repro.errors import ConfigurationError
+from repro.runtime.budget import Deadline
 from repro.runtime.rng import SeedTree
 from repro.runtime.scheduler import ExplicitSchedule
 from repro.runtime.simulator import run_programs
@@ -39,6 +40,10 @@ class SearchResult:
     agreement_rate: float
     evaluations: int
     history: List[float]  # best-so-far rate per generation
+    #: True when a wall-clock deadline or evaluation cap cut the search
+    #: short; the result is still the best candidate found so far.
+    stopped_early: bool = False
+    elapsed_seconds: float = 0.0
 
 
 def evaluate_schedule(
@@ -73,6 +78,8 @@ def search_worst_schedule(
     mutations_per_generation: int = 4,
     trials_per_eval: int = 8,
     master_seed: int = 0,
+    deadline_seconds: Optional[float] = None,
+    max_evaluations: Optional[int] = None,
 ) -> SearchResult:
     """Hill-climb toward the oblivious schedule minimizing agreement.
 
@@ -80,12 +87,25 @@ def search_worst_schedule(
     ``steps_per_process`` slots (so no candidate can starve anyone);
     mutation swaps random slot pairs.  Returns the worst schedule found and
     its (re-evaluated) agreement rate.
+
+    The search runs under the same budget machinery as the chaos fuzzer:
+    ``deadline_seconds`` bounds wall-clock time and ``max_evaluations``
+    bounds candidate evaluations.  Hitting either budget stops the search
+    *gracefully* — the best-so-far schedule is re-evaluated and returned
+    with ``stopped_early=True`` — so an E19-style search can never run
+    unbounded.  Budgets never change which candidates a given
+    ``master_seed`` proposes, only how far down the list the search gets.
     """
     n = len(inputs)
     if n < 1:
         raise ConfigurationError("search needs at least one process")
     if steps_per_process < 1:
         raise ConfigurationError("steps_per_process must be >= 1")
+    if max_evaluations is not None and max_evaluations < 1:
+        raise ConfigurationError(
+            f"max_evaluations must be >= 1, got {max_evaluations}"
+        )
+    deadline = Deadline(deadline_seconds)
     rng = random.Random(master_seed)
 
     def mutate(slots: List[int]) -> List[int]:
@@ -103,8 +123,21 @@ def search_worst_schedule(
     )
     evaluations = 1
     history = [current_rate]
+    stopped_early = False
+
+    def budget_exhausted() -> bool:
+        if deadline.expired():
+            return True
+        return max_evaluations is not None and evaluations >= max_evaluations
+
     for generation in range(generations):
+        if budget_exhausted():
+            stopped_early = True
+            break
         for _ in range(mutations_per_generation):
+            if budget_exhausted():
+                stopped_early = True
+                break
             candidate = mutate(current)
             rate = evaluate_schedule(
                 factory, inputs, ExplicitSchedule(candidate, n=n),
@@ -128,4 +161,6 @@ def search_worst_schedule(
         agreement_rate=final_rate,
         evaluations=evaluations,
         history=history,
+        stopped_early=stopped_early,
+        elapsed_seconds=deadline.elapsed(),
     )

@@ -1,0 +1,135 @@
+"""End-to-end acceptance tests for the chaos fuzzer.
+
+These pin the headline guarantees of the fuzz subsystem:
+
+1. a campaign over a stack with a *planted*, monitor-detectable bug finds
+   it, auto-shrinks it to a minimal reproducer, saves it to a corpus, and
+   the saved case replays to the same violation;
+2. an honest in-model campaign reports zero oracle violations;
+3. seeded campaigns are deterministic: same seed and budget produce the
+   same scenario sequence and byte-identical corpus files;
+4. out-of-model campaigns may degrade agreement-flavoured oracles but
+   never breach validity or termination.
+"""
+
+import json
+
+from repro.fuzz import (
+    FuzzConfig,
+    generate_scenario,
+    load_corpus,
+    replay_case,
+    run_fuzz_campaign,
+)
+from repro.fuzz.scenario import HARD_ORACLES
+
+
+def fingerprint(report):
+    """Report identity minus wall-clock timing and host-specific paths."""
+    import os
+
+    data = report.to_json()
+    data.pop("elapsed_seconds")
+    data["corpus_files"] = [os.path.basename(f) for f in data["corpus_files"]]
+    for finding in data["findings"]:
+        if finding["corpus_file"]:
+            finding["corpus_file"] = os.path.basename(finding["corpus_file"])
+    return json.dumps(data, sort_keys=True)
+
+
+class TestPlantedBugPipeline:
+    def test_found_shrunk_saved_and_replayed(self, tmp_path):
+        report = run_fuzz_campaign(
+            2012,
+            FuzzConfig(stacks=("planted-validity",), max_n=4),
+            trials=8,
+            corpus_dir=tmp_path,
+            corpus_per_bug=2,
+            shrink_max_reproductions=150,
+        )
+        assert not report.ok
+        findings = [f for f in report.findings if f.status == "violation"]
+        assert findings, "the planted validity bug was never hit"
+        for finding in findings:
+            assert "validity" in finding.oracles
+            # Shrinking made real progress: fewer processes or fewer faults
+            # or an explicit minimal schedule.
+            assert finding.shrunk.n <= finding.scenario.n
+            assert finding.shrunk.faults.is_empty
+
+        saved = load_corpus(tmp_path)
+        assert saved
+        for path, case in saved:
+            verdict = replay_case(case, wall_clock_seconds=60.0)
+            assert verdict.reproduced, path.name
+            assert verdict.missing == (), path.name
+            assert "validity" in verdict.matched
+
+    def test_planted_termination_bug_trips_the_watchdog(self, tmp_path):
+        report = run_fuzz_campaign(
+            2012,
+            FuzzConfig(stacks=("planted-termination",), max_n=4),
+            trials=8,
+            corpus_dir=tmp_path,
+            corpus_per_bug=1,
+            shrink_max_reproductions=100,
+        )
+        assert not report.ok
+        oracles = {o for f in report.findings for o in f.oracles}
+        assert oracles & {"wait-freedom", "termination"}
+
+
+class TestHonestCampaign:
+    def test_in_model_campaign_has_zero_violations(self):
+        report = run_fuzz_campaign(77, FuzzConfig(), trials=40)
+        assert report.ok
+        assert not report.findings
+        assert set(report.statuses) <= {"ok", "inconclusive"}
+        assert report.statuses.get("ok", 0) > report.trials // 2
+
+
+class TestCampaignDeterminism:
+    def test_scenario_sequence_is_a_pure_function_of_the_seed(self):
+        config = FuzzConfig()
+        first = [generate_scenario(31, i, config).canonical_json()
+                 for i in range(50)]
+        second = [generate_scenario(31, i, config).canonical_json()
+                  for i in range(50)]
+        assert first == second
+
+    def test_same_seed_same_budget_same_corpus_bytes(self, tmp_path):
+        fingerprints, corpora = [], []
+        for label in ("a", "b"):
+            corpus_dir = tmp_path / label
+            report = run_fuzz_campaign(
+                2012,
+                FuzzConfig(stacks=("planted-validity",), max_n=4),
+                trials=6,
+                corpus_dir=corpus_dir,
+                shrink_max_reproductions=80,
+                workers=1 if label == "a" else 2,
+            )
+            fingerprints.append(fingerprint(report))
+            corpora.append({
+                path.name: path.read_bytes()
+                for path, _ in load_corpus(corpus_dir)
+            })
+        assert fingerprints[0] == fingerprints[1]
+        assert corpora[0] and corpora[0] == corpora[1]
+
+
+class TestOutOfModelCampaign:
+    def test_degrades_but_never_breaches_hard_oracles(self):
+        report = run_fuzz_campaign(
+            55,
+            FuzzConfig(stacks=("sifting", "flag-ac", "snapshot"),
+                       allow_out_of_model=True),
+            trials=40,
+            shrink=False,
+            include_degraded_in_corpus=False,
+        )
+        assert report.ok, [f.oracles for f in report.findings
+                           if f.status == "violation"]
+        degraded = [f for f in report.findings if f.status == "degraded"]
+        for finding in degraded:
+            assert not set(finding.oracles) & HARD_ORACLES

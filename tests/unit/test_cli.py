@@ -146,3 +146,93 @@ class TestParallelFlags:
                      "--workers", "-2"])
         assert code == 2
         assert "workers" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_list_stacks(self, capsys):
+        code = main(["fuzz", "--list-stacks"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "sifting" in output
+        assert "planted-validity" in output
+
+    def test_requires_a_sizing_mode(self, capsys):
+        code = main(["fuzz"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_rejects_both_sizing_modes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--trials", "5",
+                                       "--time-budget", "1"])
+
+    def test_honest_campaign_exits_zero(self, capsys):
+        code = main(["fuzz", "--trials", "8", "--seed", "5",
+                     "--stacks", "sifting,flag-ac"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "ok" in output
+        assert "trials=8" in output
+
+    def test_planted_campaign_exits_one_and_writes_corpus(self, tmp_path,
+                                                          capsys):
+        code = main(["fuzz", "--trials", "6", "--seed", "2",
+                     "--stacks", "planted-validity", "--no-shrink",
+                     "--corpus", str(tmp_path / "corpus")])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATIONS FOUND" in output
+        assert list((tmp_path / "corpus").glob("case-*.json"))
+
+    def test_json_report(self, capsys):
+        import json
+
+        code = main(["fuzz", "--trials", "4", "--seed", "5",
+                     "--stacks", "sifting", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["trials"] == 4
+        assert report["ok"] is True
+
+    def test_unknown_stack_is_a_configuration_error(self, capsys):
+        code = main(["fuzz", "--trials", "2", "--stacks", "nope"])
+        assert code == 2
+        assert "unknown stack" in capsys.readouterr().err
+
+
+class TestReplayCommand:
+    def test_empty_corpus_is_ok(self, tmp_path, capsys):
+        code = main(["replay", "--corpus", str(tmp_path)])
+        assert code == 0
+        assert "no corpus cases" in capsys.readouterr().out
+
+    def test_replays_written_corpus(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--trials", "6", "--seed", "2",
+                     "--stacks", "planted-validity", "--no-shrink",
+                     "--corpus", str(corpus)]) == 1
+        capsys.readouterr()
+        code = main(["replay", "--corpus", str(corpus)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "0 failed to reproduce" in output
+
+    def test_fabricated_case_that_cannot_reproduce_fails(self, tmp_path,
+                                                         capsys):
+        from repro.fuzz import CorpusCase, Scenario, save_case
+        from repro.workloads.schedules import ScheduleSpec
+
+        save_case(
+            CorpusCase(
+                scenario=Scenario(
+                    stack="sifting", n=2, workload="binary", seed=1,
+                    schedule=ScheduleSpec("round-robin", 2),
+                ),
+                oracles=("validity",),
+            ),
+            tmp_path,
+        )
+        code = main(["replay", "--corpus", str(tmp_path)])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in output

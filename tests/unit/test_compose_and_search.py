@@ -135,3 +135,53 @@ class TestScheduleSearch:
             search_worst_schedule(
                 lambda: SiftingConciliator(1), [0], steps_per_process=0,
             )
+
+
+class TestScheduleSearchBudgets:
+    def search(self, **kwargs):
+        n = 4
+        rounds = SiftingConciliator(n).rounds
+        return search_worst_schedule(
+            lambda: SiftingConciliator(n),
+            list(range(n)),
+            steps_per_process=rounds,
+            generations=4,
+            mutations_per_generation=2,
+            trials_per_eval=4,
+            master_seed=2,
+            **kwargs,
+        )
+
+    def test_unbudgeted_search_is_not_stopped_early(self):
+        result = self.search()
+        assert not result.stopped_early
+        assert result.elapsed_seconds >= 0.0
+
+    def test_max_evaluations_stops_gracefully(self):
+        result = self.search(max_evaluations=2)
+        assert result.stopped_early
+        # One initial evaluation, at most one mutation, plus the final
+        # fresh-seed re-evaluation of the best candidate.
+        assert result.evaluations <= 3
+        assert 0.0 <= result.agreement_rate <= 1.0
+        # The returned schedule is still a complete, fair candidate.
+        n = 4
+        rounds = SiftingConciliator(n).rounds
+        for pid in range(n):
+            assert result.schedule.slots.count(pid) == rounds
+
+    def test_budgets_never_change_the_candidate_sequence(self):
+        # A budgeted search explores a prefix: its best-so-far history must
+        # be a prefix of the unbudgeted history for the same master seed.
+        full = self.search()
+        cut = self.search(max_evaluations=4)
+        assert cut.history == full.history[: len(cut.history)]
+
+    def test_deadline_stops_the_search(self):
+        result = self.search(deadline_seconds=1e-9)
+        assert result.stopped_early
+        assert result.evaluations <= 2
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_evaluations"):
+            self.search(max_evaluations=0)

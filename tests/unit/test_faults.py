@@ -296,3 +296,44 @@ class TestSlotDecisionConstants:
     def test_constants_are_distinct_strings(self):
         assert CRASH != SKIP
         assert isinstance(CRASH, str) and isinstance(SKIP, str)
+
+
+class TestFaultPlanValueSemantics:
+    def plan(self):
+        return FaultPlan(
+            crashes=(CrashFault(pid=1, after_steps=4),),
+            stalls=(StallFault(pid=0, start_step=2, duration=6),),
+            register_faults=(
+                RegisterFault(kind="stale-read", obj_name="r", op_index=1,
+                              count=2),
+            ),
+            allow_out_of_model=True,
+        )
+
+    def test_equality_and_hash(self):
+        assert self.plan() == self.plan()
+        assert hash(self.plan()) == hash(self.plan())
+        assert self.plan() != FaultPlan()
+
+    def test_is_empty(self):
+        assert FaultPlan().is_empty
+        assert not self.plan().is_empty
+
+    def test_json_round_trip_preserves_equality(self):
+        plan = self.plan()
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert hash(restored) == hash(plan)
+        assert FaultPlan.from_json(FaultPlan().to_json()) == FaultPlan()
+
+    def test_unknown_version_rejected(self):
+        data = self.plan().to_json()
+        data["version"] = 2
+        with pytest.raises(ConfigurationError, match="version"):
+            FaultPlan.from_json(data)
+
+    def test_from_json_revalidates_the_out_of_model_gate(self):
+        data = self.plan().to_json()
+        data["allow_out_of_model"] = False
+        with pytest.raises(ConfigurationError, match="allow_out_of_model"):
+            FaultPlan.from_json(data)

@@ -1,0 +1,133 @@
+"""Unit tests for fuzz campaigns: determinism, budgets, corpus wiring."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.fuzz import FuzzConfig, load_corpus, run_fuzz_campaign
+from repro.fuzz.campaign import campaign_run_key
+
+
+def report_fingerprint(report):
+    """Everything except wall-clock timing."""
+    data = report.to_json()
+    data.pop("elapsed_seconds")
+    return json.dumps(data, sort_keys=True)
+
+
+HONEST = FuzzConfig(stacks=("sifting", "flag-ac"), max_n=3)
+PLANTED = FuzzConfig(stacks=("planted-validity",), max_n=3)
+
+
+class TestCampaignValidation:
+    def test_exactly_one_sizing_mode(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            run_fuzz_campaign(1, HONEST)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            run_fuzz_campaign(1, HONEST, trials=5, time_budget=1.0)
+
+    def test_checkpoint_requires_fixed_trials(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="fixed trials"):
+            run_fuzz_campaign(1, HONEST, time_budget=0.1,
+                              checkpoint_path=str(tmp_path / "j.ckpt"))
+
+    def test_resume_requires_checkpoint_path(self):
+        with pytest.raises(ConfigurationError, match="resume"):
+            run_fuzz_campaign(1, HONEST, trials=2, resume=True)
+
+    def test_existing_journal_needs_explicit_resume(self, tmp_path):
+        journal = tmp_path / "j.ckpt"
+        run_fuzz_campaign(1, HONEST, trials=4, checkpoint_path=str(journal))
+        with pytest.raises(CheckpointError, match="already exists"):
+            run_fuzz_campaign(1, HONEST, trials=4,
+                              checkpoint_path=str(journal))
+
+    def test_unknown_stack_fails_fast(self):
+        with pytest.raises(ConfigurationError, match="unknown stack"):
+            run_fuzz_campaign(1, FuzzConfig(stacks=("nope",)), trials=1)
+
+
+class TestCampaignDeterminism:
+    def test_worker_count_does_not_change_results(self):
+        serial = run_fuzz_campaign(5, HONEST, trials=16, workers=1)
+        parallel = run_fuzz_campaign(5, HONEST, trials=16, workers=2,
+                                     chunk_size=3)
+        assert report_fingerprint(serial) == report_fingerprint(parallel)
+
+    def test_checkpoint_resume_is_bit_identical(self, tmp_path):
+        journal = tmp_path / "j.ckpt"
+        baseline = run_fuzz_campaign(9, HONEST, trials=12)
+        run_fuzz_campaign(9, HONEST, trials=12, checkpoint_path=str(journal))
+        resumed = run_fuzz_campaign(9, HONEST, trials=12,
+                                    checkpoint_path=str(journal), resume=True)
+        assert report_fingerprint(resumed) == report_fingerprint(baseline)
+
+    def test_corpus_bytes_are_stable_across_reruns(self, tmp_path):
+        first_dir, second_dir = tmp_path / "a", tmp_path / "b"
+        for directory in (first_dir, second_dir):
+            run_fuzz_campaign(
+                13, PLANTED, trials=10, corpus_dir=directory,
+                shrink_max_reproductions=60,
+            )
+        first = {path.name: path.read_bytes()
+                 for path, _ in load_corpus(first_dir)}
+        second = {path.name: path.read_bytes()
+                  for path, _ in load_corpus(second_dir)}
+        assert first and first == second
+
+    def test_run_key_pins_the_configuration(self):
+        key = campaign_run_key(3, 10, HONEST)
+        assert key == campaign_run_key(3, 10, HONEST)
+        assert key != campaign_run_key(4, 10, HONEST)
+        assert key != campaign_run_key(3, 11, HONEST)
+        assert key != campaign_run_key(3, 10, PLANTED)
+
+
+class TestCampaignBehaviour:
+    def test_honest_campaign_is_ok(self):
+        report = run_fuzz_campaign(2, HONEST, trials=20)
+        assert report.ok
+        assert report.trials == 20
+        assert not report.findings
+        assert report.statuses.get("ok", 0) > 0
+
+    def test_planted_campaign_finds_and_saves(self, tmp_path):
+        report = run_fuzz_campaign(
+            2, PLANTED, trials=10, corpus_dir=tmp_path,
+            shrink_max_reproductions=60,
+        )
+        assert not report.ok
+        assert any(f.status == "violation" for f in report.findings)
+        assert report.corpus_files
+        for finding in report.findings:
+            assert "validity" in finding.oracles
+            # The shrunk reproducer is never bigger in process count.
+            assert finding.shrunk.n <= finding.scenario.n
+
+    def test_corpus_cap_per_bug(self, tmp_path):
+        report = run_fuzz_campaign(
+            2, PLANTED, trials=12, corpus_dir=tmp_path,
+            shrink=False, corpus_per_bug=2,
+        )
+        saved = [f for f in report.findings if f.corpus_file]
+        assert len(saved) == 2
+        assert len(list(tmp_path.glob("case-*.json"))) == 2
+
+    def test_no_shrink_records_scenarios_verbatim(self, tmp_path):
+        report = run_fuzz_campaign(
+            2, PLANTED, trials=6, corpus_dir=tmp_path, shrink=False,
+        )
+        for finding in report.findings:
+            assert finding.shrunk == finding.scenario
+
+    def test_time_budget_mode_runs_and_stops(self):
+        report = run_fuzz_campaign(2, HONEST, time_budget=0.5, workers=1)
+        assert report.stopped_by == "time-budget"
+        assert report.trials > 0
+
+    def test_report_json_is_serializable(self):
+        report = run_fuzz_campaign(2, HONEST, trials=4)
+        parsed = json.loads(json.dumps(report.to_json()))
+        assert parsed["trials"] == 4
+        assert parsed["ok"] is True

@@ -1,0 +1,132 @@
+"""Unit tests for the delta-debugging scenario shrinker."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fuzz import Scenario, shrink_scenario
+from repro.fuzz.scenario import ScenarioOutcome, ViolationRecord
+from repro.runtime.faults import CrashFault, FaultPlan, StallFault
+from repro.workloads.schedules import ScheduleSpec
+
+
+def scenario_with_noise(n=4):
+    """A scenario padded with faults that are irrelevant to the 'bug'."""
+    return Scenario(
+        stack="sifting", n=n, workload="distinct", seed=3,
+        schedule=ScheduleSpec("explicit", n, slots=tuple(range(n)) * 6),
+        faults=FaultPlan(
+            crashes=(CrashFault(pid=n - 1, after_steps=9),),
+            stalls=(StallFault(pid=0, start_step=5, duration=7),),
+        ),
+    )
+
+
+def fake_runner(predicate):
+    """A run_scenario stand-in firing 'validity' when predicate(scenario)."""
+
+    def run(scenario, wall_clock_seconds=None):
+        if predicate(scenario):
+            return ScenarioOutcome(
+                scenario, "violation",
+                violations=(ViolationRecord("validity", None, "planted"),),
+            )
+        return ScenarioOutcome(scenario, "ok")
+
+    return run
+
+
+class TestShrinkWithFakeOracle:
+    def test_strips_everything_irrelevant(self):
+        # The "bug" fires whenever pid 0 appears in the schedule at all, so
+        # the minimum is: one process, no faults, a single slot.
+        result = shrink_scenario(
+            scenario_with_noise(),
+            frozenset({"validity"}),
+            run=fake_runner(lambda s: True),
+        )
+        assert result.scenario.n == 1
+        assert result.scenario.faults.is_empty
+        assert len(result.scenario.schedule.slots) == 1
+        assert result.improvements > 0
+        assert not result.stopped_early
+
+    def test_keeps_the_load_bearing_fault(self):
+        # The bug needs the crash: shrinking must not remove it.
+        needs_crash = fake_runner(lambda s: bool(s.faults.crashes))
+        result = shrink_scenario(
+            scenario_with_noise(),
+            frozenset({"validity"}),
+            run=needs_crash,
+        )
+        assert result.scenario.faults.crashes
+        assert not result.scenario.faults.stalls
+
+    def test_non_reproducing_scenario_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="does not reproduce"):
+            shrink_scenario(
+                scenario_with_noise(),
+                frozenset({"validity"}),
+                run=fake_runner(lambda s: False),
+            )
+
+    def test_empty_oracle_set_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="oracle"):
+            shrink_scenario(scenario_with_noise(), frozenset())
+
+    def test_reproduction_budget_stops_early(self):
+        result = shrink_scenario(
+            scenario_with_noise(),
+            frozenset({"validity"}),
+            max_reproductions=2,
+            run=fake_runner(lambda s: True),
+        )
+        assert result.stopped_early
+        assert result.attempts <= 2
+
+    def test_materializes_randomized_families_for_ddmin(self):
+        scenario = Scenario(
+            stack="sifting", n=3, workload="distinct", seed=3,
+            schedule=ScheduleSpec("random", 3, seed=8),
+        )
+        result = shrink_scenario(
+            scenario, frozenset({"validity"}), run=fake_runner(lambda s: True),
+        )
+        assert result.scenario.schedule.family == "explicit"
+        assert len(result.scenario.schedule.slots) == 1
+
+    def test_deterministic(self):
+        first = shrink_scenario(
+            scenario_with_noise(), frozenset({"validity"}),
+            run=fake_runner(lambda s: True),
+        )
+        second = shrink_scenario(
+            scenario_with_noise(), frozenset({"validity"}),
+            run=fake_runner(lambda s: True),
+        )
+        assert first.scenario == second.scenario
+        assert first.attempts == second.attempts
+
+
+class TestShrinkRealPlantedBug:
+    def test_planted_validity_bug_minimizes(self):
+        # planted-validity corrupts outputs with probability 1/2 per pid;
+        # find a seed that fires, then shrink for real.
+        from repro.fuzz import run_scenario
+
+        reproducer = None
+        for seed in range(40):
+            scenario = Scenario(
+                stack="planted-validity", n=3, workload="distinct", seed=seed,
+                schedule=ScheduleSpec("round-robin", 3),
+            )
+            outcome = run_scenario(scenario)
+            if "validity" in outcome.oracle_names:
+                reproducer = scenario
+                break
+        assert reproducer is not None
+        result = shrink_scenario(
+            reproducer, frozenset({"validity"}), max_reproductions=120,
+        )
+        assert "validity" in result.outcome.oracle_names
+        assert result.scenario.n <= reproducer.n
+        assert result.scenario.faults.is_empty

@@ -150,3 +150,38 @@ class TestGallery:
         # object, not a reactive one.
         for name, schedule in standard_gallery(3, SeedTree(1)).items():
             assert schedule.take(40) == schedule.take(40), name
+
+
+class TestExplicitScheduleValueSemantics:
+    def test_equality_and_hash(self):
+        assert ExplicitSchedule([0, 1, 0]) == ExplicitSchedule([0, 1, 0])
+        assert hash(ExplicitSchedule([0, 1, 0])) == hash(
+            ExplicitSchedule([0, 1, 0])
+        )
+        assert ExplicitSchedule([0, 1, 0]) != ExplicitSchedule([0, 1, 1])
+        assert ExplicitSchedule([0, 1], n=2) != ExplicitSchedule([0, 1], n=3)
+        assert ExplicitSchedule([0]) != "not a schedule"
+
+    def test_json_round_trip(self):
+        schedule = ExplicitSchedule([0, 2, 1, 1], n=4)
+        restored = ExplicitSchedule.from_json(schedule.to_json())
+        assert restored == schedule
+        assert restored.n == 4
+
+    def test_unknown_version_rejected(self):
+        data = ExplicitSchedule([0, 1]).to_json()
+        data["version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            ExplicitSchedule.from_json(data)
+
+    def test_wrong_kind_rejected(self):
+        data = ExplicitSchedule([0, 1]).to_json()
+        data["kind"] = "random"
+        with pytest.raises(ConfigurationError, match="kind"):
+            ExplicitSchedule.from_json(data)
+
+    def test_from_json_revalidates_slots(self):
+        data = ExplicitSchedule([0, 1]).to_json()
+        data["slots"] = [0, 7]
+        with pytest.raises(ConfigurationError):
+            ExplicitSchedule.from_json(data)

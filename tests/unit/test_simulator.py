@@ -248,3 +248,79 @@ class TestDeterminism:
         )
         assert traced.trace is not None
         assert len(traced.trace) == 2
+
+
+class TestHookFailureNotes:
+    """A hook that raises gets pid/step/class context attached via add_note."""
+
+    def run_with_hook(self, hook, n=2):
+        register = AtomicRegister("r")
+        return run_programs(
+            [write_then_read(register)] * n,
+            RoundRobinSchedule(n),
+            SeedTree(0),
+            hooks=[hook],
+        )
+
+    def test_before_step_failure_is_annotated(self):
+        from repro.runtime.faults import StepHook
+
+        class Exploding(StepHook):
+            def before_step(self, pid, process_steps, global_steps, operation):
+                if global_steps == 3:
+                    raise RuntimeError("boom")
+                return None
+
+        with pytest.raises(RuntimeError, match="boom") as excinfo:
+            self.run_with_hook(Exploding())
+        notes = "".join(getattr(excinfo.value, "__notes__", []))
+        assert "Exploding" in notes
+        assert "before_step" in notes
+        assert "pid=1" in notes
+        assert "global step=3" in notes
+
+    def test_after_step_failure_is_annotated(self):
+        from repro.runtime.faults import StepHook
+
+        class Exploding(StepHook):
+            def after_step(self, pid, global_steps, operation, result):
+                raise ValueError("observer crashed")
+
+        with pytest.raises(ValueError, match="observer crashed") as excinfo:
+            self.run_with_hook(Exploding())
+        notes = "".join(getattr(excinfo.value, "__notes__", []))
+        assert "Exploding.after_step" in notes
+        assert "pid=0" in notes
+
+    def test_on_finish_failure_is_annotated(self):
+        from repro.runtime.faults import StepHook
+
+        class Exploding(StepHook):
+            def on_finish(self, pid, output):
+                raise RuntimeError("finish hook died")
+
+        with pytest.raises(RuntimeError, match="finish hook died") as excinfo:
+            self.run_with_hook(Exploding())
+        notes = "".join(getattr(excinfo.value, "__notes__", []))
+        assert "Exploding.on_finish" in notes
+
+    def test_intercept_failure_is_annotated(self):
+        from repro.runtime.faults import StepHook
+
+        class Exploding(StepHook):
+            def intercept(self, pid, operation):
+                raise RuntimeError("intercept died")
+
+        with pytest.raises(RuntimeError, match="intercept died") as excinfo:
+            self.run_with_hook(Exploding())
+        notes = "".join(getattr(excinfo.value, "__notes__", []))
+        assert "Exploding.intercept" in notes
+        assert "pid=0" in notes
+
+    def test_well_behaved_hooks_gain_no_notes(self):
+        from repro.runtime.monitors import ValidityMonitor
+
+        monitor = ValidityMonitor([0, 1], strict=False)
+        result = self.run_with_hook(monitor)
+        assert result.completed
+        assert monitor.violations == []

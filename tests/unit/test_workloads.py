@@ -98,3 +98,49 @@ class TestScheduleFamilies:
         one = make_schedule("random", 4, SeedTree(1)).take(30)
         two = make_schedule("random", 4, SeedTree(2)).take(30)
         assert one != two
+
+
+class TestScheduleSpec:
+    def test_family_spec_builds_the_same_schedule(self):
+        from repro.workloads.schedules import ScheduleSpec
+
+        spec = ScheduleSpec("random", 4, seed=9)
+        assert spec.build().take(30) == spec.build().take(30)
+        assert spec.build().take(30) == ScheduleSpec("random", 4, seed=9).build().take(30)
+
+    def test_explicit_spec_round_trips(self):
+        from repro.workloads.schedules import ScheduleSpec
+
+        spec = ScheduleSpec("explicit", 3, slots=(0, 1, 2, 2, 0))
+        restored = ScheduleSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert hash(restored) == hash(spec)
+        assert restored.build().take(10) == [0, 1, 2, 2, 0]
+
+    def test_validation(self):
+        from repro.workloads.schedules import ScheduleSpec
+
+        with pytest.raises(ConfigurationError, match="slots"):
+            ScheduleSpec("explicit", 3)
+        with pytest.raises(ConfigurationError, match="slots"):
+            ScheduleSpec("random", 3, slots=(0, 1))
+        with pytest.raises(ConfigurationError, match="unknown schedule family"):
+            ScheduleSpec("nonsense", 3)
+        with pytest.raises(ConfigurationError):
+            ScheduleSpec("explicit", 2, slots=(0, 5))
+
+    def test_unknown_version_rejected(self):
+        from repro.workloads.schedules import ScheduleSpec
+
+        data = ScheduleSpec("random", 3, seed=1).to_json()
+        data["version"] = 0
+        with pytest.raises(ConfigurationError, match="version"):
+            ScheduleSpec.from_json(data)
+
+    def test_is_finite_flags_partial_run_families(self):
+        from repro.workloads.schedules import ScheduleSpec
+
+        assert ScheduleSpec("explicit", 2, slots=(0, 1)).is_finite
+        assert ScheduleSpec("crash-half", 4).is_finite
+        assert not ScheduleSpec("round-robin", 4).is_finite
+        assert not ScheduleSpec("random", 4).is_finite
