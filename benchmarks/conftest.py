@@ -19,13 +19,22 @@ optionally ``REPRO_BENCH_CHUNK_SIZE`` to pin the dispatch granularity.  The
 sharded engine is bit-identical to the serial one (see
 ``tests/property/test_parallel_equivalence.py``), so parallel benchmark
 tables match EXPERIMENTS.md exactly; only the wall clock changes.
+
+Set ``REPRO_BENCH_METRICS=1`` to install a session metrics registry (see
+``repro.obs.metrics.collecting``): every sweep the benchmarks run then
+aggregates simulator counters/histograms into it, and the combined
+snapshot is written to ``benchmarks/results/metrics.json`` at session end.
+Metrics never touch the experiment tables — the registry records only
+deterministic step/operation counts, so tables match with or without it.
 """
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
+from repro.obs.metrics import collecting
 from repro.runtime.parallel import parallelism
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -33,6 +42,7 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 _CHUNK = os.environ.get("REPRO_BENCH_CHUNK_SIZE", "")
 CHUNK_SIZE = int(_CHUNK) if _CHUNK else None
+METRICS = os.environ.get("REPRO_BENCH_METRICS", "") not in ("", "0")
 
 
 @pytest.fixture(autouse=True)
@@ -45,6 +55,26 @@ def bench_parallelism():
     """
     with parallelism(workers=WORKERS, chunk_size=CHUNK_SIZE) as config:
         yield config
+
+
+@pytest.fixture(autouse=True, scope="session")
+def bench_metrics():
+    """Session metrics registry, enabled via ``REPRO_BENCH_METRICS=1``.
+
+    The trial runners fall back to the session default registry, so simply
+    installing one here makes every benchmark sweep feed it; the aggregate
+    snapshot lands in ``benchmarks/results/metrics.json``.
+    """
+    if not METRICS:
+        yield None
+        return
+    with collecting() as registry:
+        yield registry
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "metrics.json"
+    path.write_text(
+        json.dumps(registry.to_json(), indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture

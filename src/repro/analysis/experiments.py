@@ -34,6 +34,7 @@ from repro.analysis.stats import SampleSummary, summarize, wilson_interval
 from repro.core.conciliator import Conciliator, run_conciliator
 from repro.core.consensus import ConsensusProtocol
 from repro.errors import CheckpointError, ConfigurationError
+from repro.obs.metrics import MetricsRegistry, get_default_registry
 from repro.runtime.parallel import run_indexed_trials
 from repro.runtime.results import RunResult
 from repro.runtime.rng import SeedTree
@@ -211,6 +212,7 @@ class _ConciliatorOutcome(NamedTuple):
     validity_failure: int
     individual_steps: float
     total_steps: float
+    metrics: Optional[Dict[str, Any]] = None
 
 
 class _ConsensusOutcome(NamedTuple):
@@ -219,6 +221,40 @@ class _ConsensusOutcome(NamedTuple):
     individual_steps: float
     total_steps: float
     phases: Optional[float]
+    metrics: Optional[Dict[str, Any]] = None
+
+
+class _DecayOutcome(NamedTuple):
+    series: List[int]
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def _resolve_metrics(metrics: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """The registry a sweep aggregates into: explicit, else session default.
+
+    Collection stays strictly opt-in: with no explicit registry and no
+    session default (:func:`repro.obs.metrics.collecting`), trials run with
+    the simulator's no-hook fast path and pay nothing.
+    """
+    return metrics if metrics is not None else get_default_registry()
+
+
+def _fold_trial_metrics(
+    target: Optional[MetricsRegistry], outcomes: Sequence[Any]
+) -> None:
+    """Merge per-trial metric snapshots into ``target`` in trial order.
+
+    Each trial records into a fresh registry inside its (possibly forked)
+    worker and ships back a JSON snapshot; folding the snapshots by trial
+    index — never by worker or completion order — keeps the aggregate
+    registry bit-identical across all worker counts, matching the parallel
+    contract the sweep statistics already obey.
+    """
+    if target is None:
+        return
+    for outcome in outcomes:
+        if outcome.metrics is not None:
+            target.merge_snapshot(outcome.metrics)
 
 
 def run_conciliator_trials(
@@ -233,6 +269,7 @@ def run_conciliator_trials(
     chunk_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ConciliatorTrialStats:
     """Run ``trials`` independent executions of a conciliator.
 
@@ -249,6 +286,13 @@ def run_conciliator_trials(
     ``checkpoint_path`` journals completed trial chunks durably; a killed
     sweep re-run with ``resume=True`` replays the journal and continues,
     with stats bit-identical to an uninterrupted run.
+
+    ``metrics`` optionally names a
+    :class:`~repro.obs.metrics.MetricsRegistry` that aggregates per-trial
+    simulator metrics (folded in trial order, so the aggregate is
+    bit-identical across worker counts).  With no explicit registry the
+    sweep falls back to the session default installed by
+    :func:`repro.obs.metrics.collecting`, and collects nothing otherwise.
     """
     _validate_sweep(trials, len(inputs))
     _resolve_checkpoint(checkpoint_path, resume)
@@ -257,24 +301,30 @@ def run_conciliator_trials(
     inputs = list(inputs)
     input_map = dict(enumerate(inputs))
     kind = _protocol_kind(factory())
+    registry = _resolve_metrics(metrics)
+    collect = registry is not None
     run_key = (
         f"conciliator|kind={kind}|n={len(inputs)}|trials={trials}"
         f"|seed={master_seed}|schedule={schedule_family}"
         f"|partial={int(allow_partial)}"
+        + ("|metrics=1" if collect else "")
     )
 
     def task(trial: int) -> _ConciliatorOutcome:
         trial_seeds = trial_seed_tree(master_seed, trial)
         conciliator = factory()
         schedule = _trial_schedule(schedule_family, conciliator.n, trial_seeds)
+        trial_registry = MetricsRegistry() if collect else None
         result = _run_one_conciliator(
-            conciliator, inputs, schedule, trial_seeds, allow_partial
+            conciliator, inputs, schedule, trial_seeds, allow_partial,
+            metrics=trial_registry,
         )
         return _ConciliatorOutcome(
             agreement=int(result.agreement),
             validity_failure=int(not result.validity_holds(input_map)),
             individual_steps=float(result.max_individual_steps),
             total_steps=float(result.total_steps),
+            metrics=None if trial_registry is None else trial_registry.to_json(),
         )
 
     outcomes = run_indexed_trials(
@@ -285,6 +335,7 @@ def run_conciliator_trials(
         checkpoint_path=checkpoint_path,
         run_key=run_key,
     )
+    _fold_trial_metrics(registry, outcomes)
     return ConciliatorTrialStats(
         n=len(inputs),
         trials=trials,
@@ -302,6 +353,7 @@ def _run_one_conciliator(
     schedule,
     trial_seeds: SeedTree,
     allow_partial: bool,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     from repro.runtime.simulator import run_programs
 
@@ -312,6 +364,7 @@ def _run_one_conciliator(
         trial_seeds,
         inputs=list(inputs),
         allow_partial=allow_partial,
+        metrics=metrics,
     )
 
 
@@ -327,12 +380,14 @@ def run_consensus_trials(
     chunk_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ConsensusTrialStats:
     """Run ``trials`` independent consensus executions and check safety.
 
-    Accepts the same ``workers``/``chunk_size`` sharding and
-    ``checkpoint_path``/``resume`` crash-safety knobs as
-    :func:`run_conciliator_trials`, with the same bit-identical guarantees.
+    Accepts the same ``workers``/``chunk_size`` sharding,
+    ``checkpoint_path``/``resume`` crash-safety, and ``metrics``
+    aggregation knobs as :func:`run_conciliator_trials`, with the same
+    bit-identical guarantees.
     """
     _validate_sweep(trials, len(inputs))
     _resolve_checkpoint(checkpoint_path, resume)
@@ -341,10 +396,13 @@ def run_consensus_trials(
     inputs = list(inputs)
     input_map = dict(enumerate(inputs))
     kind = _protocol_kind(factory())
+    registry = _resolve_metrics(metrics)
+    collect = registry is not None
     run_key = (
         f"consensus|kind={kind}|n={len(inputs)}|trials={trials}"
         f"|seed={master_seed}|schedule={schedule_family}"
         f"|partial={int(allow_partial)}"
+        + ("|metrics=1" if collect else "")
     )
 
     def task(trial: int) -> _ConsensusOutcome:
@@ -354,22 +412,27 @@ def run_consensus_trials(
         protocol = factory()
         schedule = _trial_schedule(schedule_family, protocol.n, trial_seeds)
         programs = [protocol.program] * protocol.n
+        trial_registry = MetricsRegistry() if collect else None
         result = run_programs(
             programs,
             schedule,
             trial_seeds,
             inputs=list(inputs),
             allow_partial=allow_partial,
+            metrics=trial_registry,
         )
         phases: Optional[float] = None
         if protocol.phases_used:
             phases = float(max(protocol.phases_used.values()))
+        if trial_registry is not None and phases is not None:
+            trial_registry.histogram("consensus.phases").observe(phases)
         return _ConsensusOutcome(
             agreement_failure=int(not result.agreement),
             validity_failure=int(not result.validity_holds(input_map)),
             individual_steps=float(result.max_individual_steps),
             total_steps=float(result.total_steps),
             phases=phases,
+            metrics=None if trial_registry is None else trial_registry.to_json(),
         )
 
     outcomes = run_indexed_trials(
@@ -380,6 +443,7 @@ def run_consensus_trials(
         checkpoint_path=checkpoint_path,
         run_key=run_key,
     )
+    _fold_trial_metrics(registry, outcomes)
     phase_samples = [o.phases for o in outcomes if o.phases is not None]
     return ConsensusTrialStats(
         n=len(inputs),
@@ -404,30 +468,45 @@ def decay_series(
     chunk_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[float]:
     """Mean distinct-survivor counts ``Y_i`` per round across trials.
 
     Entry ``i`` is the average, over trials, of the number of distinct
     personae held by processes after completing round ``i+1`` — the measured
-    counterpart of the decay bounds in Lemmas 1 and 3/4.
+    counterpart of the decay bounds in Lemmas 1 and 3/4.  ``metrics``
+    aggregates per-trial simulator metrics exactly as in
+    :func:`run_conciliator_trials`.
     """
     _validate_sweep(trials, len(inputs))
     _resolve_checkpoint(checkpoint_path, resume)
     inputs = list(inputs)
     kind = _protocol_kind(factory())
+    registry = _resolve_metrics(metrics)
+    collect = registry is not None
     run_key = (
         f"decay|kind={kind}|n={len(inputs)}|trials={trials}"
         f"|seed={master_seed}|schedule={schedule_family}"
+        + ("|metrics=1" if collect else "")
     )
 
-    def task(trial: int) -> List[int]:
+    def task(trial: int) -> _DecayOutcome:
         trial_seeds = trial_seed_tree(master_seed, trial)
         conciliator = factory()
         schedule = _trial_schedule(schedule_family, conciliator.n, trial_seeds)
-        run_conciliator(conciliator, inputs, schedule, trial_seeds)
-        return list(conciliator.survivor_series())
+        trial_registry = MetricsRegistry() if collect else None
+        run_conciliator(
+            conciliator, inputs, schedule, trial_seeds, metrics=trial_registry
+        )
+        series = list(conciliator.survivor_series())
+        if trial_registry is not None:
+            trial_registry.histogram("conciliator.rounds").observe(len(series))
+        return _DecayOutcome(
+            series=series,
+            metrics=None if trial_registry is None else trial_registry.to_json(),
+        )
 
-    all_series = run_indexed_trials(
+    outcomes = run_indexed_trials(
         task,
         trials,
         workers=workers,
@@ -435,9 +514,11 @@ def decay_series(
         checkpoint_path=checkpoint_path,
         run_key=run_key,
     )
+    _fold_trial_metrics(registry, outcomes)
     sums: Dict[int, float] = {}
     rounds_seen = 0
-    for series in all_series:
+    for outcome in outcomes:
+        series = outcome.series
         rounds_seen = max(rounds_seen, len(series))
         for index, count in enumerate(series):
             sums[index] = sums.get(index, 0.0) + count

@@ -27,7 +27,7 @@ generate, where it is exact and fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, FrozenSet, Generator, Hashable, List, Optional, Tuple
+from typing import Any, FrozenSet, Generator, Hashable, List, Tuple
 
 from repro.errors import ConfigurationError
 

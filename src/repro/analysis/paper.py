@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Sequence
 
 from repro.adoptcommit.collect_ac import CollectAdoptCommit
 from repro.adoptcommit.encoders import IntEncoder

@@ -9,6 +9,8 @@ Installed as ``python -m repro``.  Subcommands:
 - ``experiments``  regenerate the paper's experiment tables (E1-E12)
 - ``fuzz``         chaos-fuzz random protocol/schedule/fault scenarios
 - ``replay``       re-run the regression corpus and report reproduction
+- ``bench``        run the curated perf suite, write ``BENCH_<label>.json``
+- ``bench compare`` gate one bench report against another (CI perf gate)
 
 Every command takes ``--seed`` and is fully reproducible; schedules come
 from the named adversary families in ``repro.workloads.schedules``.  Trial
@@ -211,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--json", action="store_true",
                       help="print the full campaign report as JSON")
+    fuzz.add_argument(
+        "--metrics", action="store_true",
+        help="collect the metrics registry across all trials and include "
+             "the aggregate snapshot in the campaign report",
+    )
     _add_parallel_arguments(fuzz)
     _add_checkpoint_arguments(fuzz)
 
@@ -222,6 +229,45 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="DIR", help="corpus directory to replay")
     replay.add_argument("--json", action="store_true",
                         help="print per-case verdicts as JSON")
+
+    from repro.obs.bench import DEFAULT_THRESHOLD, SUITE_NAMES
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the curated perf suite and emit a machine-readable "
+             "BENCH_<label>.json report",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized suite (seconds instead of tens of "
+                            "seconds); results are labeled as quick and "
+                            "only comparable to other quick runs")
+    bench.add_argument("--label", type=str, default="local",
+                       help="report label; names the output file "
+                            "BENCH_<label>.json (default: local)")
+    bench.add_argument("--seed", type=int, default=2012)
+    bench.add_argument("--suite", type=str, default="",
+                       help="comma-separated case names to run "
+                            f"(default: all of {', '.join(SUITE_NAMES)})")
+    bench.add_argument("--out", type=str, default=None, metavar="PATH",
+                       help="write the report to PATH (a directory gets "
+                            "the canonical BENCH_<label>.json name)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full report as JSON on stdout")
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="compare a new bench report against a baseline; exits 1 when "
+             "any case's steps/sec regressed past the threshold",
+    )
+    bench_compare.add_argument("old", help="baseline BENCH_*.json")
+    bench_compare.add_argument("new", help="candidate BENCH_*.json")
+    bench_compare.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional steps/sec drop per case before the gate "
+             f"fails (default: {DEFAULT_THRESHOLD})",
+    )
+    bench_compare.add_argument("--json", action="store_true",
+                               help="print the comparison as JSON")
     return parser
 
 
@@ -432,6 +478,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        collect_metrics=True if args.metrics else None,
         log=lambda message: print(message, file=sys.stderr),
     )
     if args.json:
@@ -497,6 +544,57 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.bench import (
+        compare_bench,
+        load_bench_json,
+        run_bench_suite,
+        write_bench_json,
+    )
+
+    if getattr(args, "bench_command", None) == "compare":
+        comparison = compare_bench(
+            load_bench_json(args.old),
+            load_bench_json(args.new),
+            threshold=args.threshold,
+        )
+        if args.json:
+            print(_json.dumps(comparison.to_json(), indent=2, sort_keys=True))
+        else:
+            print(comparison.render())
+        return 0 if comparison.ok else 1
+
+    suites = tuple(
+        token.strip() for token in args.suite.split(",") if token.strip()
+    )
+    report = run_bench_suite(
+        label=args.label,
+        quick=args.quick,
+        seed=args.seed,
+        suites=suites or None,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    if args.out is not None:
+        path = write_bench_json(report, args.out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        mode = "quick" if report["quick"] else "full"
+        print(f"label={report['label']} mode={mode} seed={report['seed']} "
+              f"git={report['git_sha'][:12]} "
+              f"elapsed={report['elapsed_seconds']:.1f}s")
+        for name in sorted(report["cases"]):
+            case = report["cases"][name]
+            print(f"  {name:22s} n={case['n']:3d} trials={case['trials']:4d} "
+                  f"{case['steps_per_sec']:12.0f} steps/s "
+                  f"p50={case['latency_p50_s'] * 1e3:.2f}ms "
+                  f"p95={case['latency_p95_s'] * 1e3:.2f}ms")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -509,6 +607,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

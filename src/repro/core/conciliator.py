@@ -106,13 +106,16 @@ def run_conciliator(
     hooks: Sequence[Any] = (),
     allow_partial: bool = False,
     skip_guard: Optional[int] = None,
+    metrics: Optional[Any] = None,
 ) -> RunResult:
     """Run one conciliator execution: every process proposes its input.
 
     ``hooks`` attaches fault injectors and invariant monitors (see
     :mod:`repro.runtime.faults` and :mod:`repro.runtime.monitors`) to the
     underlying simulator; ``allow_partial``/``skip_guard`` support fault
-    sweeps that deliberately crash or starve processes.
+    sweeps that deliberately crash or starve processes; ``metrics``
+    optionally names a :class:`~repro.obs.metrics.MetricsRegistry` the run
+    populates (surfaced on ``RunResult.metrics``).
     """
     programs = [conciliator.program] * len(inputs)
     return run_programs(
@@ -125,4 +128,5 @@ def run_conciliator(
         hooks=hooks,
         allow_partial=allow_partial,
         skip_guard=skip_guard,
+        metrics=metrics,
     )

@@ -28,7 +28,7 @@ Instantiations:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Generator, Hashable, Optional, Sequence, Tuple
 
 from repro.adoptcommit.base import AdoptCommitObject
 from repro.adoptcommit.encoders import DomainEncoder
@@ -197,13 +197,15 @@ def run_consensus(
     hooks: Sequence[Any] = (),
     allow_partial: bool = False,
     skip_guard: Optional[int] = None,
+    metrics: Optional[Any] = None,
 ) -> RunResult:
     """Run one consensus execution with the given input assignment.
 
     ``hooks`` attaches fault injectors and invariant monitors (see
     :mod:`repro.runtime.faults` and :mod:`repro.runtime.monitors`);
     ``allow_partial``/``skip_guard`` support fault sweeps that crash or
-    starve processes on purpose.
+    starve processes on purpose.  ``metrics`` attaches a
+    :class:`~repro.obs.metrics.MetricsRegistry` for the run.
     """
     if len(inputs) != protocol.n:
         raise ConfigurationError(
@@ -220,4 +222,5 @@ def run_consensus(
         hooks=hooks,
         allow_partial=allow_partial,
         skip_guard=skip_guard,
+        metrics=metrics,
     )

@@ -18,8 +18,8 @@ analysis (and our survivor counting) clean.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -34,6 +34,7 @@ from repro.fuzz.scenario import (
     run_scenario,
 )
 from repro.fuzz.shrink import shrink_scenario
+from repro.obs.metrics import MetricsRegistry, get_default_registry
 from repro.runtime.budget import Deadline
 from repro.runtime.parallel import resolve_workers, run_indexed_trials
 
@@ -77,6 +78,7 @@ class CampaignReport:
     corpus_files: List[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     stopped_by: str = "trials"
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -94,29 +96,50 @@ class CampaignReport:
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "stopped_by": self.stopped_by,
             "ok": self.ok,
+            "metrics": self.metrics,
         }
 
 
-def campaign_run_key(master_seed: int, trials: int, config: FuzzConfig) -> str:
-    """Checkpoint journal key: the campaign's full deterministic identity."""
-    return json.dumps(
-        {
-            "kind": "repro-fuzz-campaign",
-            "master_seed": master_seed,
-            "trials": trials,
-            "config": config.to_json(),
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+def campaign_run_key(
+    master_seed: int,
+    trials: int,
+    config: FuzzConfig,
+    *,
+    collect_metrics: bool = False,
+) -> str:
+    """Checkpoint journal key: the campaign's full deterministic identity.
+
+    Metrics collection changes what each journaled outcome carries, so a
+    metrics-enabled campaign gets a distinct key rather than silently
+    resuming a journal whose outcomes have no snapshots (and vice versa).
+    The flag is only written when set, so pre-existing journals keep
+    matching their original key.
+    """
+    identity: Dict[str, Any] = {
+        "kind": "repro-fuzz-campaign",
+        "master_seed": master_seed,
+        "trials": trials,
+        "config": config.to_json(),
+    }
+    if collect_metrics:
+        identity["metrics"] = True
+    return json.dumps(identity, sort_keys=True, separators=(",", ":"))
 
 
 def _run_trial(
-    master_seed: int, index: int, config: FuzzConfig, wall_clock: Optional[float]
+    master_seed: int,
+    index: int,
+    config: FuzzConfig,
+    wall_clock: Optional[float],
+    collect_metrics: bool = False,
 ) -> Dict[str, Any]:
     """Worker body: generate, run, classify one trial; returns plain JSON."""
     scenario = generate_scenario(master_seed, index, config)
-    outcome = run_scenario(scenario, wall_clock_seconds=wall_clock)
+    outcome = run_scenario(
+        scenario,
+        wall_clock_seconds=wall_clock,
+        metrics=MetricsRegistry() if collect_metrics else None,
+    )
     return outcome.to_json()
 
 
@@ -137,6 +160,7 @@ def run_fuzz_campaign(
     chunk_size: Optional[int] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    collect_metrics: Optional[bool] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> CampaignReport:
     """Run one fuzz campaign.
@@ -148,6 +172,13 @@ def run_fuzz_campaign(
     resume safely).  In both modes trial ``i`` always runs the same
     scenario, so a time-budgeted campaign explores a prefix of the fixed
     sequence.
+
+    ``collect_metrics`` attaches a fresh metrics registry to every trial
+    and folds the per-trial snapshots — in trial order, so the aggregate
+    is bit-identical across worker counts — into ``report.metrics``; when
+    left ``None`` it follows the session default installed by
+    :func:`repro.obs.metrics.collecting` (which also receives a copy of
+    the aggregate).
     """
     config = config or FuzzConfig()
     config.resolved_stacks()  # fail fast on unknown stack names
@@ -177,9 +208,13 @@ def run_fuzz_campaign(
         )
     emit = log or (lambda message: None)
     started = time.monotonic()
+    if collect_metrics is None:
+        collect_metrics = get_default_registry() is not None
 
     def task(index: int) -> Dict[str, Any]:
-        return _run_trial(master_seed, index, config, trial_wall_clock)
+        return _run_trial(
+            master_seed, index, config, trial_wall_clock, collect_metrics
+        )
 
     outcomes: List[Dict[str, Any]] = []
     stopped_by = "trials"
@@ -190,7 +225,9 @@ def run_fuzz_campaign(
             workers=workers,
             chunk_size=chunk_size,
             checkpoint_path=checkpoint_path,
-            run_key=campaign_run_key(master_seed, trials, config),
+            run_key=campaign_run_key(
+                master_seed, trials, config, collect_metrics=collect_metrics
+            ),
         )
     else:
         deadline = Deadline(time_budget)
@@ -215,6 +252,18 @@ def run_fuzz_campaign(
         trials=len(outcomes),
         stopped_by=stopped_by,
     )
+    if collect_metrics:
+        # Fold per-trial snapshots in trial order (never completion order),
+        # so the campaign aggregate is bit-identical across worker counts.
+        aggregate = MetricsRegistry()
+        for outcome_json in outcomes:
+            snapshot = outcome_json.get("metrics")
+            if snapshot is not None:
+                aggregate.merge_snapshot(snapshot)
+        report.metrics = aggregate.to_json()
+        session_registry = get_default_registry()
+        if session_registry is not None:
+            session_registry.merge_snapshot(report.metrics)
     seen_corpus: set = set()
     # Cap corpus files per distinct bug — keyed on (stack, oracle set) — so
     # one hot bug found in many trials does not flood the corpus with

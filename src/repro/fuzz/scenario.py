@@ -47,6 +47,7 @@ from repro.fuzz.stacks import (
     get_stack,
     stack_names,
 )
+from repro.obs.metrics import MetricsHook, MetricsRegistry
 from repro.runtime.adaptive import ADAPTIVE_FAMILIES, AdaptiveSpec, run_adaptive_programs
 from repro.runtime.budget import Deadline, WallClockBudgetHook
 from repro.runtime.faults import FaultPlan, CrashFault, RegisterFault, StallFault
@@ -233,6 +234,7 @@ class ScenarioOutcome:
     degradations: Tuple[ViolationRecord, ...] = ()
     total_steps: int = 0
     note: str = ""
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def oracle_names(self) -> Tuple[str, ...]:
@@ -249,6 +251,7 @@ class ScenarioOutcome:
             "degradations": [record.to_json() for record in self.degradations],
             "total_steps": self.total_steps,
             "note": self.note,
+            "metrics": self.metrics,
         }
 
 
@@ -469,7 +472,10 @@ def _output_records(
 
 
 def run_scenario(
-    scenario: Scenario, *, wall_clock_seconds: Optional[float] = None
+    scenario: Scenario,
+    *,
+    wall_clock_seconds: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ScenarioOutcome:
     """Execute one scenario under the full oracle suite.
 
@@ -477,6 +483,10 @@ def run_scenario(
     pathological scenario is cut off and reported as ``budget-exceeded``
     instead of hanging the campaign.  Within the budget, the outcome is a
     deterministic function of the scenario.
+
+    ``metrics`` optionally names a registry the run populates — simulator
+    step/operation counters plus monitor observations — and whose snapshot
+    is carried on :attr:`ScenarioOutcome.metrics` for campaign aggregation.
     """
     spec = get_stack(scenario.stack)
     if spec.workloads is not None and scenario.workload not in spec.workloads:
@@ -487,16 +497,20 @@ def run_scenario(
     inputs = make_inputs(scenario.workload, scenario.n, scenario.seed)
     built = spec.build(scenario.n, inputs)
 
-    validity = ValidityMonitor(inputs, strict=False)
-    coherence = AdoptCommitCoherenceMonitor(strict=False)
-    watchdog = WaitFreedomWatchdog(built.step_budget, strict=False)
-    register_semantics = RegisterSemanticsMonitor(strict=False)
+    validity = ValidityMonitor(inputs, strict=False, metrics=metrics)
+    coherence = AdoptCommitCoherenceMonitor(strict=False, metrics=metrics)
+    watchdog = WaitFreedomWatchdog(
+        built.step_budget, strict=False, metrics=metrics
+    )
+    register_semantics = RegisterSemanticsMonitor(strict=False, metrics=metrics)
     monitors = [validity, coherence, watchdog, register_semantics]
 
     hooks: List[Any] = []
     if not scenario.faults.is_empty:
         hooks.append(scenario.faults.injector())
     hooks.extend(monitors)
+    if metrics is not None:
+        hooks.append(MetricsHook(metrics))
     if wall_clock_seconds is not None:
         hooks.append(WallClockBudgetHook(Deadline(wall_clock_seconds)))
 
@@ -507,6 +521,13 @@ def run_scenario(
     result: Optional[RunResult] = None
     total_steps = 0
     status: Optional[str] = None
+
+    def finish(status: str, **kwargs: Any) -> ScenarioOutcome:
+        snapshot: Optional[Dict[str, Any]] = None
+        if metrics is not None:
+            metrics.counter("fuzz.scenario.status", status=status).inc()
+            snapshot = metrics.to_json()
+        return ScenarioOutcome(scenario, status, metrics=snapshot, **kwargs)
 
     try:
         if scenario.adaptive is not None:
@@ -532,9 +553,7 @@ def run_scenario(
                 allow_partial=scenario.schedule.is_finite,
             )
     except BudgetExceededError as error:
-        return ScenarioOutcome(
-            scenario, "budget-exceeded", note=str(error),
-        )
+        return finish("budget-exceeded", note=str(error))
     except StepLimitExceededError as error:
         records.append(ViolationRecord(
             "termination", None,
@@ -547,8 +566,8 @@ def run_scenario(
             # A stall window keyed on a frozen global step count can never
             # close once every other process is done; the run cannot
             # exercise the oracles, so it is inconclusive, not a violation.
-            return ScenarioOutcome(
-                scenario, "inconclusive",
+            return finish(
+                "inconclusive",
                 note=f"stall window could not close: {error}",
             )
         records.append(ViolationRecord(
@@ -586,8 +605,7 @@ def run_scenario(
             status = "degraded"
         else:
             status = "ok"
-    return ScenarioOutcome(
-        scenario,
+    return finish(
         status,
         violations=violations,
         degradations=degradations,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Callable, FrozenSet, Iterator, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.fuzz.scenario import Scenario, ScenarioOutcome, run_scenario

@@ -1,0 +1,82 @@
+"""Observability layer: structured tracing, metrics, and benchmarking.
+
+The paper's claims are quantitative (Theorems 1-3 bound expected steps and
+rounds), so per-run step/round/contention numbers are both an engineering
+and a scientific deliverable.  This package provides the measurement
+substrate the rest of the repository plugs into:
+
+- :mod:`repro.obs.events` — a versioned, JSONL-serializable trace event
+  schema covering steps, register reads/writes, snapshot scans, persona
+  adoptions, round transitions, crashes, and stalls;
+- :mod:`repro.obs.tracing` — :class:`TraceRecorder`, a
+  :class:`~repro.runtime.faults.StepHook` that records structured events
+  with ring-buffer and sampling modes, and is zero-cost when not attached
+  (the simulator skips all hook machinery when it has no hooks);
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` counters/histograms
+  whose snapshots merge deterministically across the parallel trial engine
+  (bit-identical to a serial sweep, the same contract the PR 1 engine
+  makes for results);
+- :mod:`repro.obs.bench` — the ``repro bench`` harness: a curated suite
+  (one case per algorithm family plus a raw simulator-step microbench)
+  that writes canonical ``BENCH_<label>.json`` files and a ``compare``
+  mode that gates CI on steps/sec regressions.
+"""
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchComparison,
+    CaseComparison,
+    SUITE_NAMES,
+    compare_bench,
+    load_bench_json,
+    run_bench_suite,
+    write_bench_json,
+)
+from repro.obs.events import (
+    EVENT_KINDS,
+    TRACE_SCHEMA_VERSION,
+    TraceEventRecord,
+    event_from_json,
+    event_to_json,
+    read_trace_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Histogram,
+    MetricsHook,
+    MetricsRegistry,
+    collecting,
+    get_default_registry,
+    merge_snapshots,
+    set_default_registry,
+)
+from repro.obs.tracing import TraceRecorder
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "CaseComparison",
+    "Counter",
+    "EVENT_KINDS",
+    "Histogram",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsHook",
+    "MetricsRegistry",
+    "SUITE_NAMES",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEventRecord",
+    "TraceRecorder",
+    "collecting",
+    "compare_bench",
+    "event_from_json",
+    "event_to_json",
+    "get_default_registry",
+    "load_bench_json",
+    "merge_snapshots",
+    "read_trace_jsonl",
+    "run_bench_suite",
+    "set_default_registry",
+    "write_trace_jsonl",
+]

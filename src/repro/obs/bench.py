@@ -1,0 +1,510 @@
+"""The ``repro bench`` harness: curated suite, canonical JSON, compare gate.
+
+The suite has one case per algorithm family plus a raw simulator-step
+microbench, so a perf regression anywhere in the hot path — the step loop,
+snapshot scans, sifting rounds, consensus composition — moves at least one
+number here:
+
+- ``simulator-step``     raw step-loop throughput, no hooks attached
+- ``snapshot-conciliator``  Algorithm 1 end to end
+- ``sifting-conciliator``   Algorithm 2 end to end
+- ``cil-embedded``          Algorithm 3 (CIL with embedded conciliator)
+- ``consensus``             the conciliator + adopt-commit composition
+
+Each case runs a fixed, seeded workload for a fixed trial count (smaller
+under ``--quick``), measures per-trial wall latency, counts charged steps,
+and collects a deterministic metrics snapshot via
+:class:`~repro.obs.metrics.MetricsHook`.  The headline figure is
+**steps/sec** — work over time — because it is comparable across hosts of
+similar class and robust to trial-count changes.
+
+Reports are versioned JSON (``BENCH_<label>.json``) carrying machine
+totals, p50/p95 latencies, steps/sec, the metrics snapshot, the git SHA,
+and an environment fingerprint.  :func:`compare_bench` diffs two reports
+and flags any case whose steps/sec regressed past a threshold — the CI
+perf gate.  Timing numbers are host-dependent by nature; the committed
+baseline plus a generous threshold (40% in CI) absorbs runner noise while
+still catching step-loop pessimizations, which tend to be multiplicative.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsHook, MetricsRegistry, merge_snapshots
+from repro.runtime.operations import Read, Write
+from repro.runtime.rng import SeedTree
+from repro.runtime.simulator import run_programs
+from repro.workloads.schedules import make_schedule
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "CaseComparison",
+    "SUITE_NAMES",
+    "compare_bench",
+    "load_bench_json",
+    "run_bench_suite",
+    "write_bench_json",
+]
+
+#: Version stamped on every bench report; bump on incompatible change.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default steps/sec regression fraction past which compare fails.
+DEFAULT_THRESHOLD = 0.4
+
+
+# ----- case implementations --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Sizing:
+    """Per-case workload size; quick mode trades coverage for CI latency."""
+
+    n: int
+    trials: int
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sequence."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[rank]
+
+
+def _spin_program(ops: int):
+    """A program executing ``ops`` register steps: the step-loop microbench.
+
+    Alternates writes and reads on the process's own register so the
+    measured cost is the simulator loop itself, not object contention.
+    """
+
+    def program(ctx):
+        from repro.memory.register import AtomicRegister
+
+        register = AtomicRegister(name=f"spin-{ctx.pid}")
+        for index in range(ops // 2):
+            yield Write(register, index)
+            yield Read(register)
+        return ctx.pid
+
+    return program
+
+
+def _run_trials(
+    build: Callable[[SeedTree], Tuple[List[Any], List[Any]]],
+    *,
+    n: int,
+    trials: int,
+    seed: int,
+    hooks_factory: Optional[Callable[[], Tuple[List[Any], MetricsRegistry]]],
+    allow_partial: bool = False,
+) -> Dict[str, Any]:
+    """Shared measurement loop: per-trial latency, steps, metric snapshots.
+
+    ``build(seeds)`` returns ``(programs, inputs)`` for one trial; the
+    schedule comes from the trial's ``"schedule"`` seed branch as usual.
+    """
+    latencies: List[float] = []
+    total_steps = 0
+    snapshots: List[Dict[str, Any]] = []
+    for trial in range(trials):
+        seeds = SeedTree(seed).child(f"bench-{trial}")
+        programs, inputs = build(seeds)
+        schedule = make_schedule("random", n, seeds.child("schedule"))
+        hooks: List[Any] = []
+        registry: Optional[MetricsRegistry] = None
+        if hooks_factory is not None:
+            hooks, registry = hooks_factory()
+        started = time.perf_counter()
+        result = run_programs(
+            programs,
+            schedule,
+            seeds,
+            inputs=inputs,
+            hooks=hooks,
+            allow_partial=allow_partial,
+        )
+        latencies.append(time.perf_counter() - started)
+        total_steps += result.total_steps
+        if registry is not None:
+            snapshots.append(registry.to_json())
+    elapsed = sum(latencies)
+    merged = merge_snapshots(snapshots) if snapshots else None
+    metrics = merged.to_json() if merged is not None else None
+    if metrics is not None:
+        # The report's metrics blob is for reading, not re-aggregation:
+        # keep the exact moments, drop the decimated sample arrays so a
+        # committed baseline stays a small, reviewable diff.
+        for hist in metrics.get("histograms", {}).values():
+            hist.pop("samples", None)
+            hist.pop("stride", None)
+    return {
+        "trials": trials,
+        "n": n,
+        "total_steps": total_steps,
+        "elapsed_seconds": elapsed,
+        "steps_per_sec": total_steps / elapsed if elapsed > 0 else 0.0,
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p95_s": _percentile(latencies, 0.95),
+        "metrics": metrics,
+    }
+
+
+def _metrics_hooks() -> Tuple[List[Any], MetricsRegistry]:
+    registry = MetricsRegistry()
+    return [MetricsHook(registry)], registry
+
+
+def _case_simulator_step(sizing: _Sizing, seed: int) -> Dict[str, Any]:
+    """Raw step-loop throughput with no hooks: the zero-overhead floor."""
+    ops = 2_000
+
+    def build(seeds: SeedTree):
+        return [_spin_program(ops)] * sizing.n, list(range(sizing.n))
+
+    return _run_trials(
+        build, n=sizing.n, trials=sizing.trials, seed=seed,
+        hooks_factory=None,
+    )
+
+
+def _conciliator_case(factory: Callable[[int], Any]):
+    def case(sizing: _Sizing, seed: int) -> Dict[str, Any]:
+        def build(seeds: SeedTree):
+            conciliator = factory(sizing.n)
+            return ([conciliator.program] * sizing.n,
+                    list(range(sizing.n)))
+
+        return _run_trials(
+            build, n=sizing.n, trials=sizing.trials, seed=seed,
+            hooks_factory=_metrics_hooks,
+        )
+
+    return case
+
+
+def _case_consensus(sizing: _Sizing, seed: int) -> Dict[str, Any]:
+    from repro.core.consensus import register_consensus
+
+    def build(seeds: SeedTree):
+        protocol = register_consensus(
+            sizing.n, value_domain=list(range(sizing.n))
+        )
+        return [protocol.program] * sizing.n, list(range(sizing.n))
+
+    return _run_trials(
+        build, n=sizing.n, trials=sizing.trials, seed=seed,
+        hooks_factory=_metrics_hooks,
+    )
+
+
+def _snapshot_factory(n: int):
+    from repro.core.snapshot_conciliator import SnapshotConciliator
+
+    return SnapshotConciliator(n)
+
+
+def _sifting_factory(n: int):
+    from repro.core.sifting_conciliator import SiftingConciliator
+
+    return SiftingConciliator(n)
+
+
+def _cil_factory(n: int):
+    from repro.core.cil_embedded import CILEmbeddedConciliator
+
+    return CILEmbeddedConciliator(n)
+
+
+#: name -> (case function, quick sizing, full sizing)
+_SUITE: Dict[str, Tuple[Callable[[_Sizing, int], Dict[str, Any]],
+                        _Sizing, _Sizing]] = {
+    # Sizings target roughly a second per case in quick mode and several
+    # seconds in full mode: long enough that steps/sec is a stable signal
+    # on a shared CI runner, short enough to gate every PR.
+    "simulator-step": (
+        _case_simulator_step, _Sizing(n=8, trials=30), _Sizing(n=8, trials=100),
+    ),
+    "snapshot-conciliator": (
+        _conciliator_case(_snapshot_factory),
+        _Sizing(n=16, trials=300), _Sizing(n=32, trials=500),
+    ),
+    "sifting-conciliator": (
+        _conciliator_case(_sifting_factory),
+        _Sizing(n=16, trials=300), _Sizing(n=32, trials=500),
+    ),
+    "cil-embedded": (
+        _conciliator_case(_cil_factory),
+        _Sizing(n=16, trials=200), _Sizing(n=32, trials=300),
+    ),
+    "consensus": (
+        _case_consensus, _Sizing(n=12, trials=200), _Sizing(n=16, trials=400),
+    ),
+}
+
+SUITE_NAMES: Tuple[str, ...] = tuple(_SUITE)
+
+
+# ----- report construction ---------------------------------------------------
+
+
+def _git_sha() -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def _env_fingerprint() -> Dict[str, Any]:
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        cpus = os.cpu_count() or 1
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": cpus,
+    }
+
+
+def run_bench_suite(
+    *,
+    label: str = "local",
+    quick: bool = False,
+    seed: int = 2012,
+    suites: Optional[Sequence[str]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the curated suite and return the versioned bench report.
+
+    ``suites`` restricts the run to named cases (default: all of
+    :data:`SUITE_NAMES`); unknown names are rejected up front so a typo
+    cannot silently produce an empty gate.
+    """
+    wanted = list(suites) if suites else list(SUITE_NAMES)
+    unknown = [name for name in wanted if name not in _SUITE]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown bench case(s) {unknown}; choose from {SUITE_NAMES}"
+        )
+    emit = log or (lambda message: None)
+    cases: Dict[str, Any] = {}
+    started = time.perf_counter()
+    for name in wanted:
+        case_fn, quick_sizing, full_sizing = _SUITE[name]
+        sizing = quick_sizing if quick else full_sizing
+        emit(f"bench: {name} (n={sizing.n}, trials={sizing.trials})...")
+        cases[name] = case_fn(sizing, seed)
+        emit(f"bench: {name}: "
+             f"{cases[name]['steps_per_sec']:.0f} steps/sec")
+    return {
+        "v": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "quick": quick,
+        "seed": seed,
+        "created_unix": time.time(),
+        "git_sha": _git_sha(),
+        "env": _env_fingerprint(),
+        "elapsed_seconds": time.perf_counter() - started,
+        "cases": cases,
+    }
+
+
+def bench_filename(label: str) -> str:
+    """Canonical on-disk name for a labeled report."""
+    return f"BENCH_{label}.json"
+
+
+def write_bench_json(
+    report: Dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write a report canonically (sorted keys, trailing newline).
+
+    If ``path`` is an existing directory — or is spelled with a trailing
+    slash, in which case it is created — the file is named
+    ``BENCH_<label>.json`` inside it.
+    """
+    wants_dir = str(path).endswith(("/", os.sep))
+    path = Path(path)
+    if path.is_dir() or wants_dir:
+        path = path / bench_filename(str(report.get("label", "local")))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_bench_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a report, rejecting foreign schema versions."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ConfigurationError(
+            f"bench file {str(path)!r} cannot be read: {error}"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"bench file {str(path)!r} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(data, dict) or data.get("v") != BENCH_SCHEMA_VERSION:
+        version = data.get("v") if isinstance(data, dict) else None
+        raise ConfigurationError(
+            f"unsupported bench schema version {version!r} in "
+            f"{str(path)!r}; this build reads version {BENCH_SCHEMA_VERSION}"
+        )
+    return data
+
+
+# ----- comparison ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One case's old-vs-new verdict."""
+
+    name: str
+    old_steps_per_sec: Optional[float]
+    new_steps_per_sec: Optional[float]
+    #: Fractional change in steps/sec; negative = slower.  ``None`` when
+    #: the case is missing on either side.
+    change: Optional[float]
+    regressed: bool
+    note: str = ""
+
+
+@dataclass
+class BenchComparison:
+    """The full compare verdict between two reports."""
+
+    threshold: float
+    cases: List[CaseComparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(case.regressed for case in self.cases)
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        return [case for case in self.cases if case.regressed]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "cases": [
+                {
+                    "name": case.name,
+                    "old_steps_per_sec": case.old_steps_per_sec,
+                    "new_steps_per_sec": case.new_steps_per_sec,
+                    "change": case.change,
+                    "regressed": case.regressed,
+                    "note": case.note,
+                }
+                for case in self.cases
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable table for terminal output."""
+        lines = [
+            f"{'case':<24} {'old steps/s':>12} {'new steps/s':>12} "
+            f"{'change':>8}  verdict"
+        ]
+        for case in self.cases:
+            old = (f"{case.old_steps_per_sec:.0f}"
+                   if case.old_steps_per_sec is not None else "-")
+            new = (f"{case.new_steps_per_sec:.0f}"
+                   if case.new_steps_per_sec is not None else "-")
+            change = (f"{case.change:+.1%}"
+                      if case.change is not None else "-")
+            verdict = "REGRESSED" if case.regressed else "ok"
+            note = f" ({case.note})" if case.note else ""
+            lines.append(
+                f"{case.name:<24} {old:>12} {new:>12} {change:>8}  "
+                f"{verdict}{note}"
+            )
+        lines.append(
+            f"threshold: {self.threshold:.0%} steps/sec regression; "
+            + ("all cases within bounds" if self.ok
+               else f"{len(self.regressions)} case(s) regressed")
+        )
+        return "\n".join(lines)
+
+
+def compare_bench(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Diff two bench reports and flag steps/sec regressions.
+
+    A case regresses when its steps/sec dropped by more than ``threshold``
+    (a fraction of the old value).  A case present in ``old`` but missing
+    from ``new`` also fails — a silently skipped case must not read as a
+    pass.  Cases only in ``new`` are recorded informationally.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError(
+            f"threshold must be a fraction in (0, 1), got {threshold}"
+        )
+    comparison = BenchComparison(threshold=threshold)
+    old_cases = old.get("cases", {})
+    new_cases = new.get("cases", {})
+    for name in old_cases:
+        old_sps = float(old_cases[name]["steps_per_sec"])
+        if name not in new_cases:
+            comparison.cases.append(CaseComparison(
+                name=name, old_steps_per_sec=old_sps,
+                new_steps_per_sec=None, change=None, regressed=True,
+                note="case missing from new report",
+            ))
+            continue
+        new_sps = float(new_cases[name]["steps_per_sec"])
+        if old_sps <= 0:
+            comparison.cases.append(CaseComparison(
+                name=name, old_steps_per_sec=old_sps,
+                new_steps_per_sec=new_sps, change=None, regressed=False,
+                note="old steps/sec is zero; not comparable",
+            ))
+            continue
+        change = (new_sps - old_sps) / old_sps
+        comparison.cases.append(CaseComparison(
+            name=name, old_steps_per_sec=old_sps, new_steps_per_sec=new_sps,
+            change=change, regressed=change < -threshold,
+        ))
+    for name in new_cases:
+        if name not in old_cases:
+            comparison.cases.append(CaseComparison(
+                name=name, old_steps_per_sec=None,
+                new_steps_per_sec=float(new_cases[name]["steps_per_sec"]),
+                change=None, regressed=False,
+                note="new case; no baseline",
+            ))
+    return comparison
+
+
+__all__ += ["DEFAULT_THRESHOLD", "bench_filename"]

@@ -1,0 +1,227 @@
+"""Structured trace recording as a simulator step hook.
+
+:class:`TraceRecorder` subclasses :class:`~repro.runtime.faults.StepHook`
+(the PR 2 protocol), so it attaches to any run via the ordinary ``hooks=``
+argument and observes exactly what every other hook observes — charged
+steps, injected crashes, withheld slots, completions, and run boundaries.
+It converts each into a versioned :class:`~repro.obs.events.TraceEventRecord`.
+
+Cost model:
+
+- **Not attached** (the default): zero cost.  The simulator's step loop
+  takes a guarded fast path when it has no hooks at all, so a run without
+  observers executes no tracing code whatsoever.
+- **Attached, ring buffer**: ``capacity=k`` keeps only the most recent
+  ``k`` events in a ``deque`` — constant memory for arbitrarily long runs,
+  ideal for "what happened just before the violation" forensics.
+- **Attached, sampling**: ``sample_every=k`` records every ``k``-th step
+  event (lifecycle events — crash, stall, finish, run boundaries — are
+  always recorded; they are rare and carry the causal skeleton).
+
+Protocol-level milestones (persona adoption, round transitions) are not
+visible at the shared-memory interface, so they cannot be captured at step
+granularity without instrumenting every protocol.  Instead,
+:meth:`TraceRecorder.annotate_conciliator` derives them after a run from
+the round bookkeeping every :class:`~repro.core.conciliator.Conciliator`
+already keeps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    OPERATION_EVENT_KINDS,
+    TraceEventRecord,
+    write_trace_jsonl,
+)
+from repro.runtime.faults import StepHook
+from repro.runtime.operations import Operation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.core.conciliator import Conciliator
+    from repro.runtime.results import RunResult
+    from repro.runtime.simulator import Simulator
+
+__all__ = ["TraceRecorder"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a traced value into something JSON-representable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+class TraceRecorder(StepHook):
+    """Record structured, versioned trace events during a run.
+
+    Args:
+        capacity: ring-buffer size; ``None`` keeps every recorded event.
+        sample_every: record every ``k``-th step event (1 = all).
+            Lifecycle events are exempt from sampling.
+        include_values: include written values and results in payloads
+            (True by default; disable to shrink traces of value-heavy
+            protocols while keeping the step/object skeleton).
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: Optional[int] = None,
+        sample_every: int = 1,
+        include_values: bool = True,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1 (or None), got {capacity}"
+            )
+        if sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.include_values = include_values
+        self._events: Deque[TraceEventRecord] = deque(maxlen=capacity)
+        self._step_events_seen = 0
+        #: Events recorded (post-sampling) over the recorder's lifetime,
+        #: even those since evicted from a full ring buffer.
+        self.recorded_total = 0
+        #: Step events observed before sampling, for sampling diagnostics.
+        self.steps_observed = 0
+
+    # ----- access ----------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEventRecord]:
+        """The retained events, in recording order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events_of_kind(self, kind: str) -> List[TraceEventRecord]:
+        """Retained events of one kind, in recording order."""
+        return [event for event in self._events if event.kind == kind]
+
+    def to_jsonl(self, path: Union[str, "Path"]) -> int:
+        """Write the retained events as JSONL; returns the count written."""
+        return write_trace_jsonl(self._events, path)
+
+    # ----- recording -------------------------------------------------------
+
+    def _record(self, event: TraceEventRecord) -> None:
+        self._events.append(event)
+        self.recorded_total += 1
+
+    def emit(self, event: TraceEventRecord) -> None:
+        """Record an externally built event (protocol milestones, tests)."""
+        self._record(event)
+
+    # ----- StepHook interface ----------------------------------------------
+
+    def on_run_start(self, simulator: "Simulator") -> None:
+        self._record(TraceEventRecord(
+            kind="run-start",
+            payload={"n": simulator.n, "step_limit": simulator.step_limit},
+        ))
+
+    def after_step(
+        self, pid: int, step_index: int, operation: Operation, result: Any
+    ) -> None:
+        self.steps_observed += 1
+        if self._step_events_seen % self.sample_every == 0:
+            kind = OPERATION_EVENT_KINDS.get(operation.kind, "step")
+            payload = {"obj": operation.obj.name, "op": operation.kind}
+            if self.include_values:
+                value = getattr(operation, "value", None)
+                if value is not None:
+                    payload["value"] = _jsonable(value)
+                if result is not None:
+                    payload["result"] = _jsonable(result)
+            self._record(TraceEventRecord(
+                kind=kind, step=step_index, pid=pid, payload=payload,
+            ))
+        self._step_events_seen += 1
+
+    def before_step(
+        self,
+        pid: int,
+        process_steps: int,
+        global_steps: int,
+        operation: Optional[Operation],
+    ) -> Optional[str]:
+        return None
+
+    def on_skip(self, pid: int, global_steps: int) -> None:
+        self._record(TraceEventRecord(
+            kind="stall", step=global_steps, pid=pid,
+        ))
+
+    def on_crash(self, pid: int, steps_taken: int) -> None:
+        self._record(TraceEventRecord(
+            kind="crash", pid=pid, payload={"steps_taken": steps_taken},
+        ))
+
+    def on_finish(self, pid: int, output: Any) -> None:
+        payload = {}
+        if self.include_values:
+            payload["output"] = _jsonable(output)
+        self._record(TraceEventRecord(kind="finish", pid=pid, payload=payload))
+
+    def on_run_end(self, result: "RunResult") -> None:
+        self._record(TraceEventRecord(
+            kind="run-end",
+            payload={
+                "completed": result.completed,
+                "total_steps": result.total_steps,
+                "max_individual_steps": result.max_individual_steps,
+                "crashed": sorted(result.crashed),
+            },
+        ))
+
+    # ----- protocol milestones ---------------------------------------------
+
+    def annotate_conciliator(self, conciliator: "Conciliator") -> int:
+        """Derive persona-adoption and round-transition events post-run.
+
+        Round bookkeeping is local to each process (free in the step
+        measure), so these events carry no ``step`` index; they describe
+        the protocol's logical progress, ordered by round.  Returns the
+        number of events appended.
+        """
+        appended = 0
+        for pid in sorted(conciliator._initial):
+            persona = conciliator._initial[pid]
+            self._record(TraceEventRecord(
+                kind="persona-adoption", pid=pid,
+                payload={"round": 0, "persona": _jsonable(persona)},
+            ))
+            appended += 1
+        for round_index in sorted(conciliator._after_round):
+            holders = conciliator._after_round[round_index]
+            survivors = conciliator.survivors_after_round(round_index)
+            self._record(TraceEventRecord(
+                kind="round-transition",
+                payload={"round": round_index, "survivors": survivors},
+            ))
+            appended += 1
+            for pid in sorted(holders):
+                self._record(TraceEventRecord(
+                    kind="persona-adoption", pid=pid,
+                    payload={
+                        "round": round_index + 1,
+                        "persona": _jsonable(holders[pid]),
+                    },
+                ))
+                appended += 1
+        return appended

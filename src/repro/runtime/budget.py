@@ -24,7 +24,7 @@ merely bound how long a host will wait for them.
 from __future__ import annotations
 
 import time
-from typing import Any, Optional
+from typing import Optional
 
 from repro.errors import BudgetExceededError, ConfigurationError
 from repro.runtime.faults import StepHook

@@ -29,8 +29,8 @@ step counts only, so a faulted run remains a deterministic function of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.runtime.operations import Operation, Read, Write
@@ -108,6 +108,14 @@ class StepHook:
         self, pid: int, step_index: int, operation: Operation, result: Any
     ) -> None:
         """Called after each charged step with the (possibly faulty) result."""
+
+    def on_skip(self, pid: int, global_steps: int) -> None:
+        """Called when a slot is withheld (stalled) by fault injection.
+
+        Free no-op slots of finished or crashed processes do not trigger
+        this — they are not events in the model, merely slots the
+        adversary wasted.
+        """
 
     def on_crash(self, pid: int, steps_taken: int) -> None:
         """Called once when a process is fail-stopped by a fault."""

@@ -62,12 +62,19 @@ class InvariantViolation:
 
 
 class InvariantMonitor(StepHook):
-    """Base class: violation bookkeeping shared by every monitor."""
+    """Base class: violation bookkeeping shared by every monitor.
+
+    ``metrics`` optionally names a
+    :class:`~repro.obs.metrics.MetricsRegistry`; every violation then also
+    increments ``monitor.violations{monitor=<name>}``, so lenient-mode
+    sweeps produce inspectable numbers instead of only exception notes.
+    """
 
     name = "invariant"
 
-    def __init__(self, *, strict: bool = True):
+    def __init__(self, *, strict: bool = True, metrics: Optional[Any] = None):
         self.strict = strict
+        self.metrics = metrics
         self.violations: List[InvariantViolation] = []
 
     @property
@@ -78,6 +85,8 @@ class InvariantMonitor(StepHook):
     def _violate(self, message: str, pid: Optional[int] = None) -> None:
         violation = InvariantViolation(self.name, pid, message)
         self.violations.append(violation)
+        if self.metrics is not None:
+            self.metrics.counter("monitor.violations", monitor=self.name).inc()
         if self.strict:
             raise ProtocolViolationError(str(violation))
 
@@ -87,8 +96,14 @@ class ValidityMonitor(InvariantMonitor):
 
     name = "validity"
 
-    def __init__(self, allowed_inputs: Iterable[Any], *, strict: bool = True):
-        super().__init__(strict=strict)
+    def __init__(
+        self,
+        allowed_inputs: Iterable[Any],
+        *,
+        strict: bool = True,
+        metrics: Optional[Any] = None,
+    ):
+        super().__init__(strict=strict, metrics=metrics)
         self.allowed = list(allowed_inputs)
 
     def on_finish(self, pid: int, output: Any) -> None:
@@ -114,8 +129,8 @@ class AdoptCommitCoherenceMonitor(InvariantMonitor):
 
     name = "adopt-commit-coherence"
 
-    def __init__(self, *, strict: bool = True):
-        super().__init__(strict=strict)
+    def __init__(self, *, strict: bool = True, metrics: Optional[Any] = None):
+        super().__init__(strict=strict, metrics=metrics)
         self._committed: Dict[int, Any] = {}
         self._outcomes: Dict[int, Any] = {}
 
@@ -150,12 +165,26 @@ class WaitFreedomWatchdog(InvariantMonitor):
     Crashed processes are exempt (they are the faults, not the victims of
     them); a survivor that exceeds the budget without finishing is exactly
     a wait-freedom violation under the run's schedule.
+
+    With a ``metrics`` registry attached, the watchdog also reports what
+    it observed — ``monitor.wait_freedom.steps_to_decide`` (histogram,
+    per finished process), ``monitor.wait_freedom.undecided_steps``
+    (histogram, per process left undecided at run end), and
+    ``monitor.wait_freedom.step_budget`` (the configured budget) — so a
+    lenient-mode sweep yields inspectable numbers, not just exception
+    notes.
     """
 
     name = "wait-freedom"
 
-    def __init__(self, step_budget: int, *, strict: bool = True):
-        super().__init__(strict=strict)
+    def __init__(
+        self,
+        step_budget: int,
+        *,
+        strict: bool = True,
+        metrics: Optional[Any] = None,
+    ):
+        super().__init__(strict=strict, metrics=metrics)
         if step_budget < 1:
             raise ConfigurationError(
                 f"step_budget must be >= 1, got {step_budget}"
@@ -184,11 +213,31 @@ class WaitFreedomWatchdog(InvariantMonitor):
                 pid=pid,
             )
 
+    def on_run_start(self, simulator: "Simulator") -> None:
+        if self.metrics is not None:
+            self.metrics.counter("monitor.wait_freedom.step_budget").inc(
+                self.step_budget
+            )
+
     def on_finish(self, pid: int, output: Any) -> None:
         self._finished.add(pid)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "monitor.wait_freedom.steps_to_decide"
+            ).observe(self._steps.get(pid, 0))
 
     def on_crash(self, pid: int, steps_taken: int) -> None:
         self._crashed.add(pid)
+
+    def on_run_end(self, result: Any) -> None:
+        if self.metrics is None:
+            return
+        for pid, count in sorted(self._steps.items()):
+            if pid in self._finished or pid in self._crashed:
+                continue
+            self.metrics.histogram(
+                "monitor.wait_freedom.undecided_steps"
+            ).observe(count)
 
 
 class RegisterSemanticsMonitor(InvariantMonitor):
@@ -204,8 +253,8 @@ class RegisterSemanticsMonitor(InvariantMonitor):
 
     name = "register-semantics"
 
-    def __init__(self, *, strict: bool = True):
-        super().__init__(strict=strict)
+    def __init__(self, *, strict: bool = True, metrics: Optional[Any] = None):
+        super().__init__(strict=strict, metrics=metrics)
         self._last_write: Dict[str, Any] = {}
 
     def after_step(

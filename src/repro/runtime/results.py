@@ -24,6 +24,9 @@ class RunResult:
         trace: the full operation trace, if recording was enabled.
         crashed: pids fail-stopped by fault injection during the run
             (empty for fault-free executions).
+        metrics: the :class:`~repro.obs.metrics.MetricsRegistry` populated
+            during the run, when the caller requested metrics collection
+            (``None`` otherwise — collection is strictly opt-in).
     """
 
     n: int
@@ -33,6 +36,7 @@ class RunResult:
     trace: Optional[TraceRecorder] = None
     annotations: Dict[str, Any] = field(default_factory=dict)
     crashed: FrozenSet[int] = frozenset()
+    metrics: Optional[Any] = None
 
     @property
     def survivors(self) -> Set[int]:

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.runtime.rng import SeedTree

@@ -23,7 +23,7 @@ wait-freedom inline.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import (
     ScheduleExhaustedError,
@@ -82,11 +82,18 @@ class Simulator:
             astronomically unlucky seed.
         hooks: :class:`~repro.runtime.faults.StepHook` instances consulted
             at every slot — fault injectors first, then monitors, so
-            monitors observe the post-fault execution.
+            monitors observe the post-fault execution.  With no hooks at
+            all the step loop takes a guarded fast path that executes no
+            hook machinery whatsoever, so observability costs nothing
+            when it is not attached.
         skip_guard: consecutive free-slot threshold before the run is
             declared starved (default ``max(100_000, 1_000 * n)``).  Fault
             sweeps that starve processes on purpose lower it so stuck runs
             fail fast.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+            given, a :class:`~repro.obs.metrics.MetricsHook` is appended to
+            the hook list and the registry is surfaced on
+            ``RunResult.metrics``.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class Simulator:
         step_limit: int = _DEFAULT_STEP_LIMIT,
         hooks: Sequence[StepHook] = (),
         skip_guard: Optional[int] = None,
+        metrics: Optional[Any] = None,
     ):
         pids = sorted(process.pid for process in processes)
         if pids != list(range(len(processes))):
@@ -114,6 +122,13 @@ class Simulator:
         self.schedule = schedule
         self.step_limit = step_limit
         self.hooks: List[StepHook] = list(hooks)
+        self.metrics = metrics
+        if metrics is not None:
+            # Imported lazily: repro.obs builds on the runtime layer, so
+            # the runtime only touches it when metrics are requested.
+            from repro.obs.metrics import MetricsHook
+
+            self.hooks.append(MetricsHook(metrics))
         self.skip_guard = skip_guard
         self.trace: Optional[TraceRecorder] = TraceRecorder() if record_trace else None
         self._steps_by_pid: Dict[int, int] = {pid: 0 for pid in self.processes}
@@ -154,6 +169,10 @@ class Simulator:
             else max(100_000, 1_000 * self.n)
         )
         consecutive_skips = 0
+        # Guarded fast path: with no hooks attached, the hot loop below
+        # performs zero hook machinery (no consult, no emit, no intercept
+        # scan) — observability is strictly pay-for-what-you-attach.
+        has_hooks = bool(self.hooks)
         if self._unfinished:
             for pid in self.schedule:
                 if pid not in self.processes:
@@ -174,13 +193,18 @@ class Simulator:
                             steps_by_pid=self._steps_by_pid,
                         )
                     continue
-                action = self._consult_hooks(pid, step_index, process)
+                action = (
+                    self._consult_hooks(pid, step_index, process)
+                    if has_hooks else None
+                )
                 if action == CRASH:
                     self._crash(pid)
                     if not self._unfinished:
                         break
                     continue
                 if action == SKIP:
+                    self._emit("on_skip", pid, step_index,
+                               pid=pid, step=step_index)
                     consecutive_skips += 1
                     if consecutive_skips >= skip_guard:
                         if allow_partial:
@@ -204,8 +228,9 @@ class Simulator:
                     )
                 if process.finished:
                     self._unfinished.discard(pid)
-                    self._emit("on_finish", pid, process.output,
-                               pid=pid, step=step_index)
+                    if has_hooks:
+                        self._emit("on_finish", pid, process.output,
+                                   pid=pid, step=step_index)
                     if not self._unfinished:
                         break
             else:
@@ -229,6 +254,7 @@ class Simulator:
             completed=not self._unfinished and not self._crashed,
             trace=self.trace,
             crashed=frozenset(self._crashed),
+            metrics=self.metrics,
         )
         self._emit("on_run_end", result)
         return result
@@ -284,15 +310,16 @@ class Simulator:
                 f"process {process.pid} scheduled with no pending operation"
             )
         intercepted = None
-        for hook in self.hooks:
-            try:
-                intercepted = hook.intercept(process.pid, operation)
-            except BaseException as error:
-                _note_hook_failure(error, hook, "intercept",
-                                   pid=process.pid, global_step=step_index)
-                raise
-            if intercepted is not None:
-                break
+        if self.hooks:
+            for hook in self.hooks:
+                try:
+                    intercepted = hook.intercept(process.pid, operation)
+                except BaseException as error:
+                    _note_hook_failure(error, hook, "intercept",
+                                       pid=process.pid, global_step=step_index)
+                    raise
+                if intercepted is not None:
+                    break
         if intercepted is not None:
             result = intercepted.value
         else:
@@ -309,8 +336,9 @@ class Simulator:
                     result=result,
                 )
             )
-        self._emit("after_step", process.pid, step_index, operation, result,
-                   pid=process.pid, step=step_index)
+        if self.hooks:
+            self._emit("after_step", process.pid, step_index, operation,
+                       result, pid=process.pid, step=step_index)
         process.complete_step(result)
 
 
@@ -325,6 +353,7 @@ def run_programs(
     allow_partial: bool = False,
     hooks: Sequence[StepHook] = (),
     skip_guard: Optional[int] = None,
+    metrics: Optional[Any] = None,
 ) -> RunResult:
     """Convenience wrapper: build processes from programs and run them.
 
@@ -339,6 +368,8 @@ def run_programs(
         inputs: optional input values, one per process.
         hooks: fault injectors and invariant monitors for this run.
         skip_guard: starvation threshold override (see :class:`Simulator`).
+        metrics: optional metrics registry populated during the run and
+            surfaced on ``RunResult.metrics`` (see :class:`Simulator`).
     """
     n = len(programs)
     if inputs is not None and len(inputs) != n:
@@ -362,5 +393,6 @@ def run_programs(
         step_limit=step_limit,
         hooks=hooks,
         skip_guard=skip_guard,
+        metrics=metrics,
     )
     return simulator.run(allow_partial=allow_partial)

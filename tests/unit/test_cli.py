@@ -200,6 +200,98 @@ class TestFuzzCommand:
         assert "unknown stack" in capsys.readouterr().err
 
 
+class TestBenchCommand:
+    @staticmethod
+    def _write_report(path, cases):
+        import json
+
+        from repro.obs.bench import BENCH_SCHEMA_VERSION
+
+        report = {
+            "v": BENCH_SCHEMA_VERSION,
+            "label": "test", "quick": True, "seed": 1,
+            "created_unix": 0.0, "git_sha": "deadbeef", "env": {},
+            "elapsed_seconds": 0.0,
+            "cases": {
+                name: {
+                    "trials": 1, "n": 2, "total_steps": 10,
+                    "elapsed_seconds": 0.1, "steps_per_sec": sps,
+                    "latency_p50_s": 0.1, "latency_p95_s": 0.1,
+                    "metrics": None,
+                }
+                for name, sps in cases.items()
+            },
+        }
+        path.write_text(json.dumps(report))
+        return path
+
+    def test_parser_defaults(self):
+        from repro.obs.bench import DEFAULT_THRESHOLD
+
+        args = build_parser().parse_args(["bench"])
+        assert args.label == "local"
+        assert args.seed == 2012
+        assert not args.quick
+        compare = build_parser().parse_args(["bench", "compare", "a", "b"])
+        assert compare.threshold == DEFAULT_THRESHOLD
+
+    def test_quick_single_suite_run(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_unit.json"
+        code = main(["bench", "--quick", "--suite", "consensus",
+                     "--label", "unit", "--seed", "3", "--json",
+                     "--out", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(captured.out)
+        assert report["label"] == "unit"
+        assert list(report["cases"]) == ["consensus"]
+        # Progress and the written-path note stay on stderr so stdout is
+        # pure JSON for piping.
+        assert "wrote" in captured.err
+        assert out.exists()
+
+    def test_unknown_suite_exits_two(self, capsys):
+        code = main(["bench", "--quick", "--suite", "nope"])
+        assert code == 2
+        assert "unknown bench case" in capsys.readouterr().err
+
+    def test_compare_ok_exits_zero(self, tmp_path, capsys):
+        old = self._write_report(tmp_path / "old.json", {"alpha": 1000.0})
+        new = self._write_report(tmp_path / "new.json", {"alpha": 950.0})
+        code = main(["bench", "compare", str(old), str(new)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "all cases within bounds" in output
+
+    def test_compare_regression_exits_one(self, tmp_path, capsys):
+        import json
+
+        old = self._write_report(tmp_path / "old.json", {"alpha": 1000.0})
+        new = self._write_report(tmp_path / "new.json", {"alpha": 100.0})
+        code = main(["bench", "compare", str(old), str(new),
+                     "--threshold", "0.4", "--json"])
+        assert code == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is False
+        assert verdict["cases"][0]["regressed"] is True
+
+    def test_compare_missing_file_exits_two(self, tmp_path, capsys):
+        old = self._write_report(tmp_path / "old.json", {"alpha": 1000.0})
+        code = main(["bench", "compare", str(old),
+                     str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "cannot be read" in capsys.readouterr().err
+
+    def test_compare_bad_threshold_exits_two(self, tmp_path, capsys):
+        old = self._write_report(tmp_path / "old.json", {"alpha": 1000.0})
+        code = main(["bench", "compare", str(old), str(old),
+                     "--threshold", "1.5"])
+        assert code == 2
+        assert "threshold" in capsys.readouterr().err
+
+
 class TestReplayCommand:
     def test_empty_corpus_is_ok(self, tmp_path, capsys):
         code = main(["replay", "--corpus", str(tmp_path)])

@@ -1,0 +1,175 @@
+"""Unit tests for the bench harness: reports, files, and the compare gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_THRESHOLD,
+    SUITE_NAMES,
+    bench_filename,
+    compare_bench,
+    load_bench_json,
+    run_bench_suite,
+    write_bench_json,
+)
+
+
+def _report(label="test", cases=None):
+    """A structurally valid bench report without running anything."""
+    cases = cases if cases is not None else {"alpha": 1000.0, "beta": 2000.0}
+    return {
+        "v": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "quick": True,
+        "seed": 1,
+        "created_unix": 0.0,
+        "git_sha": "deadbeef",
+        "env": {},
+        "elapsed_seconds": 0.0,
+        "cases": {
+            name: {
+                "trials": 3,
+                "n": 4,
+                "total_steps": 100,
+                "elapsed_seconds": 0.1,
+                "steps_per_sec": sps,
+                "latency_p50_s": 0.01,
+                "latency_p95_s": 0.02,
+                "metrics": None,
+            }
+            for name, sps in cases.items()
+        },
+    }
+
+
+class TestSuiteRun:
+    def test_single_case_quick_run(self):
+        report = run_bench_suite(
+            label="unit", quick=True, seed=3, suites=["consensus"]
+        )
+        assert report["v"] == BENCH_SCHEMA_VERSION
+        assert report["label"] == "unit"
+        assert report["quick"] is True
+        assert list(report["cases"]) == ["consensus"]
+        case = report["cases"]["consensus"]
+        assert case["steps_per_sec"] > 0
+        assert case["total_steps"] > 0
+        assert case["latency_p50_s"] <= case["latency_p95_s"]
+        assert case["metrics"]["v"] == 1
+        assert case["metrics"]["counters"]["run.count"] == case["trials"]
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown bench case"):
+            run_bench_suite(suites=["no-such-case"])
+
+    def test_suite_names_cover_required_cases(self):
+        for required in (
+            "simulator-step", "snapshot-conciliator", "sifting-conciliator",
+            "cil-embedded", "consensus",
+        ):
+            assert required in SUITE_NAMES
+
+
+class TestBenchFiles:
+    def test_write_to_directory_uses_canonical_name(self, tmp_path):
+        path = write_bench_json(_report(label="ci"), tmp_path)
+        assert path.name == bench_filename("ci") == "BENCH_ci.json"
+        assert load_bench_json(path)["label"] == "ci"
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_bench_json(_report(), tmp_path / "deep" / "out.json")
+        assert load_bench_json(path)["v"] == BENCH_SCHEMA_VERSION
+
+    def test_trailing_slash_means_directory_and_creates_it(self, tmp_path):
+        path = write_bench_json(_report(label="x"), f"{tmp_path}/new-dir/")
+        assert path.name == "BENCH_x.json"
+        assert path.parent.name == "new-dir"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot be read"):
+            load_bench_json(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_bench_json(path)
+
+    def test_load_foreign_version(self, tmp_path):
+        report = _report()
+        report["v"] = BENCH_SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(report))
+        with pytest.raises(ConfigurationError, match="unsupported bench"):
+            load_bench_json(path)
+
+
+class TestCompareGate:
+    def test_within_threshold_is_ok(self):
+        old = _report(cases={"alpha": 1000.0})
+        new = _report(cases={"alpha": 900.0})  # -10%
+        comparison = compare_bench(old, new, threshold=0.4)
+        assert comparison.ok
+        assert comparison.regressions == []
+        (case,) = comparison.cases
+        assert case.change == pytest.approx(-0.1)
+
+    def test_regression_past_threshold_fails(self):
+        old = _report(cases={"alpha": 1000.0, "beta": 1000.0})
+        new = _report(cases={"alpha": 500.0, "beta": 990.0})  # -50%, -1%
+        comparison = compare_bench(old, new, threshold=0.4)
+        assert not comparison.ok
+        assert [case.name for case in comparison.regressions] == ["alpha"]
+
+    def test_improvement_never_fails(self):
+        old = _report(cases={"alpha": 1000.0})
+        new = _report(cases={"alpha": 5000.0})
+        assert compare_bench(old, new, threshold=0.01).ok
+
+    def test_boundary_is_inclusive_of_threshold(self):
+        old = _report(cases={"alpha": 1000.0})
+        exactly = _report(cases={"alpha": 600.0})  # change == -threshold
+        assert compare_bench(old, exactly, threshold=0.4).ok
+        past = _report(cases={"alpha": 599.0})
+        assert not compare_bench(old, past, threshold=0.4).ok
+
+    def test_missing_case_in_new_is_a_regression(self):
+        old = _report(cases={"alpha": 1000.0, "beta": 1000.0})
+        new = _report(cases={"alpha": 1000.0})
+        comparison = compare_bench(old, new)
+        assert not comparison.ok
+        (missing,) = comparison.regressions
+        assert missing.name == "beta"
+        assert "missing" in missing.note
+
+    def test_new_only_case_is_informational(self):
+        old = _report(cases={"alpha": 1000.0})
+        new = _report(cases={"alpha": 1000.0, "gamma": 10.0})
+        comparison = compare_bench(old, new)
+        assert comparison.ok
+        names = {case.name for case in comparison.cases}
+        assert "gamma" in names
+
+    def test_threshold_must_be_a_fraction(self):
+        old, new = _report(), _report()
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError, match="threshold"):
+                compare_bench(old, new, threshold=bad)
+
+    def test_default_threshold_matches_ci_gate(self):
+        assert DEFAULT_THRESHOLD == 0.4
+
+    def test_json_and_render_forms(self):
+        comparison = compare_bench(
+            _report(cases={"alpha": 1000.0}),
+            _report(cases={"alpha": 100.0}),
+        )
+        data = comparison.to_json()
+        assert data["ok"] is False
+        assert data["cases"][0]["name"] == "alpha"
+        rendered = comparison.render()
+        assert "alpha" in rendered
+        assert "REGRESSED" in rendered
