@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import List
 
+from typing import Any, Dict
+
 from repro.core.probabilities import (
     SIFT_TAIL_FACTOR,
     iterate_snapshot_f,
@@ -31,7 +33,11 @@ __all__ = [
     "sifting_step_count",
     "doubling_cil_step_bound",
     "cil_total_steps_bound",
+    "cil_inner_rounds",
+    "cil_individual_step_bound",
     "markov_disagreement_bound",
+    "ATTRIBUTION_ALGORITHMS",
+    "predicted_attribution",
 ]
 
 
@@ -99,6 +105,89 @@ def cil_total_steps_bound(n: int) -> float:
     if n < 1:
         raise ConfigurationError(f"n must be >= 1, got {n}")
     return 20.0 * n
+
+
+def cil_inner_rounds(n: int) -> int:
+    """Rounds of Algorithm 3's embedded sifter, run with ``eps = 1/4``.
+
+    Theorem 3 fixes the inner conciliator's disagreement budget at 1/4
+    (``INNER_EPSILON`` in :mod:`repro.core.cil_embedded`), so the inner
+    round count is ``sifting_rounds(n, 1/4)`` regardless of any outer
+    epsilon.
+    """
+    return sifting_rounds(n, 0.25)
+
+
+def cil_individual_step_bound(n: int) -> int:
+    """Worst-case individual steps of Algorithm 3's full program.
+
+    Mirrors :func:`repro.fuzz.stacks.conciliator_budget`: each main-loop
+    iteration costs one proposal read plus one inner-sifter step
+    (``2 * inner``), plus three loop-exit operations, plus the combine
+    stage — a binary adopt-commit (``1 + 2 + 2 = 5`` steps) bracketed by
+    one ``out[side]`` write and one ``out[chosen]`` read.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    binary_ac_steps = 5
+    return 2 * cil_inner_rounds(n) + 3 + binary_ac_steps + 2
+
+
+#: Algorithm families the attribution report has closed-form predictions for.
+ATTRIBUTION_ALGORITHMS = ("snapshot", "sifting", "cil-embedded")
+
+
+def predicted_attribution(
+    algorithm: str, n: int, epsilon: float = 0.5
+) -> Dict[str, Any]:
+    """Closed-form per-round predictions for one algorithm family.
+
+    Returns a plain dict consumed by
+    :func:`repro.obs.analyze.attribute_steps`:
+
+    - ``rounds``: predicted round count (exact for Algorithms 1-2; for
+      Algorithm 3 the inner sifter's round count, an upper bound on how
+      many inner rounds any process executes before exiting via the CIL
+      proposal);
+    - ``steps_per_round``: shared-memory operations per round per process
+      (2 for Algorithm 1's update+scan, 1 for Algorithm 2's single
+      read-or-write, 1 for Algorithm 3's inner sifter);
+    - ``individual_steps``: per-process step prediction over the whole
+      protocol (exact for Algorithms 1-2, the worst-case bound for 3);
+    - ``relation``: ``"exact"`` when observed values must equal the
+      prediction on a completed run, ``"upper-bound"`` when observed
+      values must not exceed it.
+
+    For Algorithm 3 the ``epsilon`` argument is ignored: Theorem 3 pins
+    the inner conciliator at ``eps = 1/4``, and the returned ``epsilon``
+    field records that effective value.
+    """
+    if algorithm == "snapshot":
+        rounds = snapshot_rounds(n, epsilon)
+        return {
+            "algorithm": algorithm, "n": n, "epsilon": epsilon,
+            "rounds": rounds, "steps_per_round": 2,
+            "individual_steps": 2 * rounds, "relation": "exact",
+        }
+    if algorithm == "sifting":
+        rounds = sifting_rounds(n, epsilon)
+        return {
+            "algorithm": algorithm, "n": n, "epsilon": epsilon,
+            "rounds": rounds, "steps_per_round": 1,
+            "individual_steps": rounds, "relation": "exact",
+        }
+    if algorithm == "cil-embedded":
+        rounds = cil_inner_rounds(n)
+        return {
+            "algorithm": algorithm, "n": n, "epsilon": 0.25,
+            "rounds": rounds, "steps_per_round": 1,
+            "individual_steps": cil_individual_step_bound(n),
+            "relation": "upper-bound",
+        }
+    raise ConfigurationError(
+        f"no attribution prediction for algorithm {algorithm!r}; "
+        f"choose from {ATTRIBUTION_ALGORITHMS}"
+    )
 
 
 def markov_disagreement_bound(expected_excess: float) -> float:

@@ -9,8 +9,13 @@ Installed as ``python -m repro``.  Subcommands:
 - ``experiments``  regenerate the paper's experiment tables (E1-E12)
 - ``fuzz``         chaos-fuzz random protocol/schedule/fault scenarios
 - ``replay``       re-run the regression corpus and report reproduction
+- ``explain``      replay one corpus case under a full trace and print
+  its persona-lineage / disagreement / step-attribution analysis
+- ``timeline``     render a per-process ASCII (or HTML) timeline of a
+  corpus case or a saved trace JSONL
 - ``bench``        run the curated perf suite, write ``BENCH_<label>.json``
 - ``bench compare`` gate one bench report against another (CI perf gate)
+- ``bench trend``  summarize the append-only BENCH_history.jsonl ledger
 
 Every command takes ``--seed`` and is fully reproducible; schedules come
 from the named adversary families in ``repro.workloads.schedules``.  Trial
@@ -218,6 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect the metrics registry across all trials and include "
              "the aggregate snapshot in the campaign report",
     )
+    fuzz.add_argument(
+        "--explain", action="store_true",
+        help="write a <case>.explain.json trace-analytics explanation "
+             "next to every corpus case saved (requires --corpus)",
+    )
     _add_parallel_arguments(fuzz)
     _add_checkpoint_arguments(fuzz)
 
@@ -229,6 +239,53 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="DIR", help="corpus directory to replay")
     replay.add_argument("--json", action="store_true",
                         help="print per-case verdicts as JSON")
+    replay.add_argument(
+        "--explain", action="store_true",
+        help="also replay each case under a full trace and summarize its "
+             "disagreement / attribution analysis",
+    )
+    replay.add_argument(
+        "--explain-dir", type=str, default=None, metavar="DIR",
+        help="with --explain: write <case>.explain.json and "
+             "<case>.trace.jsonl artifacts into DIR",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay one corpus case under a full (unsampled) trace and "
+             "print its persona-lineage, disagreement, and "
+             "step-attribution analysis",
+    )
+    explain.add_argument("case", help="corpus case file (case-*.json)")
+    explain.add_argument("--json", action="store_true",
+                         help="print the full explanation as canonical JSON")
+    explain.add_argument("--out", type=str, default=None, metavar="PATH",
+                         help="also write the explanation JSON to PATH")
+    explain.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="also write the replay's trace events as JSONL to PATH",
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="render a deterministic per-process timeline of a corpus "
+             "case (replayed under a full trace) or a saved trace JSONL",
+    )
+    timeline_source = timeline.add_mutually_exclusive_group(required=True)
+    timeline_source.add_argument(
+        "--case", type=str, default=None, metavar="FILE",
+        help="corpus case file to replay and render",
+    )
+    timeline_source.add_argument(
+        "--trace", type=str, default=None, metavar="FILE",
+        help="trace JSONL file to render directly",
+    )
+    timeline.add_argument("--width", type=int, default=100,
+                          help="maximum line width (default: 100)")
+    timeline.add_argument(
+        "--html", type=str, default=None, metavar="PATH",
+        help="also write a static HTML rendering to PATH",
+    )
 
     from repro.obs.bench import DEFAULT_THRESHOLD, SUITE_NAMES
 
@@ -253,11 +310,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "the canonical BENCH_<label>.json name)")
     bench.add_argument("--json", action="store_true",
                        help="print the full report as JSON on stdout")
+    bench.add_argument(
+        "--history", type=str, nargs="?", default=None,
+        const="benchmarks/BENCH_history.jsonl", metavar="PATH",
+        help="append this run's steps/sec (plus git SHA) to the bench "
+             "trend ledger at PATH (default when the flag is given "
+             "without a value: benchmarks/BENCH_history.jsonl)",
+    )
     bench_sub = bench.add_subparsers(dest="bench_command")
     bench_compare = bench_sub.add_parser(
         "compare",
-        help="compare a new bench report against a baseline; exits 1 when "
-             "any case's steps/sec regressed past the threshold",
+        help="compare a new bench report against a baseline (per-case "
+             "percent deltas; exit 0/1/2, see --help)",
+        description="Compare a candidate bench report against a baseline, "
+                    "printing per-case percent deltas.",
+        epilog="Exit codes: 0 = every case within the threshold; "
+               "1 = at least one case's steps/sec regressed past the "
+               "threshold (or a baseline case is missing from the "
+               "candidate); 2 = usage or configuration error (unreadable "
+               "report, foreign schema version, bad threshold).",
     )
     bench_compare.add_argument("old", help="baseline BENCH_*.json")
     bench_compare.add_argument("new", help="candidate BENCH_*.json")
@@ -268,6 +339,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_compare.add_argument("--json", action="store_true",
                                help="print the comparison as JSON")
+    bench_trend = bench_sub.add_parser(
+        "trend",
+        help="summarize per-case steps/sec deltas across the append-only "
+             "BENCH_history.jsonl ledger",
+    )
+    bench_trend.add_argument(
+        "--history", type=str, default="benchmarks/BENCH_history.jsonl",
+        metavar="PATH", help="ledger file to summarize "
+                             "(default: benchmarks/BENCH_history.jsonl)",
+    )
+    bench_trend.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only summarize the newest N ledger entries",
+    )
+    bench_trend.add_argument("--json", action="store_true",
+                             help="print the trend summary as JSON")
     return parser
 
 
@@ -465,12 +552,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         allow_out_of_model=args.allow_out_of_model,
     )
     trial_wall_clock = args.trial_wall_clock
+    corpus_dir = Path(args.corpus) if args.corpus else None
+    if args.explain and corpus_dir is None:
+        print("error: --explain requires --corpus (explanations are "
+              "written next to the saved cases)", file=sys.stderr)
+        return 2
     report = run_fuzz_campaign(
         args.seed,
         config,
         trials=args.trials,
         time_budget=args.time_budget,
-        corpus_dir=Path(args.corpus) if args.corpus else None,
+        corpus_dir=corpus_dir,
         shrink=args.shrink,
         **({} if trial_wall_clock is None
            else {"trial_wall_clock": trial_wall_clock}),
@@ -479,6 +571,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         collect_metrics=True if args.metrics else None,
+        explain_dir=corpus_dir if args.explain else None,
         log=lambda message: print(message, file=sys.stderr),
     )
     if args.json:
@@ -511,17 +604,38 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     from repro.fuzz import load_corpus, replay_case
 
+    explain_requested = getattr(args, "explain", False)
+    explain_dir = getattr(args, "explain_dir", None)
+    if explain_dir is not None and not explain_requested:
+        print("error: --explain-dir requires --explain", file=sys.stderr)
+        return 2
+
     cases = load_corpus(Path(args.corpus))
     if not cases:
         print(f"no corpus cases under {args.corpus}")
         return 0
     reports = []
+    explanations = {}
     failures = 0
     for path, case in cases:
         verdict = replay_case(case, wall_clock_seconds=60.0)
         reports.append((path, verdict))
         if not verdict.reproduced:
             failures += 1
+        if explain_requested:
+            from repro.fuzz.explain import explain_case
+            from repro.obs.events import write_trace_jsonl
+
+            explanation = explain_case(case, wall_clock_seconds=60.0)
+            explanations[path.name] = explanation
+            if explain_dir is not None:
+                stem = path.name.rsplit(".", 1)[0]
+                out_dir = Path(explain_dir)
+                explanation.write(out_dir / f"{stem}.explain.json")
+                out_dir.mkdir(parents=True, exist_ok=True)
+                write_trace_jsonl(
+                    explanation.events, out_dir / f"{stem}.trace.jsonl"
+                )
     if args.json:
         import json as _json
 
@@ -532,6 +646,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 "matched": list(verdict.matched),
                 "missing": list(verdict.missing),
                 "status": verdict.outcome.status,
+                **(
+                    {"explanation": explanations[path.name].to_json()}
+                    if path.name in explanations else {}
+                ),
             }
             for path, verdict in reports
         ], indent=2, sort_keys=True))
@@ -540,8 +658,98 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             mark = "ok " if verdict.reproduced else "FAIL"
             print(f"{mark} {path.name}: matched={list(verdict.matched)} "
                   f"missing={list(verdict.missing)}")
+            explanation = explanations.get(path.name)
+            if explanation is not None:
+                disagreement = explanation.disagreement
+                if disagreement is not None and disagreement.diverged:
+                    values = ", ".join(
+                        repr(value) for value in disagreement.final_values
+                    )
+                    print(f"     disagreement: diverged at round "
+                          f"{disagreement.divergence_round}; "
+                          f"surviving values: {values}")
+                attribution = explanation.attribution
+                if attribution is not None:
+                    verdict_text = ("within tolerance"
+                                    if attribution.within_tolerance
+                                    else "OUT OF TOLERANCE")
+                    print(f"     attribution: {attribution.observed_rounds} "
+                          f"round(s) observed vs "
+                          f"{attribution.predicted['rounds']} predicted "
+                          f"({verdict_text})")
+        if explain_dir is not None:
+            print(f"explanations written under {explain_dir}")
         print(f"{len(reports)} case(s), {failures} failed to reproduce")
     return 0 if failures == 0 else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.fuzz.corpus import load_case
+    from repro.fuzz.explain import explain_case
+    from repro.obs.events import write_trace_jsonl
+
+    case_path = Path(args.case)
+    if not case_path.is_file():
+        print(f"error: corpus case {case_path} cannot be read",
+              file=sys.stderr)
+        return 2
+    case = load_case(case_path)
+    explanation = explain_case(case, wall_clock_seconds=60.0)
+    if args.out is not None:
+        path = explanation.write(args.out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.trace is not None:
+        count = write_trace_jsonl(explanation.events, args.trace)
+        print(f"wrote {count} trace event(s) to {args.trace}",
+              file=sys.stderr)
+    if args.json:
+        print(_json.dumps(explanation.to_json(), indent=2, sort_keys=True))
+    else:
+        print(explanation.render())
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.timeline import render_timeline, render_timeline_html
+
+    if args.case is not None:
+        from repro.fuzz.corpus import load_case
+        from repro.fuzz.explain import explain_case
+
+        case_path = Path(args.case)
+        if not case_path.is_file():
+            print(f"error: corpus case {case_path} cannot be read",
+                  file=sys.stderr)
+            return 2
+        explanation = explain_case(
+            load_case(case_path), wall_clock_seconds=60.0
+        )
+        events = list(explanation.events)
+        title = f"repro timeline: {case_path.name}"
+    else:
+        trace_path = Path(args.trace)
+        if not trace_path.is_file():
+            print(f"error: trace file {trace_path} cannot be read",
+                  file=sys.stderr)
+            return 2
+        from repro.obs.events import read_trace_jsonl
+
+        events = read_trace_jsonl(trace_path)
+        title = f"repro timeline: {trace_path.name}"
+    if args.html is not None:
+        html_path = Path(args.html)
+        html_path.parent.mkdir(parents=True, exist_ok=True)
+        html_path.write_text(
+            render_timeline_html(events, title=title), encoding="utf-8"
+        )
+        print(f"wrote {html_path}", file=sys.stderr)
+    print(render_timeline(events, width=args.width), end="")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -566,6 +774,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(comparison.render())
         return 0 if comparison.ok else 1
 
+    if getattr(args, "bench_command", None) == "trend":
+        from repro.obs.trend import load_history, render_trend, summarize_trend
+
+        entries = load_history(args.history)
+        if args.json:
+            trends = summarize_trend(entries, last=args.last)
+            print(_json.dumps({
+                "history": args.history,
+                "entries": len(entries),
+                "cases": [
+                    {
+                        "name": trend.name,
+                        "points": trend.points,
+                        "first_steps_per_sec": trend.first_steps_per_sec,
+                        "last_steps_per_sec": trend.last_steps_per_sec,
+                        "latest_change": trend.latest_change,
+                        "overall_change": trend.overall_change,
+                    }
+                    for trend in trends
+                ],
+            }, indent=2, sort_keys=True))
+        else:
+            print(render_trend(entries, last=args.last))
+        return 0
+
     suites = tuple(
         token.strip() for token in args.suite.split(",") if token.strip()
     )
@@ -579,6 +812,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out is not None:
         path = write_bench_json(report, args.out)
         print(f"wrote {path}", file=sys.stderr)
+    if args.history is not None:
+        from repro.obs.trend import append_history
+
+        append_history(report, args.history)
+        print(f"appended history entry to {args.history}", file=sys.stderr)
     if args.json:
         print(_json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -607,6 +845,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,
+        "explain": _cmd_explain,
+        "timeline": _cmd_timeline,
         "bench": _cmd_bench,
     }
     try:

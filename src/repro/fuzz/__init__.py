@@ -23,6 +23,12 @@ from repro.fuzz.corpus import (
     replay_case,
     save_case,
 )
+from repro.fuzz.explain import (
+    STACK_ALGORITHMS,
+    CaseExplanation,
+    explain_case,
+    explain_scenario,
+)
 from repro.fuzz.scenario import (
     WORKLOADS,
     FuzzConfig,
@@ -53,6 +59,10 @@ __all__ = [
     "load_corpus",
     "replay_case",
     "save_case",
+    "STACK_ALGORITHMS",
+    "CaseExplanation",
+    "explain_case",
+    "explain_scenario",
     "WORKLOADS",
     "FuzzConfig",
     "Scenario",

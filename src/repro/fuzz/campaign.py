@@ -54,6 +54,9 @@ class Finding:
     scenario: Scenario
     shrunk: Scenario
     corpus_file: Optional[str]
+    #: Path of the ``.explain.json`` written for this finding, when the
+    #: campaign ran with ``explain_dir=``.
+    explanation_file: Optional[str] = None
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -63,6 +66,7 @@ class Finding:
             "scenario": self.scenario.to_json(),
             "shrunk": self.shrunk.to_json(),
             "corpus_file": self.corpus_file,
+            "explanation_file": self.explanation_file,
         }
 
 
@@ -161,6 +165,7 @@ def run_fuzz_campaign(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     collect_metrics: Optional[bool] = None,
+    explain_dir: Optional[Path] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> CampaignReport:
     """Run one fuzz campaign.
@@ -179,9 +184,20 @@ def run_fuzz_campaign(
     left ``None`` it follows the session default installed by
     :func:`repro.obs.metrics.collecting` (which also receives a copy of
     the aggregate).
+
+    ``explain_dir`` writes a ``<case-stem>.explain.json`` explanation (see
+    :mod:`repro.fuzz.explain`) next to each corpus case the campaign
+    saves; it requires ``corpus_dir``.  Explanations are produced by the
+    serial coordinator pass over deterministic findings, so — like the
+    corpus itself — they are byte-identical across worker counts.
     """
     config = config or FuzzConfig()
     config.resolved_stacks()  # fail fast on unknown stack names
+    if explain_dir is not None and corpus_dir is None:
+        raise ConfigurationError(
+            "explain_dir= requires corpus_dir=: explanations are keyed to "
+            "saved corpus cases"
+        )
     if (trials is None) == (time_budget is None):
         raise ConfigurationError(
             "pass exactly one of trials= or time_budget="
@@ -300,6 +316,7 @@ def run_fuzz_campaign(
             # original's full oracle set may be an overstatement.
             case_oracles = shrink_result.outcome.oracle_names
         corpus_file: Optional[str] = None
+        explanation_file: Optional[str] = None
         bug_key = (scenario.stack, oracles)
         if corpus_dir is not None and saved_per_bug.get(bug_key, 0) < corpus_per_bug:
             saved_per_bug[bug_key] = saved_per_bug.get(bug_key, 0) + 1
@@ -316,6 +333,20 @@ def run_fuzz_campaign(
             if corpus_file not in seen_corpus:
                 seen_corpus.add(corpus_file)
                 report.corpus_files.append(corpus_file)
+            if explain_dir is not None:
+                # Imported lazily: explain pulls in the analysis layer,
+                # which campaigns without explanations never need.
+                from repro.fuzz.explain import explain_case
+
+                explanation = explain_case(
+                    case, wall_clock_seconds=trial_wall_clock
+                )
+                explain_path = Path(explain_dir) / (
+                    path.stem + ".explain.json"
+                )
+                explanation.write(explain_path)
+                explanation_file = str(explain_path)
+                emit(f"trial {index}: explanation -> {explain_path}")
         report.findings.append(Finding(
             trial=index,
             status=status,
@@ -323,6 +354,7 @@ def run_fuzz_campaign(
             scenario=scenario,
             shrunk=shrunk,
             corpus_file=corpus_file,
+            explanation_file=explanation_file,
         ))
     report.elapsed_seconds = time.monotonic() - started
     return report

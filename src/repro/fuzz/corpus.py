@@ -142,6 +142,9 @@ def load_corpus(corpus_dir: Path) -> List[Tuple[Path, CorpusCase]]:
     return [
         (path, load_case(path))
         for path in sorted(corpus_dir.glob("case-*.json"))
+        # --explain writes case-<hash>.explain.json next to each case;
+        # those are analyses of cases, not cases.
+        if not path.name.endswith(".explain.json")
     ]
 
 

@@ -24,6 +24,7 @@ from repro.core.sifting_conciliator import SiftingConciliator
 from repro.fuzz.stacks import (
     ADOPT_COMMIT,
     CONCILIATOR,
+    CONSENSUS,
     BuiltStack,
     StackSpec,
     _adopt_commit_stack,
@@ -118,13 +119,30 @@ def _looping_stack(n: int, inputs: Any) -> BuiltStack:
     # A deliberately tight budget: the honest path finishes well inside it,
     # so any overrun is the planted spin loop.
     return BuiltStack(
-        [conciliator.program] * n, conciliator.step_bound() + 4, True
+        [conciliator.program] * n, conciliator.step_bound() + 4, True,
+        conciliator=conciliator,
     )
 
 
 def _corrupting_stack(n: int, inputs: Any) -> BuiltStack:
     conciliator = CorruptingConciliator(n)
-    return BuiltStack([conciliator.program] * n, conciliator.step_bound(), True)
+    return BuiltStack(
+        [conciliator.program] * n, conciliator.step_bound(), True,
+        conciliator=conciliator,
+    )
+
+
+def _agreement_stack(n: int, inputs: Any) -> BuiltStack:
+    # Agreement bug: a "consensus" that decides the bare conciliator output,
+    # skipping the adopt-commit confirmation entirely.  A conciliator only
+    # promises *probabilistic* agreement, so schedules where two personae
+    # survive every sifting round decide two values — exactly what the
+    # agreement oracle (applied to CONSENSUS stacks) must flag.
+    conciliator = SiftingConciliator(n, name="planted-agreement")
+    return BuiltStack(
+        [conciliator.program] * n, conciliator.step_bound(), True,
+        conciliator=conciliator,
+    )
 
 
 PLANTED_STACKS = (
@@ -142,5 +160,8 @@ PLANTED_STACKS = (
             )
         ),
         planted=True,
+    )),
+    register_stack(StackSpec(
+        "planted-agreement", CONSENSUS, _agreement_stack, planted=True,
     )),
 )

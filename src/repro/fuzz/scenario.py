@@ -476,6 +476,7 @@ def run_scenario(
     *,
     wall_clock_seconds: Optional[float] = None,
     metrics: Optional[MetricsRegistry] = None,
+    trace: Optional[Any] = None,
 ) -> ScenarioOutcome:
     """Execute one scenario under the full oracle suite.
 
@@ -487,6 +488,12 @@ def run_scenario(
     ``metrics`` optionally names a registry the run populates — simulator
     step/operation counters plus monitor observations — and whose snapshot
     is carried on :attr:`ScenarioOutcome.metrics` for campaign aggregation.
+
+    ``trace`` optionally names a :class:`~repro.obs.tracing.TraceRecorder`
+    attached as a step hook; after the run it is annotated with the built
+    stack's conciliator round bookkeeping (when the stack has one), so
+    trace analytics (:mod:`repro.obs.analyze`) can reconstruct persona
+    lineages from it.
     """
     spec = get_stack(scenario.stack)
     if spec.workloads is not None and scenario.workload not in spec.workloads:
@@ -511,6 +518,8 @@ def run_scenario(
     hooks.extend(monitors)
     if metrics is not None:
         hooks.append(MetricsHook(metrics))
+    if trace is not None:
+        hooks.append(trace)
     if wall_clock_seconds is not None:
         hooks.append(WallClockBudgetHook(Deadline(wall_clock_seconds)))
 
@@ -580,6 +589,14 @@ def run_scenario(
         records.append(ViolationRecord(
             "runtime-error", None, f"{type(error).__name__}: {error}",
         ))
+
+    if trace is not None and built.conciliator is not None:
+        try:
+            trace.annotate_conciliator(built.conciliator)
+        except ConfigurationError:
+            # No round bookkeeping (e.g. the run died before any round
+            # completed): the step-level trace is still worth keeping.
+            pass
 
     if result is not None:
         total_steps = result.total_steps

@@ -76,6 +76,10 @@ class BuiltStack:
     step_budget: int
     #: True when ``step_budget`` is a proven worst-case bound.
     exact_budget: bool
+    #: The conciliator instance the programs run, when the stack has one
+    #: at its top level — its round bookkeeping feeds post-run trace
+    #: annotation (``TraceRecorder.annotate_conciliator``).
+    conciliator: Optional[Conciliator] = None
 
 
 @dataclass(frozen=True)
@@ -148,7 +152,10 @@ def _conciliator_stack(
     def build(n: int, inputs: Sequence[Any]) -> BuiltStack:
         conciliator = make(n)
         budget, exact = conciliator_budget(conciliator)
-        return BuiltStack([conciliator.program] * n, budget, exact)
+        return BuiltStack(
+            [conciliator.program] * n, budget, exact,
+            conciliator=conciliator,
+        )
 
     return build
 

@@ -20,8 +20,30 @@ substrate the rest of the repository plugs into:
   (one case per algorithm family plus a raw simulator-step microbench)
   that writes canonical ``BENCH_<label>.json`` files and a ``compare``
   mode that gates CI on steps/sec regressions.
+
+PR 5 adds the *analysis* half — turning recordings into explanations:
+
+- :mod:`repro.obs.analyze` — persona-lineage reconstruction,
+  :class:`DisagreementReport` (why a run diverged, and in which round),
+  and :class:`AttributionReport` (observed per-round step counts graded
+  against :mod:`repro.analysis.theory` predictions);
+- :mod:`repro.obs.timeline` — deterministic ASCII and static-HTML
+  per-process timeline rendering of a trace;
+- :mod:`repro.obs.trend` — the append-only ``BENCH_history.jsonl``
+  bench ledger and its ``repro bench trend`` summary.
 """
 
+from repro.obs.analyze import (
+    ANALYSIS_SCHEMA_VERSION,
+    AdoptionStep,
+    AttributionReport,
+    DisagreementReport,
+    PersonaLineage,
+    SurvivingLineage,
+    attribute_steps,
+    build_lineages,
+    explain_disagreement,
+)
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
     BenchComparison,
@@ -52,31 +74,59 @@ from repro.obs.metrics import (
     merge_snapshots,
     set_default_registry,
 )
+from repro.obs.timeline import render_timeline, render_timeline_html
 from repro.obs.tracing import TraceRecorder
+from repro.obs.trend import (
+    TREND_SCHEMA_VERSION,
+    CaseTrend,
+    append_history,
+    history_entry,
+    load_history,
+    render_trend,
+    summarize_trend,
+)
 
 __all__ = [
+    "ANALYSIS_SCHEMA_VERSION",
+    "AdoptionStep",
+    "AttributionReport",
     "BENCH_SCHEMA_VERSION",
     "BenchComparison",
     "CaseComparison",
+    "CaseTrend",
     "Counter",
+    "DisagreementReport",
     "EVENT_KINDS",
     "Histogram",
     "METRICS_SCHEMA_VERSION",
     "MetricsHook",
     "MetricsRegistry",
+    "PersonaLineage",
     "SUITE_NAMES",
+    "SurvivingLineage",
     "TRACE_SCHEMA_VERSION",
+    "TREND_SCHEMA_VERSION",
     "TraceEventRecord",
     "TraceRecorder",
+    "append_history",
+    "attribute_steps",
+    "build_lineages",
     "collecting",
     "compare_bench",
     "event_from_json",
     "event_to_json",
+    "explain_disagreement",
     "get_default_registry",
+    "history_entry",
     "load_bench_json",
+    "load_history",
     "merge_snapshots",
     "read_trace_jsonl",
+    "render_timeline",
+    "render_timeline_html",
+    "render_trend",
     "run_bench_suite",
     "set_default_registry",
+    "summarize_trend",
     "write_trace_jsonl",
 ]

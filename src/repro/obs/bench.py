@@ -394,6 +394,11 @@ class CaseComparison:
     regressed: bool
     note: str = ""
 
+    @property
+    def change_pct(self) -> Optional[float]:
+        """``change`` as a percentage (``-12.5`` = 12.5% slower)."""
+        return self.change * 100.0 if self.change is not None else None
+
 
 @dataclass
 class BenchComparison:
@@ -420,6 +425,7 @@ class BenchComparison:
                     "old_steps_per_sec": case.old_steps_per_sec,
                     "new_steps_per_sec": case.new_steps_per_sec,
                     "change": case.change,
+                    "change_pct": case.change_pct,
                     "regressed": case.regressed,
                     "note": case.note,
                 }

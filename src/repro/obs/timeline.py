@@ -1,0 +1,206 @@
+"""Deterministic per-process timeline rendering of a structured trace.
+
+:func:`render_timeline` turns a list of
+:class:`~repro.obs.events.TraceEventRecord` into a fixed-width ASCII chart:
+one column per process, one row per event, a marker letter at the acting
+process's column, and a detail column naming the object and values
+involved.  Round transitions become separator rows so the protocol's
+logical phases stand out while scanning a corpus reproducer in a terminal.
+
+:func:`render_timeline_html` emits the same rows as a minimal static HTML
+table (no scripts, no external assets) for cases where a browser beats a
+pager.  Both renderers are pure functions of the event list — same trace,
+same bytes — so their output can be diffed across runs and committed as
+test fixtures.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.events import TraceEventRecord
+
+__all__ = ["EVENT_MARKERS", "render_timeline", "render_timeline_html"]
+
+#: Single-character column markers, one per event kind that names a process.
+EVENT_MARKERS = {
+    "register-read": "R",
+    "register-write": "W",
+    "snapshot-update": "U",
+    "snapshot-scan": "S",
+    "max-read": "r",
+    "max-write": "w",
+    "step": "*",
+    "persona-adoption": "P",
+    "crash": "X",
+    "stall": "~",
+    "finish": "F",
+}
+
+
+def _truncate(text: str, width: int) -> str:
+    if width <= 0 or len(text) <= width:
+        return text
+    if width <= 3:
+        return text[:width]
+    return text[: width - 3] + "..."
+
+
+def _detail(event: TraceEventRecord) -> str:
+    payload = event.payload
+    if event.kind == "run-start":
+        return f"run start: n={payload.get('n')} " \
+               f"step_limit={payload.get('step_limit')}"
+    if event.kind == "run-end":
+        return (
+            f"run end: completed={payload.get('completed')} "
+            f"total_steps={payload.get('total_steps')} "
+            f"crashed={payload.get('crashed')}"
+        )
+    if event.kind == "persona-adoption":
+        detail = f"round {payload.get('round')}: adopt " \
+                 f"{payload.get('persona')}"
+        if payload.get("protocol"):
+            detail += f" [{payload['protocol']}]"
+        return detail
+    if event.kind == "crash":
+        return f"crash after {payload.get('steps_taken')} step(s)"
+    if event.kind == "stall":
+        return "stalled (slot withheld)"
+    if event.kind == "finish":
+        if "output" in payload:
+            return f"finish -> {payload['output']!r}"
+        return "finish"
+    parts = [str(payload.get("obj", "?"))]
+    if "value" in payload:
+        parts.append(f":= {payload['value']!r}")
+    if "result" in payload:
+        parts.append(f"-> {payload['result']!r}")
+    return " ".join(parts)
+
+
+def _pids_in(events: Sequence[TraceEventRecord]) -> List[int]:
+    pids = sorted({int(e.pid) for e in events if e.pid is not None})
+    if not pids:
+        raise ConfigurationError(
+            "trace names no processes; nothing to render on a timeline"
+        )
+    return pids
+
+
+def render_timeline(
+    events: Sequence[TraceEventRecord], *, width: int = 100
+) -> str:
+    """Render an ASCII timeline chart of a trace.
+
+    Layout: a ``step`` column (global charged-step index, ``-`` for
+    events outside the step measure), one two-character column per
+    process, and a truncated detail column.  ``width`` bounds the full
+    line length (minimum 40).
+    """
+    if width < 40:
+        raise ConfigurationError(f"width must be >= 40, got {width}")
+    pids = _pids_in(events)
+    step_w = max(4, *(len(str(e.step)) for e in events if e.step is not None)) \
+        if any(e.step is not None for e in events) else 4
+    lane_w = max(len(f"p{pid}") for pid in pids) + 1
+
+    def row(step_text: str, markers: Dict[int, str], detail: str) -> str:
+        cells = "".join(
+            markers.get(pid, ".").ljust(lane_w) for pid in pids
+        )
+        line = f"{step_text:>{step_w}}  {cells} {detail}"
+        return _truncate(line.rstrip(), width)
+
+    header = row("step", {pid: f"p{pid}" for pid in pids}, "event")
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for event in events:
+        detail = _detail(event)
+        if event.kind == "round-transition":
+            label = (
+                f"-- end of round {event.payload.get('round')} "
+                f"({event.payload.get('survivors')} persona(e) survive) "
+            )
+            if event.payload.get("protocol"):
+                label += f"[{event.payload['protocol']}] "
+            lines.append(_truncate(
+                f"{'':>{step_w}}  {label:-<{lane_w * len(pids) + 1}}", width
+            ))
+            continue
+        if event.pid is None:
+            lines.append(row("-", {}, detail))
+            continue
+        marker = EVENT_MARKERS.get(event.kind, "?")
+        step_text = str(event.step) if event.step is not None else "-"
+        lines.append(row(step_text, {int(event.pid): marker}, detail))
+    legend = ", ".join(
+        f"{marker}={kind}" for kind, marker in EVENT_MARKERS.items()
+    )
+    lines += [rule, _truncate(f"legend: {legend}", width)]
+    return "\n".join(lines) + "\n"
+
+
+_HTML_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: monospace; margin: 1.5em; }}
+table {{ border-collapse: collapse; }}
+th, td {{ border: 1px solid #ccc; padding: 2px 8px; text-align: left; }}
+tr.round td {{ background: #eef; font-style: italic; }}
+td.mark {{ text-align: center; font-weight: bold; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<table>
+<tr><th>step</th>{pid_headers}<th>event</th></tr>
+{rows}
+</table>
+</body>
+</html>
+"""
+
+
+def render_timeline_html(
+    events: Sequence[TraceEventRecord], *, title: str = "repro trace timeline"
+) -> str:
+    """Render the same timeline as a self-contained static HTML page."""
+    pids = _pids_in(events)
+    pid_headers = "".join(f"<th>p{pid}</th>" for pid in pids)
+    rows: List[str] = []
+
+    def cell(content: str, css: str = "") -> str:
+        attr = f' class="{css}"' if css else ""
+        return f"<td{attr}>{html.escape(content)}</td>"
+
+    for event in events:
+        detail = _detail(event)
+        if event.kind == "round-transition":
+            label = (
+                f"end of round {event.payload.get('round')} — "
+                f"{event.payload.get('survivors')} persona(e) survive"
+            )
+            rows.append(
+                f'<tr class="round"><td colspan="{len(pids) + 2}">'
+                f"{html.escape(label)}</td></tr>"
+            )
+            continue
+        step_text = str(event.step) if event.step is not None else "-"
+        marks: Dict[int, str] = {}
+        if event.pid is not None:
+            marks[int(event.pid)] = EVENT_MARKERS.get(event.kind, "?")
+        cells = "".join(
+            cell(marks.get(pid, ""), "mark") for pid in pids
+        )
+        rows.append(f"<tr>{cell(step_text)}{cells}{cell(detail)}</tr>")
+    return _HTML_PAGE.format(
+        title=html.escape(title),
+        pid_headers=pid_headers,
+        rows="\n".join(rows),
+    )

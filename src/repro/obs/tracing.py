@@ -191,6 +191,22 @@ class TraceRecorder(StepHook):
 
     # ----- protocol milestones ---------------------------------------------
 
+    def _emit_adoption(
+        self, round_number: int, pid: int, persona: Any, protocol: str
+    ) -> None:
+        payload: dict = {
+            "round": round_number,
+            "persona": _jsonable(persona),
+            "origin": getattr(persona, "origin", None),
+            "protocol": protocol,
+        }
+        if self.include_values:
+            payload["value"] = _jsonable(getattr(persona, "value", None))
+            payload["coin"] = getattr(persona, "coin", None)
+        self._record(TraceEventRecord(
+            kind="persona-adoption", pid=pid, payload=payload,
+        ))
+
     def annotate_conciliator(self, conciliator: "Conciliator") -> int:
         """Derive persona-adoption and round-transition events post-run.
 
@@ -198,30 +214,54 @@ class TraceRecorder(StepHook):
         measure), so these events carry no ``step`` index; they describe
         the protocol's logical progress, ordered by round.  Returns the
         number of events appended.
+
+        Algorithm 3 (:class:`~repro.core.cil_embedded.CILEmbeddedConciliator`)
+        keeps no outer-loop bookkeeping — its rounds live in the embedded
+        inner conciliator — so annotation descends into ``.inner`` when the
+        outer object recorded nothing.  A conciliator with no bookkeeping
+        anywhere (an unknown program shape, or one that never ran) raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        emitting nothing: an empty annotation would read as "no adoptions
+        happened", which is never true of a completed run.
         """
+        from repro.core.conciliator import Conciliator
+
+        if not isinstance(conciliator, Conciliator):
+            raise ConfigurationError(
+                f"annotate_conciliator needs a Conciliator, got "
+                f"{type(conciliator).__name__}"
+            )
+        target = conciliator
+        while not target._initial and not target._after_round:
+            inner = getattr(target, "inner", None)
+            if not isinstance(inner, Conciliator):
+                raise ConfigurationError(
+                    f"conciliator {conciliator.name!r} "
+                    f"({type(conciliator).__name__}) has no round "
+                    f"bookkeeping to annotate: unknown program shape, or "
+                    f"the conciliator never ran"
+                )
+            target = inner
+        protocol = target.name
         appended = 0
-        for pid in sorted(conciliator._initial):
-            persona = conciliator._initial[pid]
-            self._record(TraceEventRecord(
-                kind="persona-adoption", pid=pid,
-                payload={"round": 0, "persona": _jsonable(persona)},
-            ))
+        for pid in sorted(target._initial):
+            self._emit_adoption(0, pid, target._initial[pid], protocol)
             appended += 1
-        for round_index in sorted(conciliator._after_round):
-            holders = conciliator._after_round[round_index]
-            survivors = conciliator.survivors_after_round(round_index)
+        for round_index in sorted(target._after_round):
+            holders = target._after_round[round_index]
+            survivors = target.survivors_after_round(round_index)
             self._record(TraceEventRecord(
                 kind="round-transition",
-                payload={"round": round_index, "survivors": survivors},
+                payload={
+                    "round": round_index,
+                    "survivors": survivors,
+                    "protocol": protocol,
+                },
             ))
             appended += 1
             for pid in sorted(holders):
-                self._record(TraceEventRecord(
-                    kind="persona-adoption", pid=pid,
-                    payload={
-                        "round": round_index + 1,
-                        "persona": _jsonable(holders[pid]),
-                    },
-                ))
+                self._emit_adoption(
+                    round_index + 1, pid, holders[pid], protocol
+                )
                 appended += 1
         return appended

@@ -228,6 +228,38 @@ class TestTheory:
         with pytest.raises(ConfigurationError):
             markov_disagreement_bound(-0.1)
 
+    def test_predicted_attribution_covers_all_algorithms(self):
+        from repro.analysis.theory import (
+            ATTRIBUTION_ALGORITHMS,
+            cil_individual_step_bound,
+            cil_inner_rounds,
+            predicted_attribution,
+        )
+        from repro.core.rounds import sifting_rounds, snapshot_rounds
+
+        n = 64
+        snap = predicted_attribution("snapshot", n)
+        assert snap["relation"] == "exact"
+        assert snap["rounds"] == snapshot_rounds(n, 0.5)
+        assert snap["individual_steps"] == 2 * snap["rounds"]
+
+        sift = predicted_attribution("sifting", n)
+        assert sift["relation"] == "exact"
+        assert sift["rounds"] == sifting_rounds(n, 0.5)
+        assert sift["individual_steps"] == sift["rounds"]
+
+        cil = predicted_attribution("cil-embedded", n)
+        assert cil["relation"] == "upper-bound"
+        assert cil["epsilon"] == 0.25  # forced to the inner epsilon
+        assert cil["rounds"] == cil_inner_rounds(n) \
+            == sifting_rounds(n, 0.25)
+        assert cil["individual_steps"] == cil_individual_step_bound(n)
+
+        assert set(ATTRIBUTION_ALGORITHMS) \
+            == {"snapshot", "sifting", "cil-embedded"}
+        with pytest.raises(ConfigurationError, match="no attribution"):
+            predicted_attribution("magic", n)
+
 
 class TestRunners:
     def test_conciliator_trials_aggregate(self):

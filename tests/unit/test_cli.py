@@ -328,3 +328,214 @@ class TestReplayCommand:
         output = capsys.readouterr().out
         assert code == 1
         assert "FAIL" in output
+
+
+class TestExplainCommand:
+    @staticmethod
+    def _write_agreement_case(tmp_path):
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--trials", "40", "--seed", "2012",
+                     "--stacks", "planted-agreement", "--max-n", "4",
+                     "--no-shrink", "--corpus", str(corpus)]) == 1
+        cases = list(corpus.glob("case-*.json"))
+        assert cases
+        return cases[0]
+
+    def test_renders_disagreement_and_attribution(self, tmp_path, capsys):
+        case = self._write_agreement_case(tmp_path)
+        capsys.readouterr()
+        code = main(["explain", str(case)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "DISAGREEMENT" in output
+        assert "divergence round" in output
+        assert "step attribution" in output
+
+    def test_json_and_out_write_versioned_explanation(self, tmp_path, capsys):
+        import json
+
+        from repro.fuzz.explain import EXPLAIN_SCHEMA_VERSION
+
+        case = self._write_agreement_case(tmp_path)
+        capsys.readouterr()
+        out = tmp_path / "case.explain.json"
+        trace = tmp_path / "case.trace.jsonl"
+        code = main(["explain", str(case), "--json",
+                     "--out", str(out), "--trace", str(trace)])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["v"] == EXPLAIN_SCHEMA_VERSION
+        assert payload["disagreement"]["diverged"] is True
+        assert out.exists() and trace.exists()
+        # The written file is the same canonical JSON as stdout.
+        assert json.loads(out.read_text()) == payload
+
+    def test_missing_case_exits_two(self, tmp_path, capsys):
+        code = main(["explain", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert capsys.readouterr().err
+
+
+class TestTimelineCommand:
+    def test_from_case_renders_chart_and_html(self, tmp_path, capsys):
+        case = TestExplainCommand._write_agreement_case(tmp_path)
+        capsys.readouterr()
+        html = tmp_path / "t.html"
+        code = main(["timeline", "--case", str(case), "--html", str(html)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "legend:" in captured.out
+        assert "p0" in captured.out
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_from_trace_file(self, tmp_path, capsys):
+        case = TestExplainCommand._write_agreement_case(tmp_path)
+        trace = tmp_path / "t.jsonl"
+        assert main(["explain", str(case), "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        code = main(["timeline", "--trace", str(trace), "--width", "80"])
+        output = capsys.readouterr().out
+        assert code == 0
+        for line in output.splitlines():
+            assert len(line) <= 80
+
+    def test_requires_case_or_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timeline"])
+
+    def test_narrow_width_exits_two(self, tmp_path, capsys):
+        case = TestExplainCommand._write_agreement_case(tmp_path)
+        capsys.readouterr()
+        code = main(["timeline", "--case", str(case), "--width", "10"])
+        assert code == 2
+        assert "width" in capsys.readouterr().err
+
+
+class TestReplayExplain:
+    def test_explain_dir_requires_explain_flag(self, tmp_path, capsys):
+        code = main(["replay", "--corpus", str(tmp_path),
+                     "--explain-dir", str(tmp_path / "out")])
+        assert code == 2
+        assert "--explain" in capsys.readouterr().err
+
+    def test_explain_writes_reports_and_traces(self, tmp_path, capsys):
+        case = TestExplainCommand._write_agreement_case(tmp_path)
+        capsys.readouterr()
+        out = tmp_path / "explanations"
+        code = main(["replay", "--corpus", str(case.parent),
+                     "--explain", "--explain-dir", str(out)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "disagreement: diverged at round" in output
+        assert list(out.glob("*.explain.json"))
+        assert list(out.glob("*.trace.jsonl"))
+
+
+class TestFuzzExplain:
+    def test_explain_requires_corpus(self, capsys):
+        code = main(["fuzz", "--trials", "2", "--explain"])
+        assert code == 2
+        assert "--corpus" in capsys.readouterr().err
+
+    def test_explain_writes_explanations_next_to_cases(self, tmp_path,
+                                                       capsys):
+        corpus = tmp_path / "corpus"
+        code = main(["fuzz", "--trials", "40", "--seed", "2012",
+                     "--stacks", "planted-agreement", "--max-n", "4",
+                     "--no-shrink", "--corpus", str(corpus), "--explain"])
+        capsys.readouterr()
+        assert code == 1
+        explanations = list(corpus.glob("case-*.explain.json"))
+        cases = [path for path in corpus.glob("case-*.json")
+                 if path not in explanations]
+        assert cases and len(explanations) == len(cases)
+        # The explanation files must not confuse corpus loading: replay
+        # sees only the cases.
+        assert main(["replay", "--corpus", str(corpus)]) == 0
+
+
+class TestBenchTrendCommand:
+    @staticmethod
+    def _seed_history(path, values):
+        from repro.obs.trend import append_history
+
+        for index, value in enumerate(values):
+            append_history({
+                "label": "t", "quick": True, "seed": 1,
+                "git_sha": f"sha{index}", "created_unix": index,
+                "cases": {"alpha": {"steps_per_sec": value}},
+            }, path)
+
+    def test_parser_history_flag_default_and_const(self):
+        assert build_parser().parse_args(["bench"]).history is None
+        args = build_parser().parse_args(["bench", "--history"])
+        assert args.history == "benchmarks/BENCH_history.jsonl"
+        args = build_parser().parse_args(["bench", "--history", "x.jsonl"])
+        assert args.history == "x.jsonl"
+
+    def test_trend_renders_table(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        self._seed_history(history, [100.0, 150.0])
+        code = main(["bench", "trend", "--history", str(history)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "alpha" in output
+        assert "+50.0%" in output
+
+    def test_trend_json(self, tmp_path, capsys):
+        import json
+
+        history = tmp_path / "h.jsonl"
+        self._seed_history(history, [100.0, 150.0, 75.0])
+        code = main(["bench", "trend", "--history", str(history),
+                     "--last", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 3
+        case = payload["cases"][0]
+        assert case["name"] == "alpha"
+        assert case["latest_change"] == pytest.approx(-0.5)
+
+    def test_trend_empty_history_hints(self, tmp_path, capsys):
+        code = main(["bench", "trend",
+                     "--history", str(tmp_path / "none.jsonl")])
+        assert code == 0
+        assert "repro bench --history" in capsys.readouterr().out
+
+    def test_bench_run_appends_history(self, tmp_path, capsys):
+        from repro.obs.trend import load_history
+
+        history = tmp_path / "h.jsonl"
+        code = main(["bench", "--quick", "--suite", "consensus",
+                     "--label", "unit", "--seed", "3",
+                     "--out", str(tmp_path / "BENCH_unit.json"),
+                     "--history", str(history)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "history" in captured.err
+        entries = load_history(history)
+        assert len(entries) == 1
+        assert "consensus" in entries[0]["cases"]
+
+    def test_compare_json_carries_percent_deltas(self, tmp_path, capsys):
+        import json
+
+        old = TestBenchCommand._write_report(
+            tmp_path / "old.json", {"alpha": 1000.0}
+        )
+        new = TestBenchCommand._write_report(
+            tmp_path / "new.json", {"alpha": 900.0}
+        )
+        code = main(["bench", "compare", str(old), str(new), "--json"])
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["cases"][0]["change_pct"] == pytest.approx(-10.0)
+
+    def test_compare_help_states_exit_contract(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "compare", "--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        assert "Exit codes" in text
+        assert "2 = usage or configuration error" in text

@@ -162,6 +162,18 @@ class TestCompareGate:
     def test_default_threshold_matches_ci_gate(self):
         assert DEFAULT_THRESHOLD == 0.4
 
+    def test_change_pct_mirrors_change_in_json(self):
+        old = _report(cases={"alpha": 1000.0, "beta": 1000.0})
+        new = _report(cases={"alpha": 900.0})
+        comparison = compare_bench(old, new, threshold=0.4)
+        by_name = {case.name: case for case in comparison.cases}
+        assert by_name["alpha"].change_pct == pytest.approx(-10.0)
+        assert by_name["beta"].change_pct is None  # missing: no delta
+        data = comparison.to_json()
+        json_by_name = {case["name"]: case for case in data["cases"]}
+        assert json_by_name["alpha"]["change_pct"] == pytest.approx(-10.0)
+        assert json_by_name["beta"]["change_pct"] is None
+
     def test_json_and_render_forms(self):
         comparison = compare_bench(
             _report(cases={"alpha": 1000.0}),

@@ -118,6 +118,54 @@ class TestJsonlFiles:
         with pytest.raises(ConfigurationError, match="unsupported trace"):
             read_trace_jsonl(path)
 
+    def test_torn_final_line_warns_and_drops(self, tmp_path):
+        # A crash mid-append leaves at most one unparseable final line;
+        # the reader keeps the durable prefix and warns, matching the
+        # checkpoint-journal contract.
+        recorder = _run_traced()
+        path = tmp_path / "trace.jsonl"
+        recorder.to_jsonl(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v":1,"kind":"regis')
+        with pytest.warns(RuntimeWarning, match="torn"):
+            events = read_trace_jsonl(path)
+        assert events == recorder.events
+
+    def test_torn_truncated_tail_of_last_event_warns(self, tmp_path):
+        recorder = _run_traced()
+        path = tmp_path / "trace.jsonl"
+        recorder.to_jsonl(path)
+        # Truncate mid-way through the final line (no trailing newline).
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 9])
+        with pytest.warns(RuntimeWarning, match="torn"):
+            events = read_trace_jsonl(path)
+        assert events == recorder.events[:-1]
+
+    def test_unreadable_line_with_later_lines_raises(self, tmp_path):
+        # Corruption that is NOT a torn tail — durable lines follow — is
+        # real damage and must fail loudly, never be skipped.
+        recorder = _run_traced()
+        path = tmp_path / "trace.jsonl"
+        recorder.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"nope'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="later lines exist"):
+            read_trace_jsonl(path)
+
+    def test_parseable_foreign_version_tail_still_raises(self, tmp_path):
+        # The torn-tail tolerance covers only unparseable JSON; a line
+        # that parses with a foreign schema version is rejected even at
+        # the very end of the file.
+        recorder = _run_traced()
+        path = tmp_path / "trace.jsonl"
+        recorder.to_jsonl(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v":99,"kind":"crash"}\n')
+        with pytest.raises(ConfigurationError, match="unsupported trace"):
+            read_trace_jsonl(path)
+
 
 class TestTraceRecorder:
     def test_records_run_boundaries_and_operations(self):

@@ -1,0 +1,115 @@
+"""Unit tests for ASCII and HTML timeline rendering."""
+
+import pytest
+
+from repro.core.conciliator import run_conciliator
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.errors import ConfigurationError
+from repro.obs.events import TraceEventRecord
+from repro.obs.timeline import (
+    EVENT_MARKERS,
+    render_timeline,
+    render_timeline_html,
+)
+from repro.obs.tracing import TraceRecorder
+from repro.runtime.rng import SeedTree
+from repro.workloads.schedules import make_schedule
+
+
+def _small_trace():
+    return [
+        TraceEventRecord(kind="run-start", payload={"n": 2, "step_limit": 10}),
+        TraceEventRecord(kind="register-read", pid=0, step=0,
+                         payload={"obj": "x.r[0]", "result": "<b>&v"}),
+        TraceEventRecord(kind="register-write", pid=1, step=1,
+                         payload={"obj": "x.r[0]", "value": 7}),
+        TraceEventRecord(kind="round-transition",
+                         payload={"round": 0, "survivors": 2,
+                                  "protocol": "x"}),
+        TraceEventRecord(kind="finish", pid=0, payload={"output": 7}),
+        TraceEventRecord(kind="run-end",
+                         payload={"completed": 2, "total_steps": 2,
+                                  "crashed": 0}),
+    ]
+
+
+class TestAsciiTimeline:
+    def test_rejects_trace_without_processes(self):
+        events = [TraceEventRecord(kind="run-start", payload={"n": 0})]
+        with pytest.raises(ConfigurationError, match="names no processes"):
+            render_timeline(events)
+
+    def test_rejects_narrow_width(self):
+        with pytest.raises(ConfigurationError, match="width"):
+            render_timeline(_small_trace(), width=39)
+
+    def test_deterministic_and_newline_terminated(self):
+        first = render_timeline(_small_trace())
+        second = render_timeline(_small_trace())
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_rows_markers_and_round_separator(self):
+        text = render_timeline(_small_trace())
+        lines = text.splitlines()
+        assert lines[0].split() == ["step", "p0", "p1", "event"]
+        assert any("-- end of round 0 (2 persona(e) survive)" in line
+                   for line in lines)
+        assert any(" R " in line and "x.r[0]" in line for line in lines)
+        assert any(" W " in line and ":= 7" in line for line in lines)
+        assert "legend:" in lines[-1]
+
+    def test_width_bounds_every_line(self):
+        for line in render_timeline(_small_trace(), width=48).splitlines():
+            assert len(line) <= 48
+
+    def test_events_without_pid_get_dash_step(self):
+        text = render_timeline(_small_trace())
+        assert "run start: n=2 step_limit=10" in text
+        assert "run end: completed=2" in text
+
+    def test_every_marker_is_a_single_character(self):
+        assert all(len(marker) == 1 for marker in EVENT_MARKERS.values())
+
+    def test_real_trace_renders(self):
+        n = 3
+        conciliator = SiftingConciliator(n)
+        seeds = SeedTree(9)
+        schedule = make_schedule("random", n, seeds.child("schedule"))
+        recorder = TraceRecorder(include_values=True)
+        run_conciliator(
+            conciliator, list(range(n)), schedule, seeds, hooks=[recorder]
+        )
+        recorder.annotate_conciliator(conciliator)
+        text = render_timeline(recorder.events)
+        assert "p0" in text and "p2" in text
+        assert "-- end of round" in text
+        # Deterministic: same events, same bytes.
+        assert text == render_timeline(recorder.events)
+
+
+class TestHtmlTimeline:
+    def test_page_is_self_contained_table(self):
+        page = render_timeline_html(_small_trace())
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<table>" in page
+        assert "<script" not in page
+        assert "<th>p0</th><th>p1</th>" in page
+
+    def test_escapes_payload_text(self):
+        page = render_timeline_html(_small_trace())
+        assert "&lt;b&gt;&amp;v" in page
+        assert "<b>&v" not in page
+
+    def test_round_transition_becomes_round_row(self):
+        page = render_timeline_html(_small_trace())
+        assert '<tr class="round">' in page
+        assert "end of round 0" in page
+
+    def test_title_is_escaped(self):
+        page = render_timeline_html(_small_trace(), title="a<b>&c")
+        assert "a&lt;b&gt;&amp;c" in page
+
+    def test_deterministic(self):
+        assert render_timeline_html(_small_trace()) \
+            == render_timeline_html(_small_trace())
