@@ -38,6 +38,11 @@ from repro.obs.metrics import MetricsRegistry, get_default_registry
 from repro.runtime.parallel import run_indexed_trials
 from repro.runtime.results import RunResult
 from repro.runtime.rng import SeedTree
+from repro.runtime.vectorized import (
+    BACKENDS,
+    VECTOR_BACKENDS,
+    run_vectorized_sweep,
+)
 from repro.workloads.schedules import make_schedule
 
 __all__ = [
@@ -179,6 +184,48 @@ def _trial_schedule(family: str, n: int, trial_seeds: SeedTree):
     return make_schedule(family, n, trial_seeds.child("schedule"))
 
 
+def _resolve_backend(
+    backend: str,
+    *,
+    what: str,
+    allow_partial: Optional[bool],
+    metrics: Optional[MetricsRegistry],
+) -> bool:
+    """Validate a sweep's ``backend`` choice; True when it is vectorized.
+
+    The vectorized backends batch whole trials as array programs, so the
+    per-event knobs of the generator simulator do not exist there: partial
+    (starved) executions cannot arise under lockstep families, and there is
+    no per-event instrumentation for a :class:`MetricsRegistry` to observe.
+    Both are rejected loudly rather than silently ignored.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    if backend not in VECTOR_BACKENDS:
+        return False
+    if allow_partial:
+        raise ConfigurationError(
+            f"backend {backend!r} runs every process to completion and "
+            "cannot honour allow_partial=True; use the generator backend "
+            "for partial (crash/starvation) executions"
+        )
+    if metrics is not None:
+        raise ConfigurationError(
+            f"backend {backend!r} executes batched kernels with no "
+            "per-event metrics hooks; collect metrics on the generator "
+            "backend instead"
+        )
+    if what == "consensus":
+        raise ConfigurationError(
+            f"backend {backend!r} only supports conciliator sweeps; "
+            "consensus protocols interleave coin-dependent phases that "
+            "have no fixed per-process op sequence"
+        )
+    return True
+
+
 def _protocol_kind(instance: Any) -> str:
     """Stable identity of the protocol a sweep exercises."""
     return getattr(instance, "name", None) or type(instance).__name__
@@ -270,12 +317,25 @@ def run_conciliator_trials(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "generator",
 ) -> ConciliatorTrialStats:
     """Run ``trials`` independent executions of a conciliator.
 
     ``allow_partial`` defaults to True exactly for the crash adversary (its
     victims never finish); agreement and validity are then judged on the
     finished processes, as the wait-free model demands.
+
+    ``backend`` selects the execution engine.  ``"generator"`` (default)
+    steps every trial through the event-level simulator.  ``"vectorized"``
+    batches thousands of trials as NumPy array programs — orders of
+    magnitude faster, restricted to lockstep schedule families (see
+    :func:`repro.runtime.vectorized.supported_families`) and drawing its
+    randomness from per-block streams rather than per-trial generator
+    streams.  ``"vectorized-oracle"`` replays the generator's exact
+    per-trial streams through the same kernels, so its stats are
+    bit-identical to the generator backend (this is the differential-test
+    mode; it is not faster than the fast mode).  Vectorized backends reject
+    ``allow_partial=True`` and explicit ``metrics``.
 
     ``workers``/``chunk_size`` shard the sweep across processes (see
     :mod:`repro.runtime.parallel`); ``None`` defers to the session default.
@@ -296,6 +356,29 @@ def run_conciliator_trials(
     """
     _validate_sweep(trials, len(inputs))
     _resolve_checkpoint(checkpoint_path, resume)
+    vectorized = _resolve_backend(
+        backend, what="conciliator", allow_partial=allow_partial,
+        metrics=metrics,
+    )
+    if vectorized:
+        kind = _protocol_kind(factory())
+        run_key = (
+            f"conciliator|backend={backend}|kind={kind}|n={len(inputs)}"
+            f"|trials={trials}|seed={master_seed}|schedule={schedule_family}"
+        )
+        sweep = run_vectorized_sweep(
+            factory,
+            inputs,
+            schedule_family=schedule_family,
+            trials=trials,
+            master_seed=master_seed,
+            oracle=backend == "vectorized-oracle",
+            workers=workers,
+            chunk_size=chunk_size,
+            checkpoint_path=checkpoint_path,
+            run_key=run_key,
+        )
+        return sweep.stats()
     if allow_partial is None:
         allow_partial = schedule_family == "crash-half"
     inputs = list(inputs)
@@ -381,16 +464,24 @@ def run_consensus_trials(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "generator",
 ) -> ConsensusTrialStats:
     """Run ``trials`` independent consensus executions and check safety.
 
     Accepts the same ``workers``/``chunk_size`` sharding,
     ``checkpoint_path``/``resume`` crash-safety, and ``metrics``
     aggregation knobs as :func:`run_conciliator_trials`, with the same
-    bit-identical guarantees.
+    bit-identical guarantees.  Only the ``"generator"`` backend applies:
+    a consensus protocol's op sequence depends on its coin flips, so the
+    occurrence-time factorization the vectorized kernels exploit does not
+    exist (the vectorized backends are rejected with a clear error).
     """
     _validate_sweep(trials, len(inputs))
     _resolve_checkpoint(checkpoint_path, resume)
+    _resolve_backend(
+        backend, what="consensus", allow_partial=allow_partial,
+        metrics=metrics,
+    )
     if allow_partial is None:
         allow_partial = schedule_family == "crash-half"
     inputs = list(inputs)
@@ -469,6 +560,7 @@ def decay_series(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "generator",
 ) -> List[float]:
     """Mean distinct-survivor counts ``Y_i`` per round across trials.
 
@@ -476,10 +568,36 @@ def decay_series(
     personae held by processes after completing round ``i+1`` — the measured
     counterpart of the decay bounds in Lemmas 1 and 3/4.  ``metrics``
     aggregates per-trial simulator metrics exactly as in
-    :func:`run_conciliator_trials`.
+    :func:`run_conciliator_trials`, and ``backend`` selects the execution
+    engine under the same rules (the vectorized kernels track per-round
+    survivor rows, so the folded series has the same shape; in oracle mode
+    it is bit-identical to the generator's).
     """
     _validate_sweep(trials, len(inputs))
     _resolve_checkpoint(checkpoint_path, resume)
+    vectorized = _resolve_backend(
+        backend, what="decay", allow_partial=None, metrics=metrics,
+    )
+    if vectorized:
+        kind = _protocol_kind(factory())
+        run_key = (
+            f"decay|backend={backend}|kind={kind}|n={len(inputs)}"
+            f"|trials={trials}|seed={master_seed}|schedule={schedule_family}"
+        )
+        sweep = run_vectorized_sweep(
+            factory,
+            inputs,
+            schedule_family=schedule_family,
+            trials=trials,
+            master_seed=master_seed,
+            oracle=backend == "vectorized-oracle",
+            workers=workers,
+            chunk_size=chunk_size,
+            checkpoint_path=checkpoint_path,
+            run_key=run_key,
+            collect_survivors=True,
+        )
+        return sweep.decay_series()
     inputs = list(inputs)
     kind = _protocol_kind(factory())
     registry = _resolve_metrics(metrics)

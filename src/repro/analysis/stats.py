@@ -14,7 +14,14 @@ from typing import Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["mean", "sample_std", "wilson_interval", "SampleSummary", "summarize"]
+__all__ = [
+    "fisher_exact_two_sided",
+    "mean",
+    "sample_std",
+    "wilson_interval",
+    "SampleSummary",
+    "summarize",
+]
 
 
 def mean(samples: Sequence[float]) -> float:
@@ -57,6 +64,58 @@ def wilson_interval(
         / denominator
     )
     return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def _log_binomial(n: int, k: int) -> float:
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def fisher_exact_two_sided(a: int, b: int, c: int, d: int) -> float:
+    """Two-sided Fisher exact test p-value for a 2x2 contingency table.
+
+    The table is ``[[a, b], [c, d]]`` — e.g. (agreements, disagreements)
+    for two backends.  Under the null hypothesis that both rows draw from
+    the same Bernoulli, ``a`` follows the hypergeometric distribution with
+    the margins fixed; the two-sided p-value sums the probabilities of
+    every table at most as probable as the observed one (the standard
+    "sum of small p" definition, matching ``scipy.stats.fisher_exact``).
+
+    Pure stdlib (``math.lgamma``), so the statistical backend-equivalence
+    tests stay inside the zero-dependency core.  Exact for the table sizes
+    the tests use; a tiny relative tolerance absorbs log-space rounding
+    when classifying "as probable" tables.
+    """
+    for name, value in (("a", a), ("b", b), ("c", c), ("d", d)):
+        if value < 0:
+            raise ConfigurationError(
+                f"contingency counts must be >= 0, got {name}={value}"
+            )
+    row1, row2 = a + b, c + d
+    col1 = a + c
+    total = row1 + row2
+    if row1 == 0 or row2 == 0 or col1 == 0 or col1 == total:
+        return 1.0  # degenerate margins: only one table is possible
+    denominator = _log_binomial(total, col1)
+
+    def log_prob(k: int) -> float:
+        return (
+            _log_binomial(row1, k)
+            + _log_binomial(row2, col1 - k)
+            - denominator
+        )
+
+    observed = log_prob(a)
+    lowest = max(0, col1 - row2)
+    highest = min(col1, row1)
+    cutoff = observed + 1e-9  # absorb lgamma rounding on equal tables
+    p_value = 0.0
+    for k in range(lowest, highest + 1):
+        value = log_prob(k)
+        if value <= cutoff:
+            p_value += math.exp(value)
+    return min(1.0, p_value)
 
 
 @dataclass(frozen=True)

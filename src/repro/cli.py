@@ -24,6 +24,11 @@ processes — results are bit-identical to a serial run for any worker count
 (``--workers 0`` uses every available CPU).  Long sweeps accept
 ``--checkpoint PATH`` to journal finished trial chunks and ``--resume`` to
 continue a killed sweep from that journal with bit-identical statistics.
+The ``conciliator`` and ``decay`` sweeps additionally accept
+``--backend vectorized`` to run trials on the NumPy mass-trial backend
+(orders of magnitude faster; lockstep ``--schedule`` families only) and
+``--backend vectorized-oracle`` for the generator-stream replay mode used
+by the differential test suite.
 """
 
 from __future__ import annotations
@@ -48,8 +53,13 @@ from repro.errors import ReproError
 from repro.runtime.parallel import parallelism
 from repro.runtime.rng import SeedTree
 from repro.runtime.simulator import run_programs
+from repro.runtime.vectorized import BACKENDS
 from repro.workloads.inputs import standard_input_gallery
-from repro.workloads.schedules import SCHEDULE_FAMILIES, make_schedule
+from repro.workloads.schedules import (
+    ALL_SCHEDULE_FAMILIES,
+    SCHEDULE_FAMILIES,
+    make_schedule,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -107,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["distinct", "binary", "four-valued",
                                     "skewed", "unanimous"],
                            default="distinct")
-    consensus.add_argument("--schedule", choices=list(SCHEDULE_FAMILIES),
+    consensus.add_argument("--schedule", choices=list(ALL_SCHEDULE_FAMILIES),
                            default="random")
     consensus.add_argument("--seed", type=int, default=2012)
 
@@ -118,9 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
                              default="sifting")
     conciliator.add_argument("--n", type=int, default=16)
     conciliator.add_argument("--trials", type=int, default=100)
-    conciliator.add_argument("--schedule", choices=list(SCHEDULE_FAMILIES),
+    conciliator.add_argument("--schedule", choices=list(ALL_SCHEDULE_FAMILIES),
                              default="random")
     conciliator.add_argument("--seed", type=int, default=2012)
+    conciliator.add_argument(
+        "--backend", choices=list(BACKENDS), default="generator",
+        help="execution engine: the event-level generator simulator "
+             "(default), the NumPy mass-trial backend (vectorized; "
+             "lockstep schedule families only), or the generator-stream "
+             "replay used by the differential tests (vectorized-oracle)",
+    )
     _add_parallel_arguments(conciliator)
     _add_checkpoint_arguments(conciliator)
 
@@ -129,7 +146,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default="sifting")
     decay.add_argument("--n", type=int, default=64)
     decay.add_argument("--trials", type=int, default=40)
+    decay.add_argument("--schedule", choices=list(ALL_SCHEDULE_FAMILIES),
+                       default="random")
     decay.add_argument("--seed", type=int, default=2012)
+    decay.add_argument(
+        "--backend", choices=list(BACKENDS), default="generator",
+        help="execution engine (see `repro conciliator --help`); the "
+             "vectorized backends require a lockstep --schedule such as "
+             "permuted or interleaved",
+    )
     decay.add_argument("--plot", action="store_true",
                        help="also render an ASCII chart of the curves")
     _add_parallel_arguments(decay)
@@ -406,10 +431,11 @@ def _cmd_conciliator(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        backend=args.backend,
     )
     low, high = stats.agreement_interval
     print(f"algorithm={args.algorithm} n={args.n} adversary={args.schedule} "
-          f"trials={args.trials}")
+          f"trials={args.trials} backend={args.backend}")
     print(f"agreement rate: {stats.agreement_rate:.3f} "
           f"(95% CI [{low:.3f}, {high:.3f}])")
     print(f"individual steps: {stats.individual_steps}")
@@ -426,10 +452,11 @@ def _cmd_decay(args: argparse.Namespace) -> int:
         factory = lambda: SiftingConciliator(args.n)
         bound_fn = sifting_decay_bound
     series = decay_series(
-        factory, list(range(args.n)), trials=args.trials,
+        factory, list(range(args.n)), schedule_family=args.schedule,
+        trials=args.trials,
         master_seed=args.seed, workers=args.workers,
         chunk_size=args.chunk_size, checkpoint_path=args.checkpoint,
-        resume=args.resume,
+        resume=args.resume, backend=args.backend,
     )
     bounds = bound_fn(args.n, len(series))
     rows = [

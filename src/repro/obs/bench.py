@@ -10,6 +10,15 @@ number here:
 - ``sifting-conciliator``   Algorithm 2 end to end
 - ``cil-embedded``          Algorithm 3 (CIL with embedded conciliator)
 - ``consensus``             the conciliator + adopt-commit composition
+- ``vectorized-sifting``    Algorithm 2 on the NumPy mass-trial backend
+- ``vectorized-snapshot``   Algorithm 1 on the NumPy mass-trial backend
+
+The two ``vectorized-*`` cases exist to pin the mass-trial backend's
+headline claim — orders of magnitude more steps/sec than the generator's
+``simulator-step`` floor — as a number the perf gate can watch.  When NumPy
+is not installed they are skipped from the default selection (logged, not
+silent); naming one explicitly without NumPy raises
+:class:`ConfigurationError`.
 
 Each case runs a fixed, seeded workload for a fixed trial count (smaller
 under ``--quick``), measures per-trial wall latency, counts charged steps,
@@ -228,6 +237,60 @@ def _cil_factory(n: int):
     return CILEmbeddedConciliator(n)
 
 
+def _numpy_available() -> bool:
+    """Indirection over the backend's probe (monkeypatchable in tests)."""
+    from repro.runtime.vectorized import numpy_available
+
+    return numpy_available()
+
+
+def _vectorized_case(factory: Callable[[int], Any], family: str):
+    """A mass-trial case: one batched sweep, measured as a single call.
+
+    The whole sweep is one kernel invocation, so there is no per-trial
+    latency distribution — p50/p95 both report the sweep's wall time and
+    the headline stays steps/sec, comparable with the generator cases.
+    """
+
+    def case(sizing: _Sizing, seed: int) -> Dict[str, Any]:
+        from repro.runtime.vectorized import run_vectorized_sweep
+
+        # Untimed warm-up: the generator cases amortize import/allocator
+        # warm-up across hundreds of timed trials; this case is a single
+        # batched call, so pay that cost before the clock starts.
+        run_vectorized_sweep(
+            lambda: factory(sizing.n),
+            list(range(sizing.n)),
+            schedule_family=family,
+            trials=max(1, sizing.trials // 8),
+            master_seed=seed + 1,
+            workers=1,
+        )
+        started = time.perf_counter()
+        sweep = run_vectorized_sweep(
+            lambda: factory(sizing.n),
+            list(range(sizing.n)),
+            schedule_family=family,
+            trials=sizing.trials,
+            master_seed=seed,
+            workers=1,
+        )
+        elapsed = time.perf_counter() - started
+        total_steps = int(sum(sweep.total_steps))
+        return {
+            "trials": sizing.trials,
+            "n": sizing.n,
+            "total_steps": total_steps,
+            "elapsed_seconds": elapsed,
+            "steps_per_sec": total_steps / elapsed if elapsed > 0 else 0.0,
+            "latency_p50_s": elapsed,
+            "latency_p95_s": elapsed,
+            "metrics": None,
+        }
+
+    return case
+
+
 #: name -> (case function, quick sizing, full sizing)
 _SUITE: Dict[str, Tuple[Callable[[_Sizing, int], Dict[str, Any]],
                         _Sizing, _Sizing]] = {
@@ -252,9 +315,26 @@ _SUITE: Dict[str, Tuple[Callable[[_Sizing, int], Dict[str, Any]],
     "consensus": (
         _case_consensus, _Sizing(n=12, trials=200), _Sizing(n=16, trials=400),
     ),
+    # Mass-trial cases: `trials` here is the batched sweep size, so quick
+    # mode still pushes tens of millions of charged steps through the
+    # kernels — enough that steps/sec is stable, still well under a second.
+    "vectorized-sifting": (
+        _vectorized_case(_sifting_factory, "permuted"),
+        _Sizing(n=64, trials=16384), _Sizing(n=64, trials=65536),
+    ),
+    "vectorized-snapshot": (
+        _vectorized_case(_snapshot_factory, "interleaved"),
+        _Sizing(n=64, trials=16384), _Sizing(n=64, trials=65536),
+    ),
 }
 
 SUITE_NAMES: Tuple[str, ...] = tuple(_SUITE)
+
+#: Cases that need NumPy; skipped from the *default* selection when it is
+#: absent (explicitly requesting one without NumPy raises instead).
+VECTORIZED_SUITE_NAMES: Tuple[str, ...] = (
+    "vectorized-sifting", "vectorized-snapshot",
+)
 
 
 # ----- report construction ---------------------------------------------------
@@ -288,6 +368,32 @@ def _env_fingerprint() -> Dict[str, Any]:
     }
 
 
+def _select_cases(
+    suites: Optional[Sequence[str]],
+    emit: Callable[[str], None] = lambda message: None,
+) -> List[str]:
+    """Resolve a ``suites`` request to the list of cases to run.
+
+    Unknown names are rejected up front so a typo cannot silently produce
+    an empty gate.  When NumPy is absent, the *default* selection drops the
+    vectorized cases (with a log line); an explicit request keeps them, so
+    the sweep fails loudly with the backend's install hint instead.
+    """
+    wanted = list(suites) if suites else list(SUITE_NAMES)
+    unknown = [name for name in wanted if name not in _SUITE]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown bench case(s) {unknown}; choose from {SUITE_NAMES}"
+        )
+    if not suites and not _numpy_available():
+        skipped = [n for n in wanted if n in VECTORIZED_SUITE_NAMES]
+        if skipped:
+            wanted = [n for n in wanted if n not in VECTORIZED_SUITE_NAMES]
+            emit(f"bench: skipping {', '.join(skipped)} (NumPy not "
+                 "installed; the vectorized backend is unavailable)")
+    return wanted
+
+
 def run_bench_suite(
     *,
     label: str = "local",
@@ -302,13 +408,8 @@ def run_bench_suite(
     :data:`SUITE_NAMES`); unknown names are rejected up front so a typo
     cannot silently produce an empty gate.
     """
-    wanted = list(suites) if suites else list(SUITE_NAMES)
-    unknown = [name for name in wanted if name not in _SUITE]
-    if unknown:
-        raise ConfigurationError(
-            f"unknown bench case(s) {unknown}; choose from {SUITE_NAMES}"
-        )
     emit = log or (lambda message: None)
+    wanted = _select_cases(suites, emit)
     cases: Dict[str, Any] = {}
     started = time.perf_counter()
     for name in wanted:
@@ -415,6 +516,21 @@ class BenchComparison:
     def regressions(self) -> List[CaseComparison]:
         return [case for case in self.cases if case.regressed]
 
+    @property
+    def new_cases(self) -> List[CaseComparison]:
+        """Cases present only in the candidate report.
+
+        A brand-new case has no baseline number to gate against, so it is
+        *informational*: it never fails the comparison (``ok`` stays True
+        and the CLI exits 0), but it is surfaced loudly — a ``NEW``
+        verdict per case and a footer count — so a baseline refresh is not
+        forgotten.
+        """
+        return [
+            case for case in self.cases
+            if case.old_steps_per_sec is None and not case.regressed
+        ]
+
     def to_json(self) -> Dict[str, Any]:
         return {
             "threshold": self.threshold,
@@ -446,7 +562,12 @@ class BenchComparison:
                    if case.new_steps_per_sec is not None else "-")
             change = (f"{case.change:+.1%}"
                       if case.change is not None else "-")
-            verdict = "REGRESSED" if case.regressed else "ok"
+            if case.regressed:
+                verdict = "REGRESSED"
+            elif case.old_steps_per_sec is None:
+                verdict = "NEW"
+            else:
+                verdict = "ok"
             note = f" ({case.note})" if case.note else ""
             lines.append(
                 f"{case.name:<24} {old:>12} {new:>12} {change:>8}  "
@@ -457,6 +578,13 @@ class BenchComparison:
             + ("all cases within bounds" if self.ok
                else f"{len(self.regressions)} case(s) regressed")
         )
+        if self.new_cases:
+            names = ", ".join(case.name for case in self.new_cases)
+            lines.append(
+                f"note: {len(self.new_cases)} new case(s) without a "
+                f"baseline (not gated): {names} — refresh the baseline to "
+                "start gating them"
+            )
         return "\n".join(lines)
 
 
@@ -513,4 +641,4 @@ def compare_bench(
     return comparison
 
 
-__all__ += ["DEFAULT_THRESHOLD", "bench_filename"]
+__all__ += ["DEFAULT_THRESHOLD", "VECTORIZED_SUITE_NAMES", "bench_filename"]

@@ -12,6 +12,12 @@ test suite and the benchmark harness:
 - :class:`RoundRobinSchedule` — the fully synchronous adversary;
 - :class:`ReversedRoundRobinSchedule` — round-robin with reversed id order,
   which stresses view-ordering assumptions;
+- :class:`PermutedRoundRobinSchedule` — lockstep passes with a fresh uniform
+  pid permutation per pass (the randomized adversary the vectorized backend
+  can batch);
+- :class:`InterleavedLockstepSchedule` — windows of two slots per process,
+  uniformly shuffled, so two-operation rounds see partial views while
+  staying lockstep;
 - :class:`RandomSchedule` — uniform random interleaving;
 - :class:`BlockSchedule` — each scheduled process runs a burst of consecutive
   steps, approximating "solo runs" that make early snapshots small;
@@ -43,6 +49,8 @@ __all__ = [
     "ExplicitSchedule",
     "RoundRobinSchedule",
     "ReversedRoundRobinSchedule",
+    "PermutedRoundRobinSchedule",
+    "InterleavedLockstepSchedule",
     "RandomSchedule",
     "BlockSchedule",
     "FrontRunnerSchedule",
@@ -171,6 +179,53 @@ class ReversedRoundRobinSchedule(Schedule):
         for _ in passes:
             for pid in range(self.n - 1, -1, -1):
                 yield pid
+
+
+class PermutedRoundRobinSchedule(Schedule):
+    """Lockstep passes, each a fresh uniform permutation of all pids.
+
+    Every process takes exactly one step per pass, but the order *within*
+    each pass is drawn uniformly at random from the schedule's private seed.
+    This is the richest adversary whose executions still factorize into
+    per-pass operation orders, which is what the vectorized backend needs
+    to run trials as batched array operations; see
+    :mod:`repro.runtime.vectorized`.
+    """
+
+    def __init__(self, n: int, seed: int):
+        self.n = _check_n(n)
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[int]:
+        rng = random.Random(self.seed)
+        pids = list(range(self.n))
+        while True:
+            rng.shuffle(pids)
+            yield from list(pids)
+
+
+class InterleavedLockstepSchedule(Schedule):
+    """Windows of two slots per process, uniformly shuffled within a window.
+
+    Each window contains every pid exactly twice, in a uniform random
+    arrangement of the 2n slots.  Unlike plain (or permuted) round-robin,
+    one process's *second* operation of a window can land before another's
+    *first*, so two-operation rounds (snapshot update/scan) see genuinely
+    partial views — permuted round-robin degenerates there, because every
+    scan pass follows a complete update pass.  Still lockstep enough for
+    the vectorized backend to batch.
+    """
+
+    def __init__(self, n: int, seed: int):
+        self.n = _check_n(n)
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[int]:
+        rng = random.Random(self.seed)
+        window = [pid for pid in range(self.n) for _ in range(2)]
+        while True:
+            rng.shuffle(window)
+            yield from list(window)
 
 
 class RandomSchedule(Schedule):

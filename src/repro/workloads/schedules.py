@@ -18,13 +18,22 @@ from repro.runtime.scheduler import (
     CrashSchedule,
     ExplicitSchedule,
     FrontRunnerSchedule,
+    InterleavedLockstepSchedule,
+    PermutedRoundRobinSchedule,
     RandomSchedule,
     ReversedRoundRobinSchedule,
     RoundRobinSchedule,
     Schedule,
 )
 
-__all__ = ["SCHEDULE_FAMILIES", "ScheduleSpec", "make_schedule", "schedule_gallery"]
+__all__ = [
+    "SCHEDULE_FAMILIES",
+    "LOCKSTEP_FAMILIES",
+    "ALL_SCHEDULE_FAMILIES",
+    "ScheduleSpec",
+    "make_schedule",
+    "schedule_gallery",
+]
 
 SCHEDULE_FAMILIES = (
     "round-robin",
@@ -34,6 +43,17 @@ SCHEDULE_FAMILIES = (
     "front-runner",
     "crash-half",
 )
+
+#: Families whose executions advance all processes in lockstep windows —
+#: the schedule class the vectorized backend can batch across trials.
+#: Deliberately a *separate* tuple: the fuzzer's scenario generator samples
+#: uniformly from ``SCHEDULE_FAMILIES``, so appending there would shift
+#: every seeded campaign and invalidate the committed regression corpus.
+LOCKSTEP_FAMILIES = ("round-robin", "reversed", "permuted", "interleaved")
+
+#: Everything :func:`make_schedule` understands (the classic gallery plus
+#: the lockstep-only families used by the vectorized backend).
+ALL_SCHEDULE_FAMILIES = SCHEDULE_FAMILIES + ("permuted", "interleaved")
 
 
 def make_schedule(family: str, n: int, seeds: SeedTree) -> Schedule:
@@ -47,6 +67,10 @@ def make_schedule(family: str, n: int, seeds: SeedTree) -> Schedule:
         return RoundRobinSchedule(n)
     if family == "reversed":
         return ReversedRoundRobinSchedule(n)
+    if family == "permuted":
+        return PermutedRoundRobinSchedule(n, seeds.child("permuted").seed)
+    if family == "interleaved":
+        return InterleavedLockstepSchedule(n, seeds.child("interleaved").seed)
     if family == "random":
         return RandomSchedule(n, seeds.child("random").seed)
     if family == "blocks":
@@ -59,7 +83,8 @@ def make_schedule(family: str, n: int, seeds: SeedTree) -> Schedule:
             RandomSchedule(n, seeds.child("crash").seed), crashes
         )
     raise ConfigurationError(
-        f"unknown schedule family {family!r}; choose from {SCHEDULE_FAMILIES}"
+        f"unknown schedule family {family!r}; choose from "
+        f"{ALL_SCHEDULE_FAMILIES}"
     )
 
 
@@ -68,7 +93,7 @@ class ScheduleSpec:
     """A serializable, hashable description of one adversary schedule.
 
     A spec pins everything needed to rebuild the schedule bit-for-bit: the
-    family name (one of :data:`SCHEDULE_FAMILIES`, or ``"explicit"``), the
+    family name (one of :data:`ALL_SCHEDULE_FAMILIES`, or ``"explicit"``), the
     process count, the adversary's private seed, and — for explicit
     schedules — the literal slot sequence.  Specs are frozen dataclasses,
     so equality and hashing come for free; that plus the versioned JSON
@@ -92,7 +117,7 @@ class ScheduleSpec:
             object.__setattr__(self, "slots", tuple(self.slots))
             # Validate the slot sequence eagerly (range checks live there).
             ExplicitSchedule(list(self.slots), n=self.n)
-        elif self.family in SCHEDULE_FAMILIES:
+        elif self.family in ALL_SCHEDULE_FAMILIES:
             if self.slots is not None:
                 raise ConfigurationError(
                     f"family {self.family!r} does not take explicit slots"
@@ -100,7 +125,7 @@ class ScheduleSpec:
         else:
             raise ConfigurationError(
                 f"unknown schedule family {self.family!r}; choose from "
-                f"{SCHEDULE_FAMILIES + ('explicit',)}"
+                f"{ALL_SCHEDULE_FAMILIES + ('explicit',)}"
             )
         if self.n < 1:
             raise ConfigurationError(f"n must be >= 1, got {self.n}")

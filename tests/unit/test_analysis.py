@@ -18,6 +18,7 @@ from repro.analysis.stats import (
     mean,
     sample_std,
     summarize,
+    fisher_exact_two_sided,
     wilson_interval,
 )
 from repro.analysis.tables import format_float, render_table
@@ -458,3 +459,87 @@ class TestMergeStats:
                     master_seed=1,
                 ),
             )
+
+
+class TestFisherExact:
+    """Pins fisher_exact_two_sided against scipy-checked reference values."""
+
+    def test_known_value_matches_scipy_reference(self):
+        # scipy.stats.fisher_exact([[1, 9], [11, 3]]) == 0.0027594561852200832
+        p = fisher_exact_two_sided(1, 9, 11, 3)
+        assert p == pytest.approx(0.002759456185220094, rel=1e-12)
+
+    def test_balanced_table_is_not_significant(self):
+        assert fisher_exact_two_sided(5, 5, 5, 5) == pytest.approx(1.0)
+
+    def test_extreme_table_is_significant(self):
+        assert fisher_exact_two_sided(10, 0, 0, 10) < 1e-4
+
+    def test_symmetry_under_row_and_column_swaps(self):
+        reference = fisher_exact_two_sided(3, 7, 9, 2)
+        assert fisher_exact_two_sided(9, 2, 3, 7) == pytest.approx(reference)
+        assert fisher_exact_two_sided(7, 3, 2, 9) == pytest.approx(reference)
+
+    def test_degenerate_margins_return_one(self):
+        assert fisher_exact_two_sided(0, 0, 4, 6) == 1.0
+        assert fisher_exact_two_sided(3, 0, 5, 0) == 1.0
+        assert fisher_exact_two_sided(0, 3, 0, 5) == 1.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be >= 0"):
+            fisher_exact_two_sided(-1, 2, 3, 4)
+
+    def test_never_exceeds_one(self):
+        for table in [(1, 1, 1, 1), (2, 0, 1, 1), (0, 5, 1, 4)]:
+            assert fisher_exact_two_sided(*table) <= 1.0
+
+
+class TestBackendDispatch:
+    """The backend= parameter routes or refuses, never silently ignores."""
+
+    def test_unknown_backend_rejected_everywhere(self):
+        for runner in (run_conciliator_trials, decay_series):
+            with pytest.raises(ConfigurationError, match="unknown backend"):
+                runner(
+                    lambda: SiftingConciliator(2), [0, 1], trials=2,
+                    backend="gpu",
+                )
+
+    def test_vectorized_rejects_allow_partial(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(ConfigurationError, match="allow_partial"):
+            run_conciliator_trials(
+                lambda: SiftingConciliator(2), [0, 1], trials=2,
+                backend="vectorized", allow_partial=True,
+            )
+
+    def test_vectorized_rejects_metrics(self):
+        pytest.importorskip("numpy")
+        from repro.obs.metrics import MetricsRegistry
+
+        with pytest.raises(ConfigurationError, match="metrics"):
+            run_conciliator_trials(
+                lambda: SiftingConciliator(2), [0, 1], trials=2,
+                backend="vectorized", metrics=MetricsRegistry(),
+            )
+
+    def test_consensus_rejects_vectorized(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(ConfigurationError, match="conciliator"):
+            run_consensus_trials(
+                lambda: register_consensus(2, value_domain=range(2)),
+                [0, 1],
+                trials=2,
+                backend="vectorized",
+            )
+
+    def test_generator_backend_is_the_default(self):
+        explicit = run_conciliator_trials(
+            lambda: SiftingConciliator(2), [0, 1], trials=3, master_seed=4,
+            backend="generator", workers=1,
+        )
+        implicit = run_conciliator_trials(
+            lambda: SiftingConciliator(2), [0, 1], trials=3, master_seed=4,
+            workers=1,
+        )
+        assert explicit == implicit

@@ -539,3 +539,64 @@ class TestBenchTrendCommand:
         text = capsys.readouterr().out
         assert "Exit codes" in text
         assert "2 = usage or configuration error" in text
+
+
+class TestBackendFlags:
+    def test_backend_defaults_to_generator(self):
+        assert build_parser().parse_args(["conciliator"]).backend == "generator"
+        assert build_parser().parse_args(["decay"]).backend == "generator"
+
+    def test_backend_choices_cover_all_backends(self):
+        from repro.runtime.vectorized import BACKENDS
+
+        for backend in BACKENDS:
+            args = build_parser().parse_args(
+                ["conciliator", "--backend", backend]
+            )
+            assert args.backend == backend
+
+    def test_conciliator_vectorized_run(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(["conciliator", "--algorithm", "sifting", "--n", "8",
+                     "--trials", "200", "--seed", "3", "--schedule",
+                     "permuted", "--backend", "vectorized"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "backend=vectorized" in output
+        assert "agreement rate:" in output
+
+    def test_conciliator_oracle_backend_matches_generator(self, capsys):
+        pytest.importorskip("numpy")
+        command = ["conciliator", "--algorithm", "snapshot", "--n", "5",
+                   "--trials", "10", "--seed", "7", "--schedule", "permuted"]
+        assert main(command) == 0
+        generator_output = capsys.readouterr().out
+        assert main(command + ["--backend", "vectorized-oracle"]) == 0
+        oracle_output = capsys.readouterr().out
+        # Identical stats; only the backend= note differs.
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("algorithm=")]
+        assert strip(oracle_output) == strip(generator_output)
+
+    def test_decay_vectorized_run(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(["decay", "--algorithm", "sifting", "--n", "8",
+                     "--trials", "64", "--schedule", "permuted",
+                     "--backend", "vectorized"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "paper bound" in output
+
+    def test_vectorized_rejects_non_lockstep_schedule(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(["conciliator", "--n", "4", "--trials", "4",
+                     "--schedule", "random", "--backend", "vectorized"])
+        assert code == 2
+        assert "not lockstep" in capsys.readouterr().err
+
+    def test_new_schedules_work_on_generator_backend(self, capsys):
+        for family in ("permuted", "interleaved"):
+            code = main(["conciliator", "--algorithm", "snapshot", "--n", "4",
+                         "--trials", "4", "--schedule", family])
+            assert code == 0
+            assert "agreement rate:" in capsys.readouterr().out

@@ -11,7 +11,9 @@ from repro.runtime.scheduler import (
     CrashSchedule,
     ExplicitSchedule,
     FrontRunnerSchedule,
+    InterleavedLockstepSchedule,
     LimitedSchedule,
+    PermutedRoundRobinSchedule,
     RandomSchedule,
     ReversedRoundRobinSchedule,
     RoundRobinSchedule,
@@ -185,3 +187,67 @@ class TestExplicitScheduleValueSemantics:
         data["slots"] = [0, 7]
         with pytest.raises(ConfigurationError):
             ExplicitSchedule.from_json(data)
+
+
+class TestPermutedRoundRobin:
+    def test_every_pass_is_a_permutation(self):
+        n = 5
+        slots = PermutedRoundRobinSchedule(n, seed=3).take(n * 20)
+        for start in range(0, len(slots), n):
+            assert sorted(slots[start : start + n]) == list(range(n))
+
+    def test_passes_are_not_all_identical(self):
+        n = 6
+        slots = PermutedRoundRobinSchedule(n, seed=1).take(n * 30)
+        passes = {tuple(slots[start : start + n]) for start in range(0, len(slots), n)}
+        assert len(passes) > 1
+
+    def test_deterministic_per_seed_and_restartable(self):
+        schedule = PermutedRoundRobinSchedule(4, seed=9)
+        assert schedule.take(40) == schedule.take(40)
+        assert schedule.take(40) == PermutedRoundRobinSchedule(4, seed=9).take(40)
+        assert schedule.take(40) != PermutedRoundRobinSchedule(4, seed=10).take(40)
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigurationError):
+            PermutedRoundRobinSchedule(0, seed=0)
+
+
+class TestInterleavedLockstep:
+    def test_every_window_has_each_pid_twice(self):
+        n = 4
+        slots = InterleavedLockstepSchedule(n, seed=2).take(2 * n * 20)
+        for start in range(0, len(slots), 2 * n):
+            window = slots[start : start + 2 * n]
+            assert sorted(window) == sorted(list(range(n)) * 2)
+
+    def test_splits_some_processs_pair(self):
+        # The point of this family: some window runs one process's *second*
+        # step before another process's *first* (permuted round-robin can't).
+        n = 3
+        slots = InterleavedLockstepSchedule(n, seed=0).take(2 * n * 50)
+        interleaved = False
+        for start in range(0, len(slots), 2 * n):
+            window = slots[start : start + 2 * n]
+            first = {pid: window.index(pid) for pid in range(n)}
+            second = {
+                pid: len(window) - 1 - window[::-1].index(pid)
+                for pid in range(n)
+            }
+            if any(
+                second[p] < first[q]
+                for p in range(n)
+                for q in range(n)
+                if p != q
+            ):
+                interleaved = True
+        assert interleaved
+
+    def test_deterministic_per_seed_and_restartable(self):
+        schedule = InterleavedLockstepSchedule(4, seed=7)
+        assert schedule.take(48) == schedule.take(48)
+        assert schedule.take(48) == InterleavedLockstepSchedule(4, seed=7).take(48)
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigurationError):
+            InterleavedLockstepSchedule(0, seed=0)

@@ -13,6 +13,8 @@ from repro.workloads.inputs import (
     unanimous_inputs,
 )
 from repro.workloads.schedules import (
+    ALL_SCHEDULE_FAMILIES,
+    LOCKSTEP_FAMILIES,
     SCHEDULE_FAMILIES,
     make_schedule,
     schedule_gallery,
@@ -144,3 +146,48 @@ class TestScheduleSpec:
         assert ScheduleSpec("crash-half", 4).is_finite
         assert not ScheduleSpec("round-robin", 4).is_finite
         assert not ScheduleSpec("random", 4).is_finite
+
+
+class TestLockstepFamilies:
+    """The vectorized-backend families ride alongside the fuzz-stable ones."""
+
+    def test_family_lists_are_consistent(self):
+        # SCHEDULE_FAMILIES is frozen (fuzz corpus determinism); the new
+        # lockstep families extend it without reordering.
+        assert ALL_SCHEDULE_FAMILIES[: len(SCHEDULE_FAMILIES)] == SCHEDULE_FAMILIES
+        assert set(ALL_SCHEDULE_FAMILIES) - set(SCHEDULE_FAMILIES) == {
+            "permuted",
+            "interleaved",
+        }
+        assert set(LOCKSTEP_FAMILIES) <= set(ALL_SCHEDULE_FAMILIES)
+        assert LOCKSTEP_FAMILIES == (
+            "round-robin",
+            "reversed",
+            "permuted",
+            "interleaved",
+        )
+
+    def test_new_families_construct_and_cover_processes(self):
+        seeds = SeedTree(3)
+        for family in ("permuted", "interleaved"):
+            schedule = make_schedule(family, 4, seeds.child(family))
+            assert schedule.n == 4
+            slots = schedule.take(80)
+            assert set(slots) == set(range(4))
+
+    def test_new_families_are_seed_deterministic(self):
+        for family in ("permuted", "interleaved"):
+            one = make_schedule(family, 5, SeedTree(7)).take(60)
+            two = make_schedule(family, 5, SeedTree(7)).take(60)
+            three = make_schedule(family, 5, SeedTree(8)).take(60)
+            assert one == two
+            assert one != three
+
+    def test_new_families_draw_from_schedule_branch(self):
+        # Same contract as the other randomized families: the schedule's
+        # randomness comes from its own child branch of the trial seed tree,
+        # never from the algorithm's coin streams.
+        seeds = SeedTree(11)
+        direct = make_schedule("permuted", 4, seeds.child("schedule"))
+        again = make_schedule("permuted", 4, seeds.child("schedule"))
+        assert direct.take(40) == again.take(40)
