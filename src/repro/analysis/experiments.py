@@ -27,14 +27,30 @@ contract pinned down by ``tests/property/test_checkpoint_resume.py``).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.stats import SampleSummary, summarize, wilson_interval
 from repro.core.conciliator import Conciliator, run_conciliator
 from repro.core.consensus import ConsensusProtocol
 from repro.errors import CheckpointError, ConfigurationError
+from repro.memory.semantics import RegisterModel, SemanticsInjector
 from repro.obs.metrics import MetricsRegistry, get_default_registry
+from repro.runtime.adaptive import AdaptiveSpec, run_adaptive_programs
+from repro.runtime.adversary import AdversarySpec
 from repro.runtime.parallel import run_indexed_trials
 from repro.runtime.results import RunResult
 from repro.runtime.rng import SeedTree
@@ -50,11 +66,18 @@ __all__ = [
     "ConsensusTrialStats",
     "merge_conciliator_stats",
     "merge_consensus_stats",
+    "model_overrides",
     "run_conciliator_trials",
     "run_consensus_trials",
     "decay_series",
     "trial_seed_tree",
 ]
+
+#: Either endpoint spec that builds a step-by-step choosing adversary: a
+#: ladder rung (:class:`AdversarySpec`) or the fully adaptive endpoint
+#: (:class:`AdaptiveSpec`).  Both are versioned JSON values with ``seed``
+#: fields and ``build()`` methods, which is all the sweeps need.
+AdversaryLike = Union[AdversarySpec, AdaptiveSpec]
 
 
 @dataclass(frozen=True)
@@ -286,6 +309,119 @@ def _resolve_metrics(metrics: Optional[MetricsRegistry]) -> Optional[MetricsRegi
     return metrics if metrics is not None else get_default_registry()
 
 
+_MODEL_OVERRIDES = threading.local()
+
+
+@contextmanager
+def model_overrides(
+    *,
+    register_model: Optional[RegisterModel] = None,
+    adversary: Optional[AdversaryLike] = None,
+) -> Iterator[None]:
+    """Session-level model ladder overrides for every sweep in the block.
+
+    The :func:`~repro.runtime.parallel.parallelism` analogue for the model
+    axes: sweeps that were not given an explicit ``register_model=`` /
+    ``adversary=`` pick up these defaults, so ``repro experiments
+    --register-model regular`` can regenerate every table under a weakened
+    model without threading parameters through each experiment builder.
+    Explicit arguments still win over the session default.
+    """
+    previous = (
+        getattr(_MODEL_OVERRIDES, "register_model", None),
+        getattr(_MODEL_OVERRIDES, "adversary", None),
+    )
+    _MODEL_OVERRIDES.register_model = register_model
+    _MODEL_OVERRIDES.adversary = adversary
+    try:
+        yield
+    finally:
+        _MODEL_OVERRIDES.register_model = previous[0]
+        _MODEL_OVERRIDES.adversary = previous[1]
+
+
+def _resolve_model(
+    register_model: Optional[RegisterModel],
+    adversary: Optional[AdversaryLike],
+) -> Tuple[Optional[RegisterModel], Optional[AdversaryLike]]:
+    """Explicit sweep arguments, else the session overrides; atomic → None."""
+    if register_model is None:
+        register_model = getattr(_MODEL_OVERRIDES, "register_model", None)
+    if adversary is None:
+        adversary = getattr(_MODEL_OVERRIDES, "adversary", None)
+    if register_model is not None and register_model.is_atomic:
+        register_model = None
+    return register_model, adversary
+
+
+def _reject_vectorized_model(
+    backend: str,
+    register_model: Optional[RegisterModel],
+    adversary: Optional[AdversaryLike],
+) -> None:
+    """The vectorized kernels bake in atomic lockstep semantics."""
+    if register_model is not None:
+        raise ConfigurationError(
+            f"backend {backend!r} executes batched atomic-register kernels "
+            "and cannot apply a weakened register model; use the generator "
+            "backend for regular/safe semantics"
+        )
+    if adversary is not None:
+        raise ConfigurationError(
+            f"backend {backend!r} only runs fixed lockstep schedules; "
+            "adaptive/ladder adversaries need the generator backend"
+        )
+
+
+def _model_run_key_suffix(
+    register_model: Optional[RegisterModel],
+    adversary: Optional[AdversaryLike],
+) -> str:
+    """Checkpoint-key segments, present only when the axes are active, so
+    journals from sweeps minted before the ladder keep their keys."""
+    suffix = ""
+    if register_model is not None:
+        suffix += (
+            f"|model={register_model.kind}:{register_model.seed}"
+            f":{register_model.p_old}:{register_model.window}"
+        )
+    if adversary is not None:
+        describe = getattr(adversary, "describe", None)
+        label = describe() if describe else f"adaptive-{adversary.name}"
+        suffix += f"|adversary={label}:{adversary.seed}"
+    return suffix
+
+
+def _trial_model_hooks(
+    register_model: Optional[RegisterModel],
+    trial_seeds: SeedTree,
+    metrics: Optional[MetricsRegistry],
+) -> List[Any]:
+    """Per-trial step hooks for a declared weak register model."""
+    if register_model is None:
+        return []
+    reseeded = replace(
+        register_model,
+        seed=trial_seeds.child("register-model").rng().randrange(2**32),
+    )
+    if metrics is not None:
+        metrics.counter(
+            "sweep.register_model", kind=register_model.kind
+        ).inc()
+    return [SemanticsInjector(reseeded)]
+
+
+def _trial_adversary(
+    adversary: AdversaryLike, trial_seeds: SeedTree
+) -> Any:
+    """A fresh, per-trial-seeded adversary instance (wrappers are stateful)."""
+    reseeded = replace(
+        adversary,
+        seed=trial_seeds.child("adversary").rng().randrange(2**32),
+    )
+    return reseeded.build()
+
+
 def _fold_trial_metrics(
     target: Optional[MetricsRegistry], outcomes: Sequence[Any]
 ) -> None:
@@ -318,12 +454,24 @@ def run_conciliator_trials(
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
     backend: str = "generator",
+    register_model: Optional[RegisterModel] = None,
+    adversary: Optional[AdversaryLike] = None,
 ) -> ConciliatorTrialStats:
     """Run ``trials`` independent executions of a conciliator.
 
     ``allow_partial`` defaults to True exactly for the crash adversary (its
     victims never finish); agreement and validity are then judged on the
     finished processes, as the wait-free model demands.
+
+    ``register_model`` declares weakened register semantics
+    (:class:`~repro.memory.semantics.RegisterModel`) and ``adversary``
+    replaces the oblivious ``schedule_family`` with a choosing adversary —
+    a ladder rung (:class:`~repro.runtime.adversary.AdversarySpec`) or the
+    adaptive endpoint (:class:`~repro.runtime.adaptive.AdaptiveSpec`).
+    Each trial reseeds the spec from its own seed branch, keeping sweeps
+    pure functions of ``(master_seed, trial)``.  Both default to the
+    session overrides installed by :func:`model_overrides`; the vectorized
+    backends reject either axis loudly.
 
     ``backend`` selects the execution engine.  ``"generator"`` (default)
     steps every trial through the event-level simulator.  ``"vectorized"``
@@ -356,11 +504,13 @@ def run_conciliator_trials(
     """
     _validate_sweep(trials, len(inputs))
     _resolve_checkpoint(checkpoint_path, resume)
+    register_model, adversary = _resolve_model(register_model, adversary)
     vectorized = _resolve_backend(
         backend, what="conciliator", allow_partial=allow_partial,
         metrics=metrics,
     )
     if vectorized:
+        _reject_vectorized_model(backend, register_model, adversary)
         kind = _protocol_kind(factory())
         run_key = (
             f"conciliator|backend={backend}|kind={kind}|n={len(inputs)}"
@@ -391,17 +541,36 @@ def run_conciliator_trials(
         f"|seed={master_seed}|schedule={schedule_family}"
         f"|partial={int(allow_partial)}"
         + ("|metrics=1" if collect else "")
+        + _model_run_key_suffix(register_model, adversary)
     )
 
     def task(trial: int) -> _ConciliatorOutcome:
         trial_seeds = trial_seed_tree(master_seed, trial)
         conciliator = factory()
-        schedule = _trial_schedule(schedule_family, conciliator.n, trial_seeds)
         trial_registry = MetricsRegistry() if collect else None
-        result = _run_one_conciliator(
-            conciliator, inputs, schedule, trial_seeds, allow_partial,
-            metrics=trial_registry,
+        hooks = _trial_model_hooks(
+            register_model, trial_seeds, trial_registry
         )
+        if adversary is not None:
+            if trial_registry is not None:
+                from repro.obs.metrics import MetricsHook
+
+                hooks = hooks + [MetricsHook(trial_registry)]
+            result = run_adaptive_programs(
+                [conciliator.program] * len(inputs),
+                _trial_adversary(adversary, trial_seeds),
+                trial_seeds,
+                inputs=list(inputs),
+                hooks=hooks,
+            )
+        else:
+            schedule = _trial_schedule(
+                schedule_family, conciliator.n, trial_seeds
+            )
+            result = _run_one_conciliator(
+                conciliator, inputs, schedule, trial_seeds, allow_partial,
+                metrics=trial_registry, hooks=hooks,
+            )
         return _ConciliatorOutcome(
             agreement=int(result.agreement),
             validity_failure=int(not result.validity_holds(input_map)),
@@ -437,6 +606,7 @@ def _run_one_conciliator(
     trial_seeds: SeedTree,
     allow_partial: bool,
     metrics: Optional[MetricsRegistry] = None,
+    hooks: Sequence[Any] = (),
 ) -> RunResult:
     from repro.runtime.simulator import run_programs
 
@@ -448,6 +618,7 @@ def _run_one_conciliator(
         inputs=list(inputs),
         allow_partial=allow_partial,
         metrics=metrics,
+        hooks=list(hooks),
     )
 
 
@@ -465,19 +636,23 @@ def run_consensus_trials(
     resume: bool = False,
     metrics: Optional[MetricsRegistry] = None,
     backend: str = "generator",
+    register_model: Optional[RegisterModel] = None,
+    adversary: Optional[AdversaryLike] = None,
 ) -> ConsensusTrialStats:
     """Run ``trials`` independent consensus executions and check safety.
 
     Accepts the same ``workers``/``chunk_size`` sharding,
-    ``checkpoint_path``/``resume`` crash-safety, and ``metrics``
-    aggregation knobs as :func:`run_conciliator_trials`, with the same
-    bit-identical guarantees.  Only the ``"generator"`` backend applies:
-    a consensus protocol's op sequence depends on its coin flips, so the
+    ``checkpoint_path``/``resume`` crash-safety, ``metrics`` aggregation,
+    and ``register_model``/``adversary`` model-ladder knobs as
+    :func:`run_conciliator_trials`, with the same bit-identical
+    guarantees.  Only the ``"generator"`` backend applies: a consensus
+    protocol's op sequence depends on its coin flips, so the
     occurrence-time factorization the vectorized kernels exploit does not
     exist (the vectorized backends are rejected with a clear error).
     """
     _validate_sweep(trials, len(inputs))
     _resolve_checkpoint(checkpoint_path, resume)
+    register_model, adversary = _resolve_model(register_model, adversary)
     _resolve_backend(
         backend, what="consensus", allow_partial=allow_partial,
         metrics=metrics,
@@ -494,6 +669,7 @@ def run_consensus_trials(
         f"|seed={master_seed}|schedule={schedule_family}"
         f"|partial={int(allow_partial)}"
         + ("|metrics=1" if collect else "")
+        + _model_run_key_suffix(register_model, adversary)
     )
 
     def task(trial: int) -> _ConsensusOutcome:
@@ -501,17 +677,36 @@ def run_consensus_trials(
 
         trial_seeds = trial_seed_tree(master_seed, trial)
         protocol = factory()
-        schedule = _trial_schedule(schedule_family, protocol.n, trial_seeds)
         programs = [protocol.program] * protocol.n
         trial_registry = MetricsRegistry() if collect else None
-        result = run_programs(
-            programs,
-            schedule,
-            trial_seeds,
-            inputs=list(inputs),
-            allow_partial=allow_partial,
-            metrics=trial_registry,
+        hooks = _trial_model_hooks(
+            register_model, trial_seeds, trial_registry
         )
+        if adversary is not None:
+            if trial_registry is not None:
+                from repro.obs.metrics import MetricsHook
+
+                hooks = hooks + [MetricsHook(trial_registry)]
+            result = run_adaptive_programs(
+                programs,
+                _trial_adversary(adversary, trial_seeds),
+                trial_seeds,
+                inputs=list(inputs),
+                hooks=hooks,
+            )
+        else:
+            schedule = _trial_schedule(
+                schedule_family, protocol.n, trial_seeds
+            )
+            result = run_programs(
+                programs,
+                schedule,
+                trial_seeds,
+                inputs=list(inputs),
+                allow_partial=allow_partial,
+                metrics=trial_registry,
+                hooks=hooks,
+            )
         phases: Optional[float] = None
         if protocol.phases_used:
             phases = float(max(protocol.phases_used.values()))

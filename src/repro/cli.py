@@ -7,6 +7,8 @@ Installed as ``python -m repro``.  Subcommands:
 - ``decay``        print a survivor-decay table against the paper's bound
 - ``tas``          run test-and-set trials and report the winner statistics
 - ``experiments``  regenerate the paper's experiment tables (E1-E12)
+- ``probe``        tabulate agreement vs adversary-ladder rung and
+  register model (oblivious < noisy < late-δ < adaptive; atomic/regular/safe)
 - ``fuzz``         chaos-fuzz random protocol/schedule/fault scenarios
 - ``replay``       re-run the regression corpus and report reproduction
 - ``explain``      replay one corpus case under a full trace and print
@@ -50,6 +52,7 @@ from repro.core.consensus import (
 from repro.core.sifting_conciliator import SiftingConciliator
 from repro.core.snapshot_conciliator import SnapshotConciliator
 from repro.errors import ReproError
+from repro.runtime.adaptive import ADAPTIVE_FAMILIES
 from repro.runtime.parallel import parallelism
 from repro.runtime.rng import SeedTree
 from repro.runtime.simulator import run_programs
@@ -60,6 +63,7 @@ from repro.workloads.schedules import (
     SCHEDULE_FAMILIES,
     make_schedule,
 )
+from repro.workloads.search import SEARCH_STRATEGIES
 
 __all__ = ["main", "build_parser"]
 
@@ -84,6 +88,61 @@ def _add_parallel_arguments(subparser: argparse.ArgumentParser) -> None:
         help="trials dispatched per work unit (default: auto). "
              "Affects scheduling only, never results.",
     )
+
+
+def _add_model_arguments(
+    subparser: argparse.ArgumentParser, *, adversary_kinds: Sequence[str]
+) -> None:
+    """Attach the model-ladder knobs shared by sweep subcommands."""
+    subparser.add_argument(
+        "--register-model", choices=["atomic", "regular", "safe"],
+        default=None, metavar="KIND",
+        help="declared register semantics: atomic (default), regular, or "
+             "safe; weakened reads are resolved by a seeded deterministic "
+             "policy (generator backend only)",
+    )
+    subparser.add_argument(
+        "--adversary", choices=list(adversary_kinds), default=None,
+        help="replace the oblivious schedule with a choosing adversary: a "
+             "ladder rung (noisy, late) or a fully adaptive strategy "
+             "(generator backend only)",
+    )
+    subparser.add_argument(
+        "--inner", type=str, default="sift-killer", metavar="STRATEGY",
+        help="adaptive strategy wrapped by the noisy/late rungs "
+             "(default: sift-killer)",
+    )
+    subparser.add_argument(
+        "--delay", type=int, default=4, metavar="D",
+        help="late adversary: decisions lag the run by D choices "
+             "(default: 4)",
+    )
+    subparser.add_argument(
+        "--noise", type=float, default=0.5, metavar="S",
+        help="noisy adversary: probability each slot is a uniform random "
+             "runnable process instead of the inner pick (default: 0.5)",
+    )
+
+
+def _parse_model_arguments(args: argparse.Namespace):
+    """The (register_model, adversary) pair an argparse namespace pins."""
+    from repro.memory.semantics import RegisterModel
+    from repro.runtime.adaptive import ADAPTIVE_FAMILIES, AdaptiveSpec
+    from repro.runtime.adversary import AdversarySpec
+
+    model = None
+    if args.register_model is not None and args.register_model != "atomic":
+        model = RegisterModel(args.register_model, seed=args.seed)
+    adversary = None
+    if args.adversary is not None:
+        if args.adversary in ADAPTIVE_FAMILIES:
+            adversary = AdaptiveSpec(args.adversary, seed=args.seed)
+        else:
+            adversary = AdversarySpec(
+                args.adversary, inner=args.inner, seed=args.seed,
+                delay=args.delay, noise=args.noise,
+            )
+    return model, adversary
 
 
 def _add_checkpoint_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -138,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
              "lockstep schedule families only), or the generator-stream "
              "replay used by the differential tests (vectorized-oracle)",
     )
+    _add_model_arguments(
+        conciliator,
+        adversary_kinds=["noisy", "late"] + sorted(ADAPTIVE_FAMILIES),
+    )
     _add_parallel_arguments(conciliator)
     _add_checkpoint_arguments(conciliator)
 
@@ -161,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_checkpoint_arguments(decay)
 
     search = sub.add_parser(
-        "search", help="hill-climb for the worst oblivious schedule"
+        "search", help="search for the worst oblivious schedule"
     )
     search.add_argument("--algorithm", choices=["snapshot", "sifting"],
                         default="sifting")
@@ -169,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--generations", type=int, default=20)
     search.add_argument("--trials", type=int, default=8)
     search.add_argument("--seed", type=int, default=2012)
+    search.add_argument(
+        "--strategy", choices=list(SEARCH_STRATEGIES), default="hill-climb",
+        help="candidate proposal strategy: mutation hill-climb (default) "
+             "or a UCB1 bandit over the schedule families",
+    )
+    search.add_argument("--metrics", action="store_true",
+                        help="print the search telemetry counters")
 
     tas = sub.add_parser("tas", help="test-and-set trials (E14 machinery)")
     tas.add_argument("--n", type=int, default=16)
@@ -181,7 +251,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scale", type=float, default=0.25)
     experiments.add_argument("--only", type=str, default="",
                              help="comma-separated ids, e.g. E1,E5")
+    experiments.add_argument("--seed", type=int, default=2012,
+                             help="seed for any --register-model/--adversary "
+                                  "override specs")
+    _add_model_arguments(
+        experiments,
+        adversary_kinds=["noisy", "late"] + sorted(ADAPTIVE_FAMILIES),
+    )
     _add_parallel_arguments(experiments)
+
+    probe = sub.add_parser(
+        "probe",
+        help="tabulate agreement rate vs adversary-ladder rung "
+             "(oblivious < noisy < late < adaptive) and register model "
+             "(atomic/regular/safe) at fixed (n, trials)",
+    )
+    probe.add_argument("--n", type=int, default=8)
+    probe.add_argument("--trials", type=int, default=400)
+    probe.add_argument("--seed", type=int, default=2012)
+    probe.add_argument(
+        "--algorithms", type=str, default="sifting",
+        help="comma-separated conciliators to sweep along the ladder "
+             "(default: sifting; the register-model leg always runs both)",
+    )
+    probe.add_argument(
+        "--inner", type=str, default="pending-reads", metavar="STRATEGY",
+        help="adaptive strategy wrapped by the noisy/late rungs and used "
+             "as the adaptive endpoint (default: pending-reads)",
+    )
+    probe.add_argument("--noise", type=float, default=0.8, metavar="S",
+                       help="noisy rung strength (default: 0.8)")
+    probe.add_argument("--delay", type=int, default=1, metavar="D",
+                       help="late rung view delay (default: 1)")
+    probe.add_argument("--json", action="store_true",
+                       help="print the full report as JSON")
+    probe.add_argument("--out", type=str, default=None, metavar="PATH",
+                       help="also write the report JSON to PATH "
+                            "(e.g. benchmarks/PROBE_ladder.json)")
+    _add_parallel_arguments(probe)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -241,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trial-wall-clock", type=float, default=None, metavar="SECONDS",
         help="per-trial wall-clock safety valve (default: 30)",
     )
+    _add_model_arguments(fuzz, adversary_kinds=["noisy", "late"])
     fuzz.add_argument("--json", action="store_true",
                       help="print the full campaign report as JSON")
     fuzz.add_argument(
@@ -421,6 +529,7 @@ def _cmd_consensus(args: argparse.Namespace) -> int:
 
 def _cmd_conciliator(args: argparse.Namespace) -> int:
     factory = CONCILIATORS[args.algorithm]
+    register_model, adversary = _parse_model_arguments(args)
     stats = run_conciliator_trials(
         lambda: factory(args.n),
         list(range(args.n)),
@@ -432,9 +541,14 @@ def _cmd_conciliator(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         backend=args.backend,
+        register_model=register_model,
+        adversary=adversary,
     )
     low, high = stats.agreement_interval
-    print(f"algorithm={args.algorithm} n={args.n} adversary={args.schedule} "
+    adversary_label = args.adversary or args.schedule
+    model_label = args.register_model or "atomic"
+    print(f"algorithm={args.algorithm} n={args.n} "
+          f"adversary={adversary_label} registers={model_label} "
           f"trials={args.trials} backend={args.backend}")
     print(f"agreement rate: {stats.agreement_rate:.3f} "
           f"(95% CI [{low:.3f}, {high:.3f}])")
@@ -482,6 +596,7 @@ def _cmd_decay(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
     from repro.workloads.search import search_worst_schedule
 
     if args.algorithm == "snapshot":
@@ -490,6 +605,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     else:
         factory = lambda: SiftingConciliator(args.n)
         steps = SiftingConciliator(args.n).step_bound()
+    registry = MetricsRegistry() if args.metrics else None
     result = search_worst_schedule(
         factory,
         list(range(args.n)),
@@ -497,10 +613,20 @@ def _cmd_search(args: argparse.Namespace) -> int:
         generations=args.generations,
         trials_per_eval=args.trials,
         master_seed=args.seed,
+        strategy=args.strategy,
+        metrics=registry,
     )
     print(f"algorithm={args.algorithm} n={args.n} "
-          f"generations={args.generations}")
+          f"strategy={result.strategy} generations={args.generations}")
     print(f"schedules evaluated: {result.evaluations}")
+    if result.family_pulls:
+        pulls = " ".join(f"{arm}={count}"
+                         for arm, count in result.family_pulls.items())
+        print(f"proposal-arm pulls: {pulls}")
+    if registry is not None:
+        import json as _json
+
+        print(_json.dumps(registry.to_json(), indent=2, sort_keys=True))
     print(f"starting (round-robin) agreement: {result.history[0]:.3f}")
     print(f"worst-found agreement (fresh seeds): {result.agreement_rate:.3f}")
     print("best-so-far per generation: "
@@ -542,13 +668,18 @@ def _cmd_tas(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import model_overrides
     from repro.analysis.paper import ALL_EXPERIMENTS
 
     wanted = {token.strip().upper() for token in args.only.split(",") if token}
+    register_model, adversary = _parse_model_arguments(args)
     all_ok = True
-    # The experiment builders call the trial runners with default sharding,
-    # so a session-level override parallelizes every table at once.
-    with parallelism(workers=args.workers, chunk_size=args.chunk_size):
+    # The experiment builders call the trial runners with default sharding
+    # and default model axes, so the session-level overrides parallelize
+    # (and re-model) every table at once.
+    with parallelism(workers=args.workers, chunk_size=args.chunk_size), \
+            model_overrides(register_model=register_model,
+                            adversary=adversary):
         for experiment in ALL_EXPERIMENTS:
             table = experiment(scale=args.scale)
             if wanted and table.experiment_id.upper() not in wanted:
@@ -557,6 +688,40 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             print()
             all_ok = all_ok and table.shape_holds
     return 0 if all_ok else 1
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.probe import run_probe
+
+    algorithms = tuple(
+        token.strip() for token in args.algorithms.split(",") if token.strip()
+    )
+    report = run_probe(
+        n=args.n,
+        trials=args.trials,
+        seed=args.seed,
+        algorithms=algorithms or ("sifting",),
+        inner=args.inner,
+        noise=args.noise,
+        delay=args.delay,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    if args.out is not None:
+        path = report.write(args.out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        monotone = all(report.monotone.values())
+        print()
+        print(f"ladder monotone: {monotone}  "
+              f"hard oracles hold: {report.hard_oracles_hold}")
+    return 0 if report.ok else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -571,12 +736,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     stacks = tuple(
         token.strip() for token in args.stacks.split(",") if token.strip()
     )
+    register_model, adversary = _parse_model_arguments(args)
     config = FuzzConfig(
         stacks=stacks,
         min_n=args.min_n,
         max_n=args.max_n,
         include_adaptive=args.include_adaptive,
         allow_out_of_model=args.allow_out_of_model,
+        register_model=register_model,
+        adversary=adversary,
     )
     trial_wall_clock = args.trial_wall_clock
     corpus_dir = Path(args.corpus) if args.corpus else None
@@ -870,6 +1038,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "search": _cmd_search,
         "tas": _cmd_tas,
         "experiments": _cmd_experiments,
+        "probe": _cmd_probe,
         "fuzz": _cmd_fuzz,
         "replay": _cmd_replay,
         "explain": _cmd_explain,

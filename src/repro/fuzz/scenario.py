@@ -3,12 +3,15 @@ oracle harness that runs one and classifies the result.
 
 A :class:`Scenario` pins *everything* about one trial — the protocol stack,
 process count, input workload, adversary (an oblivious
-:class:`~repro.workloads.schedules.ScheduleSpec` or an adaptive
-:class:`~repro.runtime.adaptive.AdaptiveSpec`), fault plan, and the seed
-feeding algorithm coins — so a scenario is a pure value: hashable,
-equality-comparable, and JSON round-trippable.  Generation is a pure
-function of ``(master_seed, trial_index, config)``, which is what makes
-fuzz campaigns replayable and shrinking meaningful.
+:class:`~repro.workloads.schedules.ScheduleSpec`, an adaptive
+:class:`~repro.runtime.adaptive.AdaptiveSpec`, or an intermediate ladder
+rung :class:`~repro.runtime.adversary.AdversarySpec`), the declared
+register model (:class:`~repro.memory.semantics.RegisterModel`; absent
+means atomic), fault plan, and the seed feeding algorithm coins — so a
+scenario is a pure value: hashable, equality-comparable, and JSON
+round-trippable.  Generation is a pure function of
+``(master_seed, trial_index, config)``, which is what makes fuzz
+campaigns replayable and shrinking meaningful.
 
 Oracle regimes
 --------------
@@ -25,12 +28,17 @@ checks.  Which failures count as *violations* depends on the fault plan:
   recorded as degradations, not violations.  Validity and termination stay
   hard: bounded register misbehaviour must never fabricate values nor hang
   a survivor.
+- **Declared weak register models** (``register_model`` of kind
+  ``regular``/``safe``): same split as out-of-model plans — the weakening
+  is *declared*, so agreement-flavoured damage is the measurement, not a
+  bug, while validity/termination/wait-freedom stay hard (Algorithms 1-2
+  must keep them even on regular registers).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
@@ -47,8 +55,10 @@ from repro.fuzz.stacks import (
     get_stack,
     stack_names,
 )
+from repro.memory.semantics import RegisterModel, SemanticsInjector
 from repro.obs.metrics import MetricsHook, MetricsRegistry
 from repro.runtime.adaptive import ADAPTIVE_FAMILIES, AdaptiveSpec, run_adaptive_programs
+from repro.runtime.adversary import AdversarySpec
 from repro.runtime.budget import Deadline, WallClockBudgetHook
 from repro.runtime.faults import FaultPlan, CrashFault, RegisterFault, StallFault
 from repro.runtime.monitors import (
@@ -107,10 +117,17 @@ def make_inputs(workload: str, n: int, seed: int) -> List[Any]:
 class Scenario:
     """One fully-pinned fuzz trial.
 
-    Exactly one of ``schedule`` (oblivious) and ``adaptive`` must be set.
-    Adaptive scenarios may carry crash faults but not stalls: a stall
-    window is keyed on global charged steps, and an adaptive adversary
-    that keeps naming the stalled process would freeze that clock forever.
+    Exactly one of ``schedule`` (oblivious), ``adaptive`` (fully adaptive),
+    and ``adversary`` (an intermediate ladder rung) must be set.  Adaptive
+    and ladder scenarios may carry crash faults but not stalls: a stall
+    window is keyed on global charged steps, and an adversary that keeps
+    naming the stalled process would freeze that clock forever.
+
+    ``register_model`` declares the register semantics the run executes
+    under; ``None`` (and a declared atomic model, which normalizes to
+    ``None``) is the paper's atomic baseline.  The two new fields are
+    omitted from JSON when absent, so every scenario minted before they
+    existed serializes to byte-identical canonical JSON.
     """
 
     stack: str
@@ -120,15 +137,26 @@ class Scenario:
     schedule: Optional[ScheduleSpec] = None
     adaptive: Optional[AdaptiveSpec] = None
     faults: FaultPlan = field(default_factory=FaultPlan)
+    adversary: Optional[AdversarySpec] = None
+    register_model: Optional[RegisterModel] = None
 
     _JSON_VERSION = 1
 
     def __post_init__(self) -> None:
+        if self.register_model is not None and self.register_model.is_atomic:
+            # Declared-atomic is the default contract; normalizing keeps
+            # equality, hashing, and canonical JSON free of a redundant axis.
+            object.__setattr__(self, "register_model", None)
         if self.n < 1:
             raise ConfigurationError(f"n must be >= 1, got {self.n}")
-        if (self.schedule is None) == (self.adaptive is None):
+        chosen = sum(
+            1 for option in (self.schedule, self.adaptive, self.adversary)
+            if option is not None
+        )
+        if chosen != 1:
             raise ConfigurationError(
-                "a scenario needs exactly one of schedule= or adaptive="
+                "a scenario needs exactly one of schedule=, adaptive=, or "
+                "adversary="
             )
         if self.schedule is not None and self.schedule.n != self.n:
             raise ConfigurationError(
@@ -139,11 +167,11 @@ class Scenario:
             raise ConfigurationError(
                 f"unknown workload {self.workload!r}; choose from {WORKLOADS}"
             )
-        if self.adaptive is not None and self.faults.stalls:
+        if self.schedule is None and self.faults.stalls:
             raise ConfigurationError(
-                "adaptive scenarios cannot carry stall faults (the stall "
-                "window is keyed on global charged steps, which an adaptive "
-                "adversary naming the stalled process would freeze)"
+                "adaptive/adversary scenarios cannot carry stall faults "
+                "(the stall window is keyed on global charged steps, which "
+                "an adversary naming the stalled process would freeze)"
             )
         for fault in (*self.faults.crashes, *self.faults.stalls):
             if fault.pid >= self.n:
@@ -154,11 +182,17 @@ class Scenario:
 
     @property
     def is_adaptive(self) -> bool:
-        return self.adaptive is not None
+        """True when the run is driven by a step-by-step choosing adversary
+        (fully adaptive or a ladder rung) rather than a fixed schedule."""
+        return self.schedule is None
 
     def to_json(self) -> Dict[str, Any]:
-        """A plain-JSON description that :meth:`from_json` restores exactly."""
-        return {
+        """A plain-JSON description that :meth:`from_json` restores exactly.
+
+        ``adversary`` and ``register_model`` keys appear only when set, so
+        pre-ladder scenarios keep their historical canonical bytes.
+        """
+        data: Dict[str, Any] = {
             "version": self._JSON_VERSION,
             "stack": self.stack,
             "n": self.n,
@@ -168,6 +202,11 @@ class Scenario:
             "adaptive": None if self.adaptive is None else self.adaptive.to_json(),
             "faults": self.faults.to_json(),
         }
+        if self.adversary is not None:
+            data["adversary"] = self.adversary.to_json()
+        if self.register_model is not None:
+            data["register_model"] = self.register_model.to_json()
+        return data
 
     def canonical_json(self) -> str:
         """Byte-stable serialization used for hashing and deduplication."""
@@ -186,6 +225,8 @@ class Scenario:
             )
         schedule = data.get("schedule")
         adaptive = data.get("adaptive")
+        adversary = data.get("adversary")
+        register_model = data.get("register_model")
         return cls(
             stack=str(data["stack"]),
             n=int(data["n"]),
@@ -194,6 +235,13 @@ class Scenario:
             schedule=None if schedule is None else ScheduleSpec.from_json(schedule),
             adaptive=None if adaptive is None else AdaptiveSpec.from_json(adaptive),
             faults=FaultPlan.from_json(data["faults"]),
+            adversary=(
+                None if adversary is None else AdversarySpec.from_json(adversary)
+            ),
+            register_model=(
+                None if register_model is None
+                else RegisterModel.from_json(register_model)
+            ),
         )
 
 
@@ -263,9 +311,17 @@ class FuzzConfig:
     """Knobs for scenario generation.
 
     ``stacks`` restricts the draw (empty tuple = every honest stack);
-    planted or custom-registered stacks participate only when named
-    explicitly.  ``allow_out_of_model`` gates register-fault generation,
-    mirroring :class:`~repro.runtime.faults.FaultPlan`'s own gate.
+    planted, ladder, or custom-registered stacks participate only when
+    named explicitly.  ``allow_out_of_model`` gates register-fault
+    generation, mirroring :class:`~repro.runtime.faults.FaultPlan`'s own
+    gate.
+
+    ``register_model`` / ``adversary`` *force* every generated scenario
+    onto that register model / ladder rung (each trial gets a fresh
+    private seed).  Forcing an adversary replaces whatever schedule or
+    adaptive spec the trial drew and drops its stall faults; the draws
+    still happen, so trial streams with the forcing off are unchanged.
+    Like the scenario fields, both serialize only when set.
     """
 
     stacks: Tuple[str, ...] = ()
@@ -273,11 +329,15 @@ class FuzzConfig:
     max_n: int = 5
     include_adaptive: bool = True
     allow_out_of_model: bool = False
+    register_model: Optional[RegisterModel] = None
+    adversary: Optional[AdversarySpec] = None
 
     _JSON_VERSION = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "stacks", tuple(self.stacks))
+        if self.register_model is not None and self.register_model.is_atomic:
+            object.__setattr__(self, "register_model", None)
         if self.min_n < 1:
             raise ConfigurationError(f"min_n must be >= 1, got {self.min_n}")
         if self.max_n < self.min_n:
@@ -293,7 +353,7 @@ class FuzzConfig:
         return names
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "version": self._JSON_VERSION,
             "stacks": list(self.stacks),
             "min_n": self.min_n,
@@ -301,6 +361,11 @@ class FuzzConfig:
             "include_adaptive": self.include_adaptive,
             "allow_out_of_model": self.allow_out_of_model,
         }
+        if self.register_model is not None:
+            data["register_model"] = self.register_model.to_json()
+        if self.adversary is not None:
+            data["adversary"] = self.adversary.to_json()
+        return data
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "FuzzConfig":
@@ -313,12 +378,21 @@ class FuzzConfig:
                 f"unsupported fuzz config version {data.get('version')!r}; "
                 f"this build reads version {cls._JSON_VERSION}"
             )
+        register_model = data.get("register_model")
+        adversary = data.get("adversary")
         return cls(
             stacks=tuple(str(name) for name in data.get("stacks", ())),
             min_n=int(data.get("min_n", 2)),
             max_n=int(data.get("max_n", 5)),
             include_adaptive=bool(data.get("include_adaptive", True)),
             allow_out_of_model=bool(data.get("allow_out_of_model", False)),
+            register_model=(
+                None if register_model is None
+                else RegisterModel.from_json(register_model)
+            ),
+            adversary=(
+                None if adversary is None else AdversarySpec.from_json(adversary)
+            ),
         )
 
 
@@ -400,6 +474,25 @@ def generate_scenario(
                 count=rng.randint(1, 3),
             ))
 
+    # Ladder overrides come last so every draw above still happens in the
+    # historical order: a config (or ladder stack) that pins an adversary or
+    # register model perturbs only trials where the pin is active, never the
+    # RNG stream of configs minted before these options existed.
+    adversary = config.adversary if config.adversary is not None else spec.adversary
+    if adversary is not None:
+        adversary = replace(adversary, seed=rng.randrange(2**32))
+        schedule = None
+        adaptive = None
+        stalls = []
+    model = (
+        config.register_model if config.register_model is not None
+        else spec.register_model
+    )
+    if model is not None and not model.is_atomic:
+        model = replace(model, seed=rng.randrange(2**32))
+    else:
+        model = None
+
     return Scenario(
         stack=spec.name,
         n=n,
@@ -413,6 +506,8 @@ def generate_scenario(
             register_faults=tuple(register_faults),
             allow_out_of_model=bool(register_faults),
         ),
+        adversary=adversary,
+        register_model=model,
     )
 
 
@@ -509,10 +604,16 @@ def run_scenario(
     watchdog = WaitFreedomWatchdog(
         built.step_budget, strict=False, metrics=metrics
     )
-    register_semantics = RegisterSemanticsMonitor(strict=False, metrics=metrics)
+    register_semantics = RegisterSemanticsMonitor(
+        strict=False, metrics=metrics, model=scenario.register_model
+    )
     monitors = [validity, coherence, watchdog, register_semantics]
 
     hooks: List[Any] = []
+    if scenario.register_model is not None:
+        # First, so weakened read resolution is bound before faults or
+        # monitors ever observe the objects.
+        hooks.append(SemanticsInjector(scenario.register_model))
     if not scenario.faults.is_empty:
         hooks.append(scenario.faults.injector())
     hooks.extend(monitors)
@@ -538,11 +639,17 @@ def run_scenario(
             snapshot = metrics.to_json()
         return ScenarioOutcome(scenario, status, metrics=snapshot, **kwargs)
 
+    adversary_impl: Optional[Any] = None
+    if scenario.adaptive is not None:
+        adversary_impl = scenario.adaptive.build()
+    elif scenario.adversary is not None:
+        adversary_impl = scenario.adversary.build()
+
     try:
-        if scenario.adaptive is not None:
+        if adversary_impl is not None:
             result = run_adaptive_programs(
                 built.programs,
-                scenario.adaptive.build(),
+                adversary_impl,
                 seeds,
                 inputs=inputs,
                 record_trace=True,
@@ -598,6 +705,20 @@ def run_scenario(
             # completed): the step-level trace is still worth keeping.
             pass
 
+    if metrics is not None and scenario.adversary is not None:
+        # Ladder telemetry: how often the wrapper actually deviated from
+        # its inner strategy this run.
+        clamped = getattr(adversary_impl, "clamped", None)
+        if clamped:
+            metrics.counter(
+                "adversary.clamped", kind=scenario.adversary.kind
+            ).inc(clamped)
+        perturbed = getattr(adversary_impl, "perturbed", None)
+        if perturbed:
+            metrics.counter(
+                "adversary.perturbed", kind=scenario.adversary.kind
+            ).inc(perturbed)
+
     if result is not None:
         total_steps = result.total_steps
         records.extend(_trace_records(result, scenario.n))
@@ -608,10 +729,13 @@ def run_scenario(
                 violation.monitor, violation.pid, violation.message,
             ))
 
-    if scenario.faults.is_in_model:
+    if scenario.faults.is_in_model and scenario.register_model is None:
         violations = tuple(records)
         degradations: Tuple[ViolationRecord, ...] = ()
     else:
+        # Out-of-model faults break the atomicity assumption behind the
+        # protocol's back; a declared weak register model breaks it openly.
+        # Either way only the HARD_ORACLES stay load-bearing.
         violations = tuple(r for r in records if r.oracle in HARD_ORACLES)
         degradations = tuple(r for r in records if r.oracle not in HARD_ORACLES)
 

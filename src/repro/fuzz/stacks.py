@@ -43,6 +43,8 @@ from repro.core.indirect_conciliator import IndirectSnapshotConciliator
 from repro.core.sifting_conciliator import SiftingConciliator
 from repro.core.snapshot_conciliator import SnapshotConciliator
 from repro.errors import ConfigurationError
+from repro.memory.semantics import RegisterModel
+from repro.runtime.adversary import AdversarySpec
 from repro.runtime.process import Program
 
 __all__ = [
@@ -51,6 +53,7 @@ __all__ = [
     "StackSpec",
     "conciliator_budget",
     "get_stack",
+    "ladder_stack_names",
     "register_stack",
     "stack_names",
 ]
@@ -95,6 +98,19 @@ class StackSpec:
         workloads: input-gallery names this stack accepts (``None`` = all).
         planted: True for deliberately buggy calibration stacks, which are
             excluded from honest campaigns.
+        register_model: when set, scenarios drawn for this stack run under
+            the weakened register semantics it declares (the per-trial
+            resolution seed is drawn at generation time).
+        adversary: when set, scenarios drawn for this stack run under this
+            intermediate-strength adversary instead of an oblivious
+            schedule or fully adaptive strategy.
+        ladder: True for model-ladder stacks (honest protocols pinned to a
+            weakened register model and/or intermediate adversary).  Like
+            planted stacks they are excluded from the default draw — the
+            default campaign's seeded stack choice, and with it the
+            committed regression corpus, must not shift when the ladder
+            grows — and participate only when named explicitly (e.g. by
+            the nightly weakened-model soak leg).
     """
 
     name: str
@@ -103,6 +119,9 @@ class StackSpec:
     min_n: int = 1
     workloads: Optional[Tuple[str, ...]] = None
     planted: bool = False
+    register_model: Optional[RegisterModel] = None
+    adversary: Optional[AdversarySpec] = None
+    ladder: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -210,13 +229,27 @@ def get_stack(name: str) -> StackSpec:
         ) from None
 
 
-def stack_names(*, include_planted: bool = False) -> List[str]:
-    """Registered stack names, honest-only by default, in a stable order."""
+def stack_names(
+    *, include_planted: bool = False, include_ladder: bool = False
+) -> List[str]:
+    """Registered stack names, honest-only by default, in a stable order.
+
+    Ladder stacks (weakened register models / intermediate adversaries)
+    are excluded by default for the same reason planted stacks are: the
+    fuzzer's seeded stack draw samples this list, so growing it would
+    shift every existing campaign and invalidate the committed corpus.
+    """
     return [
         name
         for name, spec in STACKS.items()
-        if include_planted or not spec.planted
+        if (include_planted or not spec.planted)
+        and (include_ladder or not spec.ladder)
     ]
+
+
+def ladder_stack_names() -> List[str]:
+    """Names of every registered model-ladder stack, in a stable order."""
+    return [name for name, spec in STACKS.items() if spec.ladder]
 
 
 # ----- the honest registry --------------------------------------------------
@@ -304,3 +337,56 @@ register_stack(StackSpec(
         )
     ),
 ))
+
+
+# ----- the model ladder -------------------------------------------------------
+#
+# Every conciliator crossed with {regular, safe} register semantics and
+# {late-δ, noisy-σ} adversaries: the robustness envelope the probe report
+# and the nightly weakened-model soak sweep.  Ladder stacks reuse the base
+# stack's builder/budget verbatim — only the model the scenario runs under
+# changes — and are excluded from the default draw (see ``ladder=True``).
+
+#: Conciliator stacks the ladder crosses (the honest conciliators above).
+_LADDER_CONCILIATORS = (
+    "snapshot",
+    "snapshot-maxreg",
+    "indirect-snapshot",
+    "emulated-snapshot",
+    "sifting",
+    "sifting-anonymous",
+    "cil-embedded",
+    "doubling-cil",
+    "naive",
+    "chained-sift-snap",
+)
+
+#: The ladder's register-model axis (atomic is the baseline, not a rung).
+_LADDER_MODELS = (
+    RegisterModel("regular"),
+    RegisterModel("safe"),
+)
+
+#: The ladder's adversary axis.  ``pending-reads`` is the inner strategy
+#: throughout: it is the documented Algorithm 2 killer, so the late/noisy
+#: wrappers measure how much *delayed* or *noise-diluted* access to that
+#: power still costs (δ and σ here match the probe report's defaults).
+_LADDER_ADVERSARIES = (
+    AdversarySpec("late", inner="pending-reads", delay=1),
+    AdversarySpec("noisy", inner="pending-reads", noise=0.8),
+)
+
+for _base in _LADDER_CONCILIATORS:
+    _spec = STACKS[_base]
+    for _model in _LADDER_MODELS:
+        for _adversary in _LADDER_ADVERSARIES:
+            register_stack(StackSpec(
+                f"{_base}+{_model.kind}+{_adversary.kind}",
+                _spec.kind,
+                _spec.builder,
+                min_n=_spec.min_n,
+                workloads=_spec.workloads,
+                register_model=_model,
+                adversary=_adversary,
+                ladder=True,
+            ))

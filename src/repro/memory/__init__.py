@@ -17,6 +17,12 @@ objects — in particular whole personae.
 Objects may only be mutated through the simulator (processes yield operation
 requests); direct method calls are reserved for test code that checks
 sequential semantics.
+
+All three primitive objects default to atomic semantics and can be
+weakened declaratively: :mod:`repro.memory.semantics` defines the
+:class:`~repro.memory.semantics.RegisterModel` ladder (atomic < regular <
+safe) and the resolver/injector machinery that applies a model as a
+read-resolution policy.
 """
 
 from repro.memory.base import SharedObject
@@ -25,6 +31,11 @@ from repro.memory.emulated_snapshot import EmulatedSnapshot, SnapshotCell
 from repro.memory.max_register import MaxRegister
 from repro.memory.register import AtomicRegister
 from repro.memory.register_array import RegisterArray, SnapshotArray
+from repro.memory.semantics import (
+    RegisterModel,
+    SemanticsInjector,
+    SemanticsResolver,
+)
 from repro.memory.snapshot import SnapshotObject
 
 __all__ = [
@@ -37,4 +48,7 @@ __all__ = [
     "SnapshotCell",
     "RegisterArray",
     "SnapshotArray",
+    "RegisterModel",
+    "SemanticsInjector",
+    "SemanticsResolver",
 ]

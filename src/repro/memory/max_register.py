@@ -12,20 +12,34 @@ persona)`` tuples so comparisons never reach the persona itself.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.memory.base import SharedObject
 from repro.runtime.operations import MaxRead, MaxWrite, Operation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.semantics import SemanticsResolver
 
 __all__ = ["MaxRegister"]
 
 
 class MaxRegister(SharedObject):
-    """An unbounded atomic max register."""
+    """An unbounded atomic max register.
+
+    Binding a :class:`~repro.memory.semantics.SemanticsResolver` weakens
+    ``MaxRead`` the same way it weakens register reads: a read concurrent
+    with a ``MaxWrite`` may return the pre-write maximum (regular) or any
+    maximum the register ever held (safe).  Only max-raising writes open a
+    contention window — a ``MaxWrite`` that does not change the maximum is
+    observationally a no-op, so there is no old/new value to disagree on;
+    it does, however, prove its writer observed the current maximum, so
+    that process keeps atomic reads for the rest of the window.
+    """
 
     def __init__(self, name: str = ""):
         super().__init__(name)
         self._value: Any = None
+        self._semantics: Optional["SemanticsResolver"] = None
         self.write_count = 0
         self.read_count = 0
 
@@ -34,13 +48,31 @@ class MaxRegister(SharedObject):
         """Current maximum (for inspection only)."""
         return self._value
 
+    def bind_semantics(self, resolver: "SemanticsResolver") -> None:
+        """Resolve future reads under ``resolver``'s register model."""
+        self._semantics = resolver
+
     def apply(self, operation: Operation, pid: int) -> Any:
         if isinstance(operation, MaxWrite):
             self.write_count += 1
             if self._value is None or operation.value > self._value:
+                if self._semantics is not None:
+                    self._semantics.note_write(
+                        self.name, pid, self._value, operation.value
+                    )
                 self._value = operation.value
+            elif self._semantics is not None:
+                # A no-op MaxWrite proves the writer linearized against a
+                # maximum at least as large as its own value, so its later
+                # reads must not be served anything older (read-your-writes
+                # across the max-register's idempotent writes).
+                self._semantics.note_observed(self.name, pid)
             return None
         if isinstance(operation, MaxRead):
             self.read_count += 1
+            if self._semantics is not None:
+                return self._semantics.resolve_read(
+                    self.name, pid, self._value, initial=None
+                )
             return self._value
         return self._reject(operation)

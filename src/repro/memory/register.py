@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.memory.base import SharedObject
 from repro.runtime.operations import Operation, Read, Write
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.semantics import SemanticsResolver
 
 __all__ = ["AtomicRegister"]
 
@@ -20,12 +23,19 @@ class AtomicRegister(SharedObject):
     The register also counts its writes, which tests use to verify claims
     such as "at most one iteration can skip the sifting step without writing
     ``proposal``" in Theorem 3's proof.
+
+    By default reads are atomic.  Binding a
+    :class:`~repro.memory.semantics.SemanticsResolver` (via
+    :meth:`bind_semantics`) weakens reads to the resolver's declared model
+    — regular or safe registers per Hadzilacos–Hu–Toueg — while writes and
+    step accounting stay unchanged.
     """
 
     def __init__(self, name: str = "", initial: Any = None):
         super().__init__(name)
         self._value = initial
         self._initial = initial
+        self._semantics: Optional["SemanticsResolver"] = None
         self.write_count = 0
         self.read_count = 0
 
@@ -34,12 +44,24 @@ class AtomicRegister(SharedObject):
         """Current value (for inspection by tests and harnesses)."""
         return self._value
 
+    def bind_semantics(self, resolver: "SemanticsResolver") -> None:
+        """Resolve future reads under ``resolver``'s register model."""
+        self._semantics = resolver
+
     def apply(self, operation: Operation, pid: int) -> Any:
         if isinstance(operation, Read):
             self.read_count += 1
+            if self._semantics is not None:
+                return self._semantics.resolve_read(
+                    self.name, pid, self._value, initial=self._initial
+                )
             return self._value
         if isinstance(operation, Write):
             self.write_count += 1
+            if self._semantics is not None:
+                self._semantics.note_write(
+                    self.name, pid, self._value, operation.value
+                )
             self._value = operation.value
             return None
         return self._reject(operation)

@@ -14,11 +14,14 @@ personae, each view is a subset of any larger views").  Tests use
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 from repro.errors import InvalidOperationError
 from repro.memory.base import SharedObject
 from repro.runtime.operations import Operation, Scan, Update
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.semantics import SemanticsResolver
 
 __all__ = ["SnapshotObject"]
 
@@ -30,6 +33,12 @@ class SnapshotObject(SharedObject):
     single-writer-per-component snapshot of the paper); a scan returns an
     immutable tuple of all components, with ``None`` for components never
     updated.
+
+    Binding a :class:`~repro.memory.semantics.SemanticsResolver` weakens
+    scans component-wise: each component behaves like a register of the
+    declared model, so a scan concurrent with an update may observe that
+    component's old value (regular) or any value it ever held (safe).
+    View nesting (Lemma 1) is only guaranteed for the atomic model.
     """
 
     def __init__(self, n: int, name: str = ""):
@@ -38,9 +47,14 @@ class SnapshotObject(SharedObject):
             raise InvalidOperationError(f"snapshot needs n >= 1, got {n}")
         self.n = n
         self._components: List[Any] = [None] * n
+        self._semantics: Optional["SemanticsResolver"] = None
         self.update_count = 0
         self.scan_count = 0
         self._view_sizes: List[int] = []
+
+    def bind_semantics(self, resolver: "SemanticsResolver") -> None:
+        """Resolve future scans component-wise under ``resolver``'s model."""
+        self._semantics = resolver
 
     def apply(self, operation: Operation, pid: int) -> Any:
         if isinstance(operation, Update):
@@ -48,12 +62,25 @@ class SnapshotObject(SharedObject):
                 raise InvalidOperationError(
                     f"pid {pid} out of range for snapshot of size {self.n}"
                 )
+            if self._semantics is not None:
+                self._semantics.note_write(
+                    f"{self.name}[{pid}]", pid,
+                    self._components[pid], operation.value,
+                )
             self._components[pid] = operation.value
             self.update_count += 1
             return None
         if isinstance(operation, Scan):
             self.scan_count += 1
-            view = tuple(self._components)
+            if self._semantics is not None:
+                view = tuple(
+                    self._semantics.resolve_read(
+                        f"{self.name}[{index}]", pid, component, initial=None
+                    )
+                    for index, component in enumerate(self._components)
+                )
+            else:
+                view = tuple(self._components)
             self._view_sizes.append(sum(1 for item in view if item is not None))
             return view
         return self._reject(operation)

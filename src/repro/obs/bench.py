@@ -12,6 +12,8 @@ number here:
 - ``consensus``             the conciliator + adopt-commit composition
 - ``vectorized-sifting``    Algorithm 2 on the NumPy mass-trial backend
 - ``vectorized-snapshot``   Algorithm 1 on the NumPy mass-trial backend
+- ``late-adversary-sifting``  Algorithm 2 under the late-δ choosing
+  adversary (the weakened-model hot path: adversary wrapper + clamping)
 
 The two ``vectorized-*`` cases exist to pin the mass-trial backend's
 headline claim — orders of magnitude more steps/sec than the generator's
@@ -237,6 +239,61 @@ def _cil_factory(n: int):
     return CILEmbeddedConciliator(n)
 
 
+def _case_late_adversary_sifting(sizing: _Sizing, seed: int) -> Dict[str, Any]:
+    """Algorithm 2 under the late-δ choosing adversary.
+
+    Exercises the weakened-model hot path — the adversary wrapper's
+    snapshot ring buffer, stale-view projection, and unrunnable-pick
+    clamping — so a pessimization in the ladder machinery moves this
+    number without disturbing the atomic-register cases.
+    """
+    from dataclasses import replace
+
+    from repro.core.sifting_conciliator import SiftingConciliator
+    from repro.runtime.adaptive import run_adaptive_programs
+    from repro.runtime.adversary import AdversarySpec
+
+    spec = AdversarySpec("late", inner="pending-reads", delay=1)
+    latencies: List[float] = []
+    total_steps = 0
+    snapshots: List[Dict[str, Any]] = []
+    for trial in range(sizing.trials):
+        seeds = SeedTree(seed).child(f"bench-{trial}")
+        conciliator = SiftingConciliator(sizing.n)
+        adversary = replace(
+            spec, seed=seeds.child("adversary").rng().randrange(2**32)
+        ).build()
+        hooks, registry = _metrics_hooks()
+        started = time.perf_counter()
+        result = run_adaptive_programs(
+            [conciliator.program] * sizing.n,
+            adversary,
+            seeds,
+            inputs=list(range(sizing.n)),
+            hooks=hooks,
+        )
+        latencies.append(time.perf_counter() - started)
+        total_steps += result.total_steps
+        snapshots.append(registry.to_json())
+    elapsed = sum(latencies)
+    merged = merge_snapshots(snapshots) if snapshots else None
+    metrics = merged.to_json() if merged is not None else None
+    if metrics is not None:
+        for hist in metrics.get("histograms", {}).values():
+            hist.pop("samples", None)
+            hist.pop("stride", None)
+    return {
+        "trials": sizing.trials,
+        "n": sizing.n,
+        "total_steps": total_steps,
+        "elapsed_seconds": elapsed,
+        "steps_per_sec": total_steps / elapsed if elapsed > 0 else 0.0,
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p95_s": _percentile(latencies, 0.95),
+        "metrics": metrics,
+    }
+
+
 def _numpy_available() -> bool:
     """Indirection over the backend's probe (monkeypatchable in tests)."""
     from repro.runtime.vectorized import numpy_available
@@ -325,6 +382,13 @@ _SUITE: Dict[str, Tuple[Callable[[_Sizing, int], Dict[str, Any]],
     "vectorized-snapshot": (
         _vectorized_case(_snapshot_factory, "interleaved"),
         _Sizing(n=64, trials=16384), _Sizing(n=64, trials=65536),
+    ),
+    # The choosing-adversary path runs the same step loop plus the wrapper
+    # layer (ring buffer, stale view, clamping), so its steps/sec should
+    # track sifting-conciliator at a modest constant-factor discount.
+    "late-adversary-sifting": (
+        _case_late_adversary_sifting,
+        _Sizing(n=16, trials=200), _Sizing(n=32, trials=300),
     ),
 }
 

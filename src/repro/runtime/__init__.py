@@ -31,6 +31,12 @@ from repro.runtime.adaptive import (
     SiftKillerAdversary,
     run_adaptive_programs,
 )
+from repro.runtime.adversary import (
+    AdversarySpec,
+    LateAdversary,
+    NoisySchedulerAdversary,
+    make_adversary,
+)
 from repro.runtime.checkpoint import CheckpointJournal
 from repro.runtime.faults import (
     CrashFault,
@@ -135,4 +141,8 @@ __all__ = [
     "RandomAdaptiveAdversary",
     "SiftKillerAdversary",
     "run_adaptive_programs",
+    "AdversarySpec",
+    "LateAdversary",
+    "NoisySchedulerAdversary",
+    "make_adversary",
 ]

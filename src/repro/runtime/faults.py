@@ -203,6 +203,14 @@ class RegisterFault:
     shared object's name.  ``op_index`` picks which matching operation
     (0-based, counted per fault) misbehaves and ``count`` how many
     consecutive matching operations after it do too.
+
+    ``stale-read`` is the targeted, one-shot form of what the declarative
+    register-model layer (:class:`~repro.memory.semantics.RegisterModel`
+    with ``kind="regular"``) now expresses for whole runs; the value a
+    stale read serves is defined once, in
+    :func:`repro.memory.semantics.stale_value`, and this fault delegates
+    to it.  The constructor remains fully supported — existing fault
+    plans replay byte-identically.
     """
 
     kind: str
@@ -424,9 +432,15 @@ class FaultInjector(StepHook):
             if fault.kind == LOSSY_WRITE:
                 # The write is dropped; the writer sees a normal ack.
                 return InterceptedResult(None)
+            # Deferred import: the semantics module subclasses StepHook, so
+            # importing it at module level would be circular.  stale_value
+            # is the single definition of the one-step-stale rule this
+            # fault has always applied (see repro.memory.semantics); plans
+            # written before the register-model layer existed reproduce
+            # byte-identical outcomes through it.
+            from repro.memory.semantics import stale_value
             history = self._write_history.get(operation.obj.name, [])
-            stale = history[-2] if len(history) >= 2 else None
-            return InterceptedResult(stale)
+            return InterceptedResult(stale_value(history))
         return None
 
     def after_step(

@@ -241,34 +241,90 @@ class WaitFreedomWatchdog(InvariantMonitor):
 
 
 class RegisterSemanticsMonitor(InvariantMonitor):
-    """Reads of atomic registers must return the last value written.
+    """Reads of registers must return a value their declared model allows.
 
-    The simulator executes operations sequentially, so for genuine atomic
-    registers this invariant holds by construction; a violation therefore
-    proves that an out-of-model fault (lossy write, stale read) or a broken
-    emulation altered what the protocol observed.  Objects are tracked by
-    name from the first write the monitor sees; reads before any observed
-    write are unchecked (the initial value is unknown to the monitor).
+    With no declared model (the default), registers are atomic: a read
+    must return the last value written.  The simulator executes operations
+    sequentially, so for genuine atomic registers this invariant holds by
+    construction; a violation therefore proves that an out-of-model fault
+    (lossy write, stale read) or a broken object emulation altered what
+    the protocol observed.
+
+    Passing ``model=`` (a :class:`~repro.memory.semantics.RegisterModel`)
+    calibrates the monitor to a *declared* weakening: it mirrors the
+    resolver's contention-window bookkeeping, so reads the model permits
+    (the pre-write value, inside the window, by a non-writer) stay silent
+    while reads the model does **not** permit — staleness outside the
+    window, a writer failing to read its own write, a value that was never
+    written at all — still fire.  Under a declared ``safe`` model,
+    in-window contended reads are unchecked (safe registers may return
+    anything), but out-of-window reads remain held to atomicity.
+
+    Objects are tracked by name from the first write the monitor sees;
+    reads before any observed write are unchecked (the initial value is
+    unknown to the monitor).
     """
 
     name = "register-semantics"
 
-    def __init__(self, *, strict: bool = True, metrics: Optional[Any] = None):
+    def __init__(
+        self,
+        *,
+        strict: bool = True,
+        metrics: Optional[Any] = None,
+        model: Optional[Any] = None,
+    ):
         super().__init__(strict=strict, metrics=metrics)
+        if model is not None and getattr(model, "is_atomic", False):
+            model = None  # a declared atomic model is the default contract
+        self.model = model
         self._last_write: Dict[str, Any] = {}
+        self._previous_write: Dict[str, Any] = {}
+        self._last_writer: Dict[str, int] = {}
+        self._reads_since_write: Dict[str, int] = {}
+
+    def _allowed(self, name: str, pid: int, result: Any) -> bool:
+        """Whether ``result`` is permitted for this read under the model."""
+        expected = self._last_write[name]
+        if result == expected:
+            return True
+        if self.model is None:
+            return False
+        in_window = self._reads_since_write[name] < self.model.window
+        contended = in_window and self._last_writer[name] != pid
+        if not contended:
+            return False
+        if self.model.kind == "safe":
+            return True  # anything goes inside a safe contention window
+        # Regular: only the immediately-previous value is permitted, and
+        # only when the monitor has seen that value written (an unknown
+        # pre-first-write value is represented as an absent key, in which
+        # case the old value is the unknown initial and goes unchecked).
+        if name not in self._previous_write:
+            return True
+        return bool(result == self._previous_write[name])
 
     def after_step(
         self, pid: int, step_index: int, operation: Operation, result: Any
     ) -> None:
         name = operation.obj.name
         if isinstance(operation, Write):
+            if name in self._last_write:
+                self._previous_write[name] = self._last_write[name]
             self._last_write[name] = operation.value
+            self._last_writer[name] = pid
+            self._reads_since_write[name] = 0
         elif isinstance(operation, Read) and name in self._last_write:
-            expected = self._last_write[name]
-            if result != expected:
+            if not self._allowed(name, pid, result):
+                declared = (
+                    "atomic" if self.model is None else self.model.kind
+                )
                 self._violate(
                     f"read of {name!r} returned {result!r} but the last "
-                    f"write was {expected!r} — atomic register semantics "
-                    "violated",
+                    f"write was {self._last_write[name]!r} — {declared} "
+                    "register semantics violated",
                     pid=pid,
                 )
+            self._reads_since_write[name] = (
+                self._reads_since_write.get(name, 0) + 1
+            )

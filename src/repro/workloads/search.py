@@ -2,12 +2,20 @@
 
 The conciliator guarantee quantifies over *all* oblivious adversary
 strategies, not just the friendly families in
-:mod:`repro.workloads.schedules`.  This module hunts for bad ones: a simple
-mutation hill-climb over explicit schedules, evaluating each candidate's
-agreement rate against fresh algorithm coins and keeping the candidate that
-agrees *least*.
+:mod:`repro.workloads.schedules`.  This module hunts for bad ones, with two
+interchangeable strategies:
 
-The search itself respects obliviousness: a candidate schedule is fixed
+- ``hill-climb`` (the default): a simple mutation hill-climb over explicit
+  schedules, evaluating each candidate's agreement rate against fresh
+  algorithm coins and keeping the candidate that agrees *least*;
+- ``bandit``: a UCB1 bandit whose arms are the randomized schedule
+  families of :mod:`repro.workloads.schedules` plus one explicit-mutation
+  arm (the hill-climb move).  Family arms materialize a fresh seeded
+  schedule per pull, so the bandit allocates its evaluation budget toward
+  whichever *kind* of oblivious schedule currently looks most damaging
+  instead of spending everything in one mutation neighbourhood.
+
+Either way the search respects obliviousness: a candidate schedule is fixed
 before each batch of evaluation runs, and the coins in every run are fresh,
 so the adversary "learns" only across runs (which the model permits — the
 adversary knows the protocol and may optimize offline) and never within
@@ -18,9 +26,11 @@ for-all-strategies theorem predicts.
 
 from __future__ import annotations
 
+import itertools
+import math
 import random
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.conciliator import Conciliator
 from repro.errors import ConfigurationError
@@ -28,8 +38,21 @@ from repro.runtime.budget import Deadline
 from repro.runtime.rng import SeedTree
 from repro.runtime.scheduler import ExplicitSchedule
 from repro.runtime.simulator import run_programs
+from repro.workloads.schedules import SCHEDULE_FAMILIES, ScheduleSpec
 
-__all__ = ["SearchResult", "search_worst_schedule", "evaluate_schedule"]
+__all__ = [
+    "SEARCH_STRATEGIES",
+    "SearchResult",
+    "search_worst_schedule",
+    "evaluate_schedule",
+]
+
+#: Candidate-proposal strategies ``search_worst_schedule`` accepts.
+SEARCH_STRATEGIES = ("hill-climb", "bandit")
+
+#: The bandit arm that mutates the incumbent explicit schedule (the
+#: hill-climb move); the other arms are the schedule families.
+_MUTATION_ARM = "explicit-mutation"
 
 
 @dataclass
@@ -44,6 +67,11 @@ class SearchResult:
     #: short; the result is still the best candidate found so far.
     stopped_early: bool = False
     elapsed_seconds: float = 0.0
+    #: Which strategy proposed candidates ("hill-climb" or "bandit").
+    strategy: str = "hill-climb"
+    #: Pulls per bandit arm (every hill-climb pull counts as the
+    #: explicit-mutation arm, so the field is comparable across modes).
+    family_pulls: Dict[str, int] = field(default_factory=dict)
 
 
 def evaluate_schedule(
@@ -80,13 +108,19 @@ def search_worst_schedule(
     master_seed: int = 0,
     deadline_seconds: Optional[float] = None,
     max_evaluations: Optional[int] = None,
+    strategy: str = "hill-climb",
+    metrics: Optional[Any] = None,
 ) -> SearchResult:
-    """Hill-climb toward the oblivious schedule minimizing agreement.
+    """Search for the oblivious schedule minimizing agreement.
 
-    Candidates are permutations of the multiset giving each process exactly
-    ``steps_per_process`` slots (so no candidate can starve anyone);
-    mutation swaps random slot pairs.  Returns the worst schedule found and
-    its (re-evaluated) agreement rate.
+    ``strategy="hill-climb"`` (the default): candidates are permutations
+    of the multiset giving each process exactly ``steps_per_process``
+    slots (so no candidate can starve anyone); mutation swaps random slot
+    pairs.  ``strategy="bandit"``: a UCB1 bandit over the randomized
+    schedule families plus the explicit-mutation arm; family candidates
+    are a materialized seeded prefix padded with a fair round-robin tail,
+    so they cannot starve anyone either.  Both return the worst schedule
+    found and its (re-evaluated) agreement rate.
 
     The search runs under the same budget machinery as the chaos fuzzer:
     ``deadline_seconds`` bounds wall-clock time and ``max_evaluations``
@@ -95,6 +129,13 @@ def search_worst_schedule(
     with ``stopped_early=True`` — so an E19-style search can never run
     unbounded.  Budgets never change which candidates a given
     ``master_seed`` proposes, only how far down the list the search gets.
+
+    ``metrics`` optionally names a
+    :class:`~repro.obs.metrics.MetricsRegistry`; the search then reports
+    ``search.evaluations`` (counter), ``search.best_disagreement``
+    (histogram, observed at every improvement), and
+    ``search.family_pulls{family=...}`` (counter per proposal arm — every
+    hill-climb pull counts under ``explicit-mutation``).
     """
     n = len(inputs)
     if n < 1:
@@ -105,8 +146,14 @@ def search_worst_schedule(
         raise ConfigurationError(
             f"max_evaluations must be >= 1, got {max_evaluations}"
         )
+    if strategy not in SEARCH_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown search strategy {strategy!r}; choose from "
+            f"{SEARCH_STRATEGIES}"
+        )
     deadline = Deadline(deadline_seconds)
     rng = random.Random(master_seed)
+    family_pulls: Dict[str, int] = {}
 
     def mutate(slots: List[int]) -> List[int]:
         mutant = list(slots)
@@ -116,12 +163,36 @@ def search_worst_schedule(
             mutant[a], mutant[b] = mutant[b], mutant[a]
         return mutant
 
+    def propose(arm: str, incumbent: List[int]) -> List[int]:
+        """One candidate slot list from the named arm."""
+        if arm == _MUTATION_ARM:
+            return mutate(incumbent)
+        spec = ScheduleSpec(arm, n, seed=rng.randrange(2**32))
+        prefix = list(itertools.islice(iter(spec.build()), steps_per_process * n))
+        # The fair tail guarantees every process at least steps_per_process
+        # slots, so a family prefix can never starve a run into an error.
+        tail = [pid for _ in range(steps_per_process) for pid in range(n)]
+        return prefix + tail
+
+    def record_pull(arm: str) -> None:
+        family_pulls[arm] = family_pulls.get(arm, 0) + 1
+        if metrics is not None:
+            metrics.counter("search.evaluations").inc()
+            metrics.counter("search.family_pulls", family=arm).inc()
+
+    def record_best(rate: float) -> None:
+        if metrics is not None:
+            metrics.histogram("search.best_disagreement").observe(1.0 - rate)
+
     current = [pid for _ in range(steps_per_process) for pid in range(n)]
     current_rate = evaluate_schedule(
         factory, inputs, ExplicitSchedule(current, n=n),
         trials=trials_per_eval, master_seed=master_seed,
     )
     evaluations = 1
+    if metrics is not None:
+        metrics.counter("search.evaluations").inc()
+    record_best(current_rate)
     history = [current_rate]
     stopped_early = False
 
@@ -130,24 +201,63 @@ def search_worst_schedule(
             return True
         return max_evaluations is not None and evaluations >= max_evaluations
 
-    for generation in range(generations):
-        if budget_exhausted():
-            stopped_early = True
-            break
-        for _ in range(mutations_per_generation):
+    if strategy == "bandit":
+        # UCB1 over proposal arms, reward = disagreement in [0, 1].  The
+        # arm statistics steer *where* candidates come from; the incumbent
+        # (best-so-far) schedule is still tracked globally.
+        arms = list(SCHEDULE_FAMILIES) + [_MUTATION_ARM]
+        pulls = {arm: 0 for arm in arms}
+        reward_sums = {arm: 0.0 for arm in arms}
+        total_budget = generations * mutations_per_generation
+        for pull_index in range(total_budget):
             if budget_exhausted():
                 stopped_early = True
                 break
-            candidate = mutate(current)
+            unpulled = [arm for arm in arms if pulls[arm] == 0]
+            if unpulled:
+                arm = unpulled[0]
+            else:
+                total = sum(pulls.values())
+                arm = max(arms, key=lambda a: (
+                    reward_sums[a] / pulls[a]
+                    + math.sqrt(2.0 * math.log(total) / pulls[a])
+                ))
+            candidate = propose(arm, current)
             rate = evaluate_schedule(
                 factory, inputs, ExplicitSchedule(candidate, n=n),
                 trials=trials_per_eval,
                 master_seed=master_seed + evaluations,
             )
             evaluations += 1
+            record_pull(arm)
+            pulls[arm] += 1
+            reward_sums[arm] += 1.0 - rate
             if rate < current_rate:
                 current, current_rate = candidate, rate
-        history.append(current_rate)
+                record_best(current_rate)
+            if (pull_index + 1) % mutations_per_generation == 0:
+                history.append(current_rate)
+    else:
+        for generation in range(generations):
+            if budget_exhausted():
+                stopped_early = True
+                break
+            for _ in range(mutations_per_generation):
+                if budget_exhausted():
+                    stopped_early = True
+                    break
+                candidate = mutate(current)
+                rate = evaluate_schedule(
+                    factory, inputs, ExplicitSchedule(candidate, n=n),
+                    trials=trials_per_eval,
+                    master_seed=master_seed + evaluations,
+                )
+                evaluations += 1
+                record_pull(_MUTATION_ARM)
+                if rate < current_rate:
+                    current, current_rate = candidate, rate
+                    record_best(current_rate)
+            history.append(current_rate)
 
     # Re-evaluate the winner on fresh seeds for an unbiased estimate (the
     # search minimum is biased low by selection).
@@ -163,4 +273,6 @@ def search_worst_schedule(
         history=history,
         stopped_early=stopped_early,
         elapsed_seconds=deadline.elapsed(),
+        strategy=strategy,
+        family_pulls=dict(sorted(family_pulls.items())),
     )

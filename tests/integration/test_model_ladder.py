@@ -1,0 +1,239 @@
+"""Integration tests for the adversary ladder and weakened register models.
+
+Pins the robustness-envelope claims end to end:
+
+- the committed probe report stays valid (monotone ladder, hard oracles);
+- the ladder endpoints separate on a live sweep at fixed ``(n, seed)``;
+- Algorithms 1-2 keep validity and termination on regular/safe registers;
+- each new adversary family actually breaks a deliberately fragile stack
+  that a lockstep oblivious schedule cannot touch (detector calibration);
+- weakened sweeps and campaigns are worker-count-invariant;
+- ladder scenarios replay from versioned JSON via the corpus machinery.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import run_conciliator_trials
+from repro.analysis.probe import ProbeReport
+from repro.core.sifting_conciliator import SiftingConciliator
+from repro.core.snapshot_conciliator import SnapshotConciliator
+from repro.fuzz.corpus import CorpusCase, load_case, replay_case, save_case
+from repro.fuzz.scenario import FuzzConfig, generate_scenario, run_scenario
+from repro.memory.register import AtomicRegister
+from repro.memory.semantics import RegisterModel
+from repro.runtime.adaptive import AdaptiveSpec, run_adaptive_programs
+from repro.runtime.adversary import ADVERSARY_LADDER, AdversarySpec
+from repro.runtime.operations import Read, Write
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import ExplicitSchedule
+from repro.runtime.simulator import run_programs
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCommittedProbeReport:
+    """benchmarks/PROBE_ladder.json is the committed robustness envelope;
+    it must parse and still satisfy its own invariants."""
+
+    def _report(self):
+        path = REPO_ROOT / "benchmarks" / "PROBE_ladder.json"
+        return ProbeReport.from_json(json.loads(path.read_text()))
+
+    def test_report_is_ok(self):
+        report = self._report()
+        assert report.hard_oracles_hold
+        assert report.monotone == {"sifting": True, "snapshot": True}
+        assert report.ok
+
+    def test_every_rung_measured_in_ladder_order(self):
+        report = self._report()
+        for rows in report.ladder.values():
+            assert [row["rung"] for row in rows] == list(ADVERSARY_LADDER)
+
+    def test_register_leg_covers_both_algorithms(self):
+        report = self._report()
+        measured = {(row["algorithm"], row["model"])
+                    for row in report.register_models}
+        assert measured == {
+            (algorithm, model)
+            for algorithm in ("sifting", "snapshot")
+            for model in ("atomic", "regular", "safe")
+        }
+
+
+class TestLadderSeparation:
+    def test_oblivious_beats_adaptive_at_fixed_n(self):
+        """The ladder endpoints must separate cleanly for Algorithm 2: an
+        oblivious random schedule keeps the paper's floor; the adaptive
+        pending-reads strategy lands far below it."""
+        n, trials, seed = 8, 150, 2012
+        oblivious = run_conciliator_trials(
+            lambda: SiftingConciliator(n), list(range(n)),
+            schedule_family="random", trials=trials, master_seed=seed,
+        )
+        adaptive = run_conciliator_trials(
+            lambda: SiftingConciliator(n), list(range(n)),
+            schedule_family="random", trials=trials, master_seed=seed,
+            adversary=AdaptiveSpec("pending-reads"),
+        )
+        assert oblivious.validity_failures == 0
+        assert adaptive.validity_failures == 0
+        assert oblivious.agreement_rate - adaptive.agreement_rate > 0.1
+
+    def test_middle_rungs_preserve_validity(self):
+        n, trials, seed = 8, 60, 2012
+        for spec in (
+            AdversarySpec("noisy", inner="pending-reads", noise=0.8),
+            AdversarySpec("late", inner="pending-reads", delay=1),
+        ):
+            stats = run_conciliator_trials(
+                lambda: SiftingConciliator(n), list(range(n)),
+                schedule_family="random", trials=trials, master_seed=seed,
+                adversary=spec,
+            )
+            assert stats.trials == trials
+            assert stats.validity_failures == 0
+
+
+class TestRegularRegisters:
+    def test_algorithms_1_and_2_keep_validity_and_termination(self):
+        """Under declared regular/safe semantics (forced weak reads via
+        p_old=1), agreement may sag but every trial must terminate with a
+        valid decision — the hard oracles of the weakened model."""
+        n, trials, seed = 8, 60, 2012
+        for factory in (
+            lambda: SiftingConciliator(n),
+            lambda: SnapshotConciliator(n),
+        ):
+            for kind in ("regular", "safe"):
+                stats = run_conciliator_trials(
+                    factory, list(range(n)),
+                    schedule_family="random", trials=trials,
+                    master_seed=seed,
+                    register_model=RegisterModel(kind, p_old=1.0),
+                )
+                assert stats.trials == trials   # every trial terminated
+                assert stats.validity_failures == 0
+
+
+def _fragile_programs(n):
+    """A deliberately fragile conciliator: write input, read, decide.
+
+    Under a lockstep round-robin schedule every write completes before any
+    read, so all processes decide the last write and agree.  Any adversary
+    that can pair a process's write with its own immediate read splits the
+    decisions — which is exactly what the noisy and late rungs (wrapping
+    pending-reads) exploit.
+    """
+    shared = AtomicRegister(name="fragile.shared")
+
+    def program(ctx):
+        yield Write(shared, ctx.input_value)
+        return (yield Read(shared))
+
+    return [program] * n
+
+
+def _agreement(result):
+    return len(set(result.outputs.values())) == 1
+
+
+class TestFragileStackCalibration:
+    """Each new adversary family must be able to break a stack that an
+    oblivious lockstep schedule cannot — proof the rungs add real power."""
+
+    N = 4
+    TRIALS = 30
+
+    def test_oblivious_round_robin_cannot_break_it(self):
+        slots = [pid for _ in range(2) for pid in range(self.N)]
+        for trial in range(self.TRIALS):
+            result = run_programs(
+                _fragile_programs(self.N),
+                ExplicitSchedule(slots, n=self.N),
+                SeedTree(trial), inputs=list(range(self.N)),
+            )
+            assert _agreement(result)
+
+    def _break_rate(self, spec):
+        broken = 0
+        for trial in range(self.TRIALS):
+            result = run_adaptive_programs(
+                _fragile_programs(self.N),
+                spec.build(),
+                SeedTree(trial), inputs=list(range(self.N)),
+            )
+            broken += not _agreement(result)
+        return broken / self.TRIALS
+
+    def test_noisy_adversary_breaks_it(self):
+        spec = AdversarySpec("noisy", inner="pending-reads", noise=0.2)
+        assert self._break_rate(spec) > 0.5
+
+    def test_late_adversary_breaks_it(self):
+        spec = AdversarySpec("late", inner="pending-reads", delay=1)
+        assert self._break_rate(spec) > 0.5
+
+
+class TestWorkerInvariance:
+    def test_weakened_sweep_is_worker_invariant(self):
+        n, trials, seed = 6, 40, 7
+        kwargs = dict(
+            schedule_family="random", trials=trials, master_seed=seed,
+            register_model=RegisterModel("regular"),
+            adversary=AdversarySpec("late", inner="pending-reads", delay=1),
+        )
+        serial = run_conciliator_trials(
+            lambda: SiftingConciliator(n), list(range(n)),
+            workers=1, **kwargs,
+        )
+        sharded = run_conciliator_trials(
+            lambda: SiftingConciliator(n), list(range(n)),
+            workers=2, chunk_size=7, **kwargs,
+        )
+        assert serial.agreement_count == sharded.agreement_count
+        assert serial.validity_failures == sharded.validity_failures
+        assert serial.total_steps.mean == sharded.total_steps.mean
+
+    def test_weakened_scenarios_are_pure_functions_of_the_seed(self):
+        config = FuzzConfig(
+            stacks=("sifting",),
+            register_model=RegisterModel("regular"),
+            adversary=AdversarySpec("late", inner="pending-reads", delay=1),
+        )
+        for trial in range(6):
+            first = generate_scenario(99, trial, config)
+            second = generate_scenario(99, trial, config)
+            assert first == second
+            assert first.register_model is not None
+            assert first.adversary is not None
+            outcome_a = run_scenario(first)
+            outcome_b = run_scenario(second)
+            assert outcome_a.status == outcome_b.status
+            assert outcome_a.oracle_names == outcome_b.oracle_names
+
+
+class TestLadderReplay:
+    def test_weakened_scenario_round_trips_through_the_corpus(self, tmp_path):
+        """A scenario pinning both model axes must survive the corpus
+        save/load/replay cycle byte-identically — the contract that makes
+        ladder findings regression-testable."""
+        config = FuzzConfig(
+            stacks=("sifting",),
+            register_model=RegisterModel("safe"),
+            adversary=AdversarySpec("noisy", inner="pending-reads",
+                                    noise=0.8),
+        )
+        scenario = generate_scenario(42, 0, config)
+        outcome = run_scenario(scenario)
+        oracles = outcome.oracle_names or ("wait-freedom",)
+        case = CorpusCase(scenario=scenario, oracles=tuple(oracles),
+                          note="ladder replay test")
+        path = save_case(case, tmp_path)
+        loaded = load_case(path)
+        assert loaded.scenario == scenario
+        if outcome.oracle_names:
+            report = replay_case(loaded)
+            assert report.reproduced
+            assert report.missing == ()

@@ -185,3 +185,85 @@ class TestScheduleSearchBudgets:
     def test_bad_budget_rejected(self):
         with pytest.raises(ConfigurationError, match="max_evaluations"):
             self.search(max_evaluations=0)
+
+
+class TestBanditSearch:
+    def search(self, **kwargs):
+        n = 4
+        rounds = SiftingConciliator(n).rounds
+        return search_worst_schedule(
+            lambda: SiftingConciliator(n),
+            list(range(n)),
+            steps_per_process=rounds,
+            generations=4,
+            mutations_per_generation=3,
+            trials_per_eval=4,
+            master_seed=2,
+            strategy="bandit",
+            **kwargs,
+        )
+
+    def test_rejects_unknown_strategy(self):
+        n = 4
+        with pytest.raises(ConfigurationError, match="strategy"):
+            search_worst_schedule(
+                lambda: SiftingConciliator(n),
+                list(range(n)),
+                steps_per_process=SiftingConciliator(n).rounds,
+                strategy="simulated-annealing",
+            )
+
+    def test_bandit_candidates_never_starve(self):
+        n = 4
+        rounds = SiftingConciliator(n).rounds
+        result = self.search()
+        assert result.strategy == "bandit"
+        # Family candidates carry a fair round-robin tail, so the winner
+        # always grants every process at least its full step budget.
+        for pid in range(n):
+            assert result.schedule.slots.count(pid) >= rounds
+        assert 0.0 <= result.agreement_rate <= 1.0
+
+    def test_bandit_pulls_every_arm_once(self):
+        from repro.workloads.schedules import SCHEDULE_FAMILIES
+
+        result = self.search()
+        expected_arms = set(SCHEDULE_FAMILIES) | {"explicit-mutation"}
+        # 12 pulls over 7 arms: UCB1 initialization touches each arm first.
+        assert set(result.family_pulls) == expected_arms
+        assert sum(result.family_pulls.values()) == result.evaluations - 1
+
+    def test_bandit_is_deterministic(self):
+        first = self.search()
+        second = self.search()
+        assert first.schedule.slots == second.schedule.slots
+        assert first.agreement_rate == second.agreement_rate
+        assert first.family_pulls == second.family_pulls
+
+    def test_hill_climb_pulls_count_as_explicit_mutation(self):
+        n = 4
+        rounds = SiftingConciliator(n).rounds
+        result = search_worst_schedule(
+            lambda: SiftingConciliator(n),
+            list(range(n)),
+            steps_per_process=rounds,
+            generations=2,
+            mutations_per_generation=2,
+            trials_per_eval=4,
+            master_seed=2,
+        )
+        assert result.strategy == "hill-climb"
+        assert result.family_pulls == {"explicit-mutation": 4}
+
+    def test_metrics_telemetry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result = self.search(metrics=registry)
+        assert (registry.counter_value("search.evaluations")
+                == result.evaluations)
+        for arm, pulls in result.family_pulls.items():
+            assert registry.counter_value(
+                "search.family_pulls", family=arm) == pulls
+        histogram = registry.histogram_for("search.best_disagreement")
+        assert histogram is not None

@@ -1,0 +1,290 @@
+"""Unit tests for the register-model semantics layer.
+
+Covers the RegisterModel value object, the SemanticsResolver's
+read-resolution policy (contention windows, read-your-writes, the
+observer escape hatch for idempotent max-register writes), the
+SemanticsInjector hook, the stale-read fault's delegation to
+``stale_value``, and the RegisterSemanticsMonitor's calibration under a
+declared weakening.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.max_register import MaxRegister
+from repro.memory.register import AtomicRegister
+from repro.memory.semantics import (
+    REGISTER_MODEL_KINDS,
+    RegisterModel,
+    SemanticsInjector,
+    stale_value,
+)
+from repro.runtime.faults import FaultPlan, RegisterFault
+from repro.runtime.monitors import RegisterSemanticsMonitor
+from repro.runtime.operations import MaxRead, MaxWrite, Read, Write
+from repro.runtime.rng import SeedTree
+from repro.runtime.scheduler import ExplicitSchedule
+from repro.runtime.simulator import run_programs
+
+
+class TestRegisterModel:
+    def test_kinds_ordering(self):
+        assert REGISTER_MODEL_KINDS == ("atomic", "regular", "safe")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            RegisterModel("linearizable")
+
+    def test_rejects_bad_p_old(self):
+        with pytest.raises(ConfigurationError):
+            RegisterModel("regular", p_old=1.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            RegisterModel("regular", window=0)
+
+    def test_is_atomic(self):
+        assert RegisterModel("atomic").is_atomic
+        assert not RegisterModel("regular").is_atomic
+        assert not RegisterModel("safe").is_atomic
+
+    def test_json_round_trip(self):
+        model = RegisterModel("safe", seed=9, p_old=0.25, window=3)
+        assert RegisterModel.from_json(model.to_json()) == model
+
+    def test_json_version_rejected(self):
+        data = RegisterModel("regular").to_json()
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            RegisterModel.from_json(data)
+
+    def test_hashable_value_object(self):
+        assert RegisterModel("regular", seed=1) == RegisterModel("regular", seed=1)
+        assert hash(RegisterModel("regular", seed=1)) == hash(
+            RegisterModel("regular", seed=1)
+        )
+        assert RegisterModel("regular") != RegisterModel("safe")
+
+
+class TestStaleValue:
+    def test_needs_two_writes(self):
+        assert stale_value([]) is None
+        assert stale_value(["a"]) is None
+
+    def test_serves_previous_value(self):
+        assert stale_value(["a", "b"]) == "a"
+        assert stale_value(["a", "b", "c"]) == "b"
+
+
+class TestSemanticsResolver:
+    def test_atomic_never_weakens(self):
+        resolver = RegisterModel("atomic").resolver()
+        resolver.note_write("r", 0, None, "a")
+        assert resolver.resolve_read("r", 1, "a") == "a"
+        assert resolver.weak_reads == []
+
+    def test_regular_serves_old_value_in_window(self):
+        resolver = RegisterModel("regular", p_old=1.0).resolver()
+        resolver.note_write("r", 0, None, "a")
+        resolver.note_write("r", 0, "a", "b")
+        assert resolver.resolve_read("r", 1, "b") == "a"
+        assert resolver.weak_reads == [("r", 1, "a")]
+
+    def test_read_your_writes(self):
+        resolver = RegisterModel("regular", p_old=1.0).resolver()
+        resolver.note_write("r", 0, None, "a")
+        resolver.note_write("r", 3, "a", "b")
+        assert resolver.resolve_read("r", 3, "b") == "b"
+
+    def test_window_expires(self):
+        resolver = RegisterModel("regular", p_old=1.0, window=1).resolver()
+        resolver.note_write("r", 0, None, "a")
+        resolver.note_write("r", 0, "a", "b")
+        assert resolver.resolve_read("r", 1, "b") == "a"   # in window
+        assert resolver.resolve_read("r", 1, "b") == "b"   # window spent
+
+    def test_note_observed_protects_reader(self):
+        resolver = RegisterModel("regular", p_old=1.0).resolver()
+        resolver.note_write("r", 0, None, "a")
+        resolver.note_observed("r", 1)
+        assert resolver.resolve_read("r", 1, "a") == "a"
+
+    def test_unwritten_cell_reads_current(self):
+        resolver = RegisterModel("regular", p_old=1.0).resolver()
+        assert resolver.resolve_read("r", 1, "init") == "init"
+
+    def test_safe_serves_from_history_domain(self):
+        resolver = RegisterModel("safe", p_old=1.0, seed=5).resolver()
+        resolver.note_write("r", 0, "init", "a")
+        resolver.note_write("r", 0, "a", "b")
+        served = resolver.resolve_read("r", 1, "b", initial="init")
+        assert served in ("init", "a", "b")
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            resolver = RegisterModel("safe", p_old=0.5, seed=seed).resolver()
+            out = []
+            for index in range(20):
+                resolver.note_write("r", 0, index - 1, index)
+                out.append(resolver.resolve_read("r", 1, index, initial=-1))
+            return out
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestBoundObjects:
+    def test_register_weak_read(self):
+        register = AtomicRegister(name="r")
+        register.bind_semantics(RegisterModel("regular", p_old=1.0).resolver())
+        register.apply(Write(register, "a"), pid=0)
+        register.apply(Write(register, "b"), pid=0)
+        assert register.apply(Read(register), pid=1) == "a"
+        assert register.value == "b"  # the weakening never corrupts state
+
+    def test_max_register_noop_write_keeps_read_your_writes(self):
+        """A no-op MaxWrite proves its writer saw the current maximum, so
+        that writer's read must not be served anything older (in
+        particular never the pre-first-write None)."""
+        register = MaxRegister(name="m")
+        register.bind_semantics(RegisterModel("regular", p_old=1.0).resolver())
+        register.apply(MaxWrite(register, 5), pid=0)
+        register.apply(MaxWrite(register, 3), pid=1)  # no-op: 3 < 5
+        assert register.apply(MaxRead(register), pid=1) == 5
+
+    def test_max_register_raising_write_opens_window(self):
+        register = MaxRegister(name="m")
+        register.bind_semantics(RegisterModel("regular", p_old=1.0).resolver())
+        register.apply(MaxWrite(register, 1), pid=0)
+        register.apply(MaxWrite(register, 2), pid=1)
+        # pid 0's completed write of 1 predates pid 1's raise to 2: the
+        # in-window weak read serves the pre-raise maximum, never None.
+        assert register.apply(MaxRead(register), pid=0) == 1
+
+
+def _write_read_programs(register):
+    """Two-process program set: pid writes its input, then reads."""
+
+    def program(ctx):
+        yield Write(register, ("v", ctx.pid))
+        return (yield Read(register))
+
+    return [program, program]
+
+
+class TestSemanticsInjector:
+    def test_injector_binds_and_weakens(self):
+        register = AtomicRegister(name="shared")
+        injector = SemanticsInjector(RegisterModel("regular", p_old=1.0))
+        # P0 writes, P1 writes, P0 reads (in P1's window -> weak), P1 reads.
+        schedule = ExplicitSchedule([0, 1, 0, 1], n=2)
+        result = run_programs(
+            _write_read_programs(register), schedule, SeedTree(0),
+            inputs=[0, 1], hooks=[injector],
+        )
+        assert result.outputs[0] == ("v", 0)  # served the pre-write value
+        assert result.outputs[1] == ("v", 1)  # read-your-writes
+        assert injector.resolver.weak_reads == [("shared", 0, ("v", 0))]
+
+
+class TestStaleReadDelegation:
+    """PR 2's stale-read fault must keep its historical behaviour, now
+    routed through ``stale_value``."""
+
+    def _run_with_fault(self):
+        register = AtomicRegister(name="shared")
+        plan = FaultPlan(
+            register_faults=(
+                RegisterFault("stale-read", obj_name="shared", op_index=0),
+            ),
+            allow_out_of_model=True,
+        )
+        schedule = ExplicitSchedule([0, 1, 1, 0], n=2)
+        return run_programs(
+            _write_read_programs(register), schedule, SeedTree(0),
+            inputs=[0, 1], hooks=[plan.injector()],
+        )
+
+    def test_fault_serves_stale_value_rule(self):
+        result = self._run_with_fault()
+        # Writes land in order P0, P1; the faulted read (P1's, the first
+        # read) serves history[-2] exactly as stale_value defines it.
+        assert result.outputs[1] == stale_value([("v", 0), ("v", 1)])
+        assert result.outputs[0] == ("v", 1)  # unfaulted read is atomic
+
+    def test_fault_outcome_is_reproducible(self):
+        first = self._run_with_fault()
+        second = self._run_with_fault()
+        assert first.outputs == second.outputs
+
+
+class TestMonitorCalibration:
+    """RegisterSemanticsMonitor under a declared weakening: silent on
+    model-permitted reads, loud on undeclared violations."""
+
+    def _run(self, monitor, injector_model=None):
+        register = AtomicRegister(name="shared")
+        hooks = []
+        if injector_model is not None:
+            hooks.append(SemanticsInjector(injector_model))
+        hooks.append(monitor)
+        schedule = ExplicitSchedule([0, 1, 0, 1], n=2)
+        return run_programs(
+            _write_read_programs(register), schedule, SeedTree(0),
+            inputs=[0, 1], hooks=hooks,
+        )
+
+    def test_silent_under_declared_regular(self):
+        model = RegisterModel("regular", p_old=1.0)
+        monitor = RegisterSemanticsMonitor(strict=True, model=model)
+        self._run(monitor, injector_model=model)
+        assert monitor.ok
+
+    def test_silent_under_declared_safe(self):
+        model = RegisterModel("safe", p_old=1.0)
+        monitor = RegisterSemanticsMonitor(strict=True, model=model)
+        self._run(monitor, injector_model=model)
+        assert monitor.ok
+
+    def test_fires_on_undeclared_weakening(self):
+        monitor = RegisterSemanticsMonitor(strict=False)
+        self._run(monitor, injector_model=RegisterModel("regular", p_old=1.0))
+        assert not monitor.ok
+        assert "atomic" in monitor.violations[0].message
+
+    def test_declared_atomic_is_undeclared(self):
+        """Declaring atomic is the default contract, not a license."""
+        monitor = RegisterSemanticsMonitor(
+            strict=False, model=RegisterModel("atomic")
+        )
+        self._run(monitor, injector_model=RegisterModel("regular", p_old=1.0))
+        assert not monitor.ok
+
+    def test_declared_regular_still_catches_out_of_window_staleness(self):
+        """A declared model licenses only in-window weakness; staleness
+        past the window is a real violation."""
+        model = RegisterModel("regular", p_old=1.0, window=1)
+        monitor = RegisterSemanticsMonitor(strict=False, model=model)
+        register = AtomicRegister(name="shared")
+
+        def reader(ctx):
+            yield Write(register, ("v", ctx.pid))
+            first = yield Read(register)
+            second = yield Read(register)
+            return (first, second)
+
+        plan = FaultPlan(
+            register_faults=(
+                RegisterFault("stale-read", obj_name="shared",
+                              op_index=1, count=1),
+            ),
+            allow_out_of_model=True,
+        )
+        # P0 w, P1 w, P1 r (in window, licensed), P1 r (out of window,
+        # faulted stale -> violation), P0 r, P0 r.
+        schedule = ExplicitSchedule([0, 1, 1, 1, 0, 0], n=2)
+        run_programs(
+            [reader, reader], schedule, SeedTree(0), inputs=[0, 1],
+            hooks=[plan.injector(), monitor],
+        )
+        assert not monitor.ok
