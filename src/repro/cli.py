@@ -18,6 +18,10 @@ Installed as ``python -m repro``.  Subcommands:
 - ``bench``        run the curated perf suite, write ``BENCH_<label>.json``
 - ``bench compare`` gate one bench report against another (CI perf gate)
 - ``bench trend``  summarize the append-only BENCH_history.jsonl ledger
+- ``serve``        expose consensus rounds as sessions over a JSON-lines
+  TCP endpoint (the consensus-as-a-service front end)
+- ``loadtest``     replay a seeded open-loop traffic profile against the
+  service on a virtual-time loop and emit a deterministic SLO report
 
 Every command takes ``--seed`` and is fully reproducible; schedules come
 from the named adversary families in ``repro.workloads.schedules``.  Trial
@@ -52,11 +56,13 @@ from repro.core.consensus import (
 from repro.core.sifting_conciliator import SiftingConciliator
 from repro.core.snapshot_conciliator import SnapshotConciliator
 from repro.errors import ReproError
+from repro.fuzz.stacks import service_chaos_names
 from repro.runtime.adaptive import ADAPTIVE_FAMILIES
 from repro.runtime.parallel import parallelism
 from repro.runtime.rng import SeedTree
 from repro.runtime.simulator import run_programs
 from repro.runtime.vectorized import BACKENDS
+from repro.service.loadgen import PROFILES
 from repro.workloads.inputs import standard_input_gallery
 from repro.workloads.schedules import (
     ALL_SCHEDULE_FAMILIES,
@@ -488,6 +494,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_trend.add_argument("--json", action="store_true",
                              help="print the trend summary as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve consensus rounds as sessions over JSON-lines TCP",
+        description="Bind the consensus service to a TCP endpoint: one "
+                    "SessionRequest JSON object per line in, one "
+                    "SessionResponse JSON line out.  Runs the same "
+                    "service code as 'loadtest', on the real clock.",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="TCP port (0 = pick a free one; default 8737)")
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--workers-per-shard", type=int, default=2)
+    serve.add_argument("--queue-capacity", type=int, default=16,
+                       help="max concurrent admitted sessions per shard; "
+                            "the rest are rejected with queue-full")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="service-side randomness seed (retry jitter)")
+    serve.add_argument("--chaos", type=str, default=None, metavar="NAME",
+                       help="inject a named service chaos stack "
+                            f"({', '.join(service_chaos_names())})")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay seeded open-loop traffic and emit an SLO report",
+        description="Drive the consensus service with a deterministic "
+                    "seeded arrival process on a virtual-time event loop. "
+                    "Completes in wall-clock milliseconds regardless of "
+                    "the traffic's virtual duration, and the SLO report "
+                    "is byte-identical for a given seed (modulo the "
+                    "wall_clock section).",
+    )
+    loadtest.add_argument(
+        "--profile", choices=sorted(PROFILES), default="steady",
+        help="arrival shape: steady Poisson, periodic bursts, "
+             "slow-client stalls, or early client drops",
+    )
+    loadtest.add_argument("--sessions", type=int, default=1000,
+                          help="total sessions to offer (default 1000)")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--algorithm", choices=list(CONCILIATORS),
+                          default="sifting")
+    loadtest.add_argument("-n", type=int, default=8,
+                          help="processes per simulated round")
+    loadtest.add_argument("--schedule", type=str, default="permuted",
+                          metavar="FAMILY",
+                          help="schedule family for the rounds "
+                               "(default: permuted)")
+    loadtest.add_argument("--deadline", type=float, default=5.0,
+                          help="per-session budget in virtual seconds")
+    loadtest.add_argument("--chaos", type=str, default=None, metavar="NAME",
+                          help="inject a named service chaos stack "
+                               f"({', '.join(service_chaos_names())})")
+    loadtest.add_argument("--shards", type=int, default=2)
+    loadtest.add_argument("--workers-per-shard", type=int, default=2)
+    loadtest.add_argument("--queue-capacity", type=int, default=16)
+    loadtest.add_argument("--slo-target", type=float, default=1.0,
+                          metavar="SECONDS",
+                          help="latency target defining SLO attainment")
+    loadtest.add_argument("--label", type=str, default="local",
+                          help="report label (default: local)")
+    loadtest.add_argument("--out", type=str, default=None, metavar="PATH",
+                          help="write the SLO report JSON to PATH")
+    loadtest.add_argument("--json", action="store_true",
+                          help="print the full report as JSON on stdout")
+    loadtest.add_argument(
+        "--history", type=str, nargs="?", default=None,
+        const="benchmarks/SLO_history.jsonl", metavar="PATH",
+        help="append this run's tail latency/shed rate/goodput (plus git "
+             "SHA) to the SLO trend ledger at PATH (default when the "
+             "flag is given without a value: benchmarks/SLO_history.jsonl)",
+    )
+    loadtest.add_argument(
+        "--verify-determinism", action="store_true",
+        help="run the loadtest twice and fail unless the deterministic "
+             "views of both reports are byte-identical",
+    )
     return parser
 
 
@@ -1028,6 +1112,108 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config(args: argparse.Namespace) -> "ServiceConfig":
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        queue_capacity=args.queue_capacity,
+        seed=args.seed,
+    )
+
+
+def _resolve_chaos(name: Optional[str]):
+    from repro.fuzz.stacks import get_service_chaos
+
+    return None if name is None else get_service_chaos(name)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ServiceServer
+
+    server = ServiceServer(
+        _service_config(args), chaos=_resolve_chaos(args.chaos)
+    )
+
+    async def run() -> None:
+        await server.start(args.host, args.port)
+        print(f"serving consensus sessions on {args.host}:{server.port} "
+              f"(shards={args.shards}, "
+              f"queue={args.queue_capacity}/shard"
+              + (f", chaos={args.chaos}" if args.chaos else "") + ")")
+        print("protocol: one SessionRequest JSON object per line; "
+              "Ctrl-C to stop")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.service import build_report, render_report, run_loadtest
+    from repro.service.loadgen import PROFILES as _profiles  # noqa: F401
+    from repro.service.slo import (
+        append_slo_history,
+        deterministic_view,
+        write_report,
+    )
+
+    def one_run():
+        result = run_loadtest(
+            profile=args.profile,
+            sessions=args.sessions,
+            seed=args.seed,
+            config=_service_config(args),
+            chaos=_resolve_chaos(args.chaos),
+            algorithm=args.algorithm,
+            n=args.n,
+            schedule_family=args.schedule,
+            deadline=args.deadline,
+        )
+        return build_report(
+            result,
+            label=args.label,
+            slo_target_latency=args.slo_target,
+            chaos_stack=args.chaos,
+        )
+
+    report = one_run()
+    if args.verify_determinism:
+        second = one_run()
+        first_view = json_module.dumps(
+            deterministic_view(report), sort_keys=True
+        )
+        second_view = json_module.dumps(
+            deterministic_view(second), sort_keys=True
+        )
+        if first_view != second_view:
+            print("error: loadtest is not deterministic — two runs with "
+                  "the same seed produced different reports",
+                  file=sys.stderr)
+            return 1
+        print("determinism verified: two runs, identical reports")
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.history:
+        entry = append_slo_history(report, args.history)
+        print(f"appended p99={entry['p99']:.4f}s "
+              f"shed={entry['shed_rate']:.3f} to {args.history}")
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 0 if report["sessions"]["unexpected_errors"] == 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1044,6 +1230,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explain": _cmd_explain,
         "timeline": _cmd_timeline,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "loadtest": _cmd_loadtest,
     }
     try:
         return handlers[args.command](args)

@@ -49,12 +49,16 @@ from repro.runtime.process import Program
 
 __all__ = [
     "GEOMETRIC_PHASES",
+    "SERVICE_CHAOS_STACKS",
     "BuiltStack",
     "StackSpec",
     "conciliator_budget",
+    "get_service_chaos",
     "get_stack",
     "ladder_stack_names",
+    "register_service_chaos",
     "register_stack",
+    "service_chaos_names",
     "stack_names",
 ]
 
@@ -390,3 +394,89 @@ for _base in _LADDER_CONCILIATORS:
                 adversary=_adversary,
                 ladder=True,
             ))
+
+
+# ----- service chaos stacks --------------------------------------------------
+#
+# The service layer (repro.service) is chaos-tested the same declarative
+# way the simulator is fuzzed: a named, committed plan of faults drawn
+# from the service vocabulary in repro.runtime.faults.  These live in
+# their OWN registry — not STACKS — because the fuzzer's seeded stack
+# draw indexes into stack_names(), and inserting service entries there
+# would silently shift every committed corpus scenario onto a different
+# protocol.  ``repro loadtest --chaos NAME`` resolves names here.
+
+#: Service chaos registry (name -> ServiceFaultPlan).
+SERVICE_CHAOS_STACKS: Dict[str, "ServiceFaultPlan"] = {}
+
+
+def register_service_chaos(
+    name: str, plan: "ServiceFaultPlan", *, overwrite: bool = False
+) -> "ServiceFaultPlan":
+    """Register a named service chaos plan for the loadgen.
+
+    Mirrors :func:`register_stack`: duplicate names are refused unless
+    ``overwrite=True``, so experiment configs can rely on a name meaning
+    one plan.
+    """
+    if not overwrite and name in SERVICE_CHAOS_STACKS:
+        raise ConfigurationError(
+            f"service chaos stack {name!r} is already registered; pass "
+            f"overwrite=True to replace it"
+        )
+    SERVICE_CHAOS_STACKS[name] = plan
+    return plan
+
+
+def get_service_chaos(name: str) -> "ServiceFaultPlan":
+    """Look up a registered service chaos plan by name."""
+    try:
+        return SERVICE_CHAOS_STACKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown service chaos stack {name!r}; choose from "
+            f"{tuple(sorted(SERVICE_CHAOS_STACKS))}"
+        ) from None
+
+
+def service_chaos_names() -> Tuple[str, ...]:
+    """Registered service chaos stack names, sorted."""
+    return tuple(sorted(SERVICE_CHAOS_STACKS))
+
+
+from repro.runtime.faults import (  # noqa: E402  (registry block order)
+    ResponseDelayFault,
+    ServiceFaultPlan,
+    ShardBlackoutFault,
+    WorkerKillFault,
+)
+
+# The stock plan behind the committed SLO baseline, timed against the
+# ``burst`` arrival profile (first burst occupies [0, 1.5)):
+# - a shard-0 blackout late in the burst (after sustained overload has
+#   already engaged degraded mode) trips its breaker within milliseconds
+#   (four instant failures), sheds with breaker-open until the cooldown,
+#   then recovers through half-open probes — the full
+#   open/half-open/close cycle the acceptance gate checks;
+# - three worker kills on shard 1 exercise the retry/backoff path
+#   without tripping that breaker (threshold 4);
+# - a response-delay window on shard 1 stretches tail latency while the
+#   service is already degraded, so slow-but-successful attempts appear
+#   in p99.
+register_service_chaos("baseline", ServiceFaultPlan(
+    worker_kills=(WorkerKillFault(shard=1, at=2.0, count=3),),
+    response_delays=(
+        ResponseDelayFault(shard=1, start=1.8, duration=0.4, delay=0.3),
+    ),
+    blackouts=(ShardBlackoutFault(shard=0, start=1.2, duration=0.5),),
+))
+
+# A gentler plan for the steady profile: one kill burst and one short
+# brownout, no breaker trips expected — useful as a chaos smoke test
+# that must NOT change completion counts.
+register_service_chaos("brownout", ServiceFaultPlan(
+    worker_kills=(WorkerKillFault(shard=0, at=1.0, count=2),),
+    response_delays=(
+        ResponseDelayFault(shard=1, start=2.0, duration=0.5, delay=0.1),
+    ),
+))

@@ -144,15 +144,31 @@ class Histogram:
         return ordered[rank]
 
     def merge_from(self, other: "Histogram") -> None:
-        """Fold ``other`` into this histogram (exact moments, then samples)."""
+        """Fold ``other`` into this histogram (exact moments, then samples).
+
+        Before pooling, both sample sets are decimated to the *coarser* of
+        the two strides.  Each retained sample then stands for the same
+        number of observations on both sides, so the pooled list remains an
+        unweighted uniform subsample and quantiles stay unbiased; naively
+        extending would overweight the finer-stride stream (e.g. a 100-
+        observation histogram at stride 1 merged into a 10^4-observation
+        histogram at stride 32 would contribute 100 of ~400 samples while
+        representing under 1% of the mass, dragging p99 toward its values).
+        """
         self.count += other.count
         self.total += other.total
         if other.min is not None and (self.min is None or other.min < self.min):
             self.min = other.min
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
-        self.samples.extend(other.samples)
-        self.stride = max(self.stride, other.stride)
+        other_samples = other.samples
+        other_stride = other.stride
+        while self.stride < other_stride:
+            self._decimate()
+        while other_stride < self.stride:
+            other_samples = other_samples[::2]
+            other_stride *= 2
+        self.samples.extend(other_samples)
         while len(self.samples) > self.max_samples:
             self._decimate()
 

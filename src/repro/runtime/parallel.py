@@ -21,7 +21,11 @@ Design rules that make the engine deterministic:
 The engine degrades gracefully: with ``workers <= 1``, on platforms without
 the ``fork`` start method, or when invoked re-entrantly from inside a worker,
 it runs trials in-process with zero multiprocessing overhead.  Hung or
-failing chunks are retried with exponential backoff in fresh pools; chunks
+failing chunks are retried in fresh pools under capped *full-jitter*
+exponential backoff (:class:`~repro.runtime.backoff.BackoffPolicy` — the
+same policy object the service layer applies to per-session worker
+retries); the jitter stream is seeded from the sweep's ``run_key``, so
+retry timing is a deterministic function of the sweep's identity.  Chunks
 that keep failing are *quarantined* (the rest of the sweep still completes
 and is journaled) and the run then fails loudly — with
 :class:`~repro.errors.StepLimitExceededError` for timeouts, or the chunk's
@@ -46,9 +50,11 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, StepLimitExceededError
+from repro.runtime.backoff import BackoffPolicy
 from repro.runtime.checkpoint import CheckpointJournal
 
 __all__ = [
+    "MAX_RETRY_BACKOFF",
     "ParallelConfig",
     "available_workers",
     "default_chunk_size",
@@ -56,6 +62,7 @@ __all__ = [
     "iter_chunks",
     "parallelism",
     "resolve_workers",
+    "retry_backoff_policy",
     "run_indexed_trials",
     "set_default_parallelism",
     "supports_fork",
@@ -64,6 +71,19 @@ __all__ = [
 #: Chunks handed out per worker when no chunk size is given; several chunks
 #: per worker smooths out trials with uneven runtimes.
 _CHUNKS_PER_WORKER = 4
+
+#: Hard cap on any single retry backoff sleep, in seconds.
+MAX_RETRY_BACKOFF = 30.0
+
+
+def retry_backoff_policy(base: float) -> BackoffPolicy:
+    """The chunk-retry backoff policy for a given base delay.
+
+    Exposed so tests (and the service layer's documentation) can pin the
+    exact policy the trial engine applies: full jitter, ×2 growth, capped
+    at :data:`MAX_RETRY_BACKOFF`.
+    """
+    return BackoffPolicy(base=base, multiplier=2.0, max_delay=MAX_RETRY_BACKOFF)
 
 
 def supports_fork() -> bool:
@@ -133,9 +153,12 @@ class ParallelConfig:
             worker hung; ``None`` waits forever.
         retries: how many times incomplete chunks are re-dispatched in a
             fresh pool before they are quarantined and the run fails.
-        backoff: base delay in seconds before the first re-dispatch;
-            subsequent re-dispatches double it (capped at 30s).  ``0``
-            retries immediately (used by tests).
+        backoff: delay *ceiling* in seconds before the first re-dispatch;
+            the actual sleep is a seeded full-jitter draw from
+            ``[0, ceiling]`` and the ceiling doubles per re-dispatch up to
+            :data:`MAX_RETRY_BACKOFF` (see
+            :class:`~repro.runtime.backoff.BackoffPolicy`).  ``0`` retries
+            immediately (used by tests).
     """
 
     workers: int = 1
@@ -308,7 +331,8 @@ def run_indexed_trials(
         outcomes = _run_chunked_serial(task, chunks, journal)
     else:
         outcomes = _run_sharded(
-            task, chunks, worker_count, timeout, retries, backoff, journal
+            task, chunks, worker_count, timeout, retries, backoff, journal,
+            run_key=run_key,
         )
     return [outcome for chunk in outcomes for outcome in chunk]
 
@@ -340,16 +364,23 @@ def _run_sharded(
     retries: int,
     backoff: float,
     journal: Optional[CheckpointJournal] = None,
+    *,
+    run_key: str = "",
 ) -> List[List[Any]]:
     """Dispatch chunks to a fork pool; retry stragglers; keep chunk order.
 
-    Chunks that time out or raise are re-dispatched in fresh pools with
-    exponential backoff.  When retries are exhausted the surviving chunks
-    have still completed (and been journaled), and the run fails loudly:
-    poison chunks re-raise their own exception, hung chunks raise
+    Chunks that time out or raise are re-dispatched in fresh pools under
+    capped full-jitter exponential backoff; the jitter stream is seeded
+    from ``run_key``, so the delay sequence is a deterministic function of
+    the sweep's identity (and never of wall clock or worker scheduling).
+    When retries are exhausted the surviving chunks have still completed
+    (and been journaled), and the run fails loudly: poison chunks re-raise
+    their own exception, hung chunks raise
     :class:`StepLimitExceededError`.
     """
     global _ACTIVE_TASK
+    policy = retry_backoff_policy(backoff)
+    jitter = BackoffPolicy.rng(0, "parallel-retry", run_key)
     results: List[Optional[List[Any]]] = [None] * len(chunks)
     pending = []
     for index, (start, stop) in enumerate(chunks):
@@ -366,7 +397,7 @@ def _run_sharded(
             if not pending:
                 break
             if attempt > 0 and backoff > 0:
-                time.sleep(min(backoff * 2 ** (attempt - 1), 30.0))
+                time.sleep(policy.delay(attempt - 1, jitter))
             pool = context.Pool(processes=min(workers, len(pending)))
             try:
                 handles = {

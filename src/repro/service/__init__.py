@@ -1,0 +1,70 @@
+"""Consensus as a service: the serving layer over the simulators.
+
+The ROADMAP's framing is a production-scale system; this package is the
+serving half of that story.  It exposes the paper's conciliator/consensus
+rounds as short-lived client *sessions* behind a sharded, deadline-aware,
+load-shedding service (:mod:`repro.service.service`), generates
+deterministic open-loop traffic against it
+(:mod:`repro.service.loadgen`), and reduces each run to a versioned SLO
+report (:mod:`repro.service.slo`).  The loadtest runs on a virtual-time
+event loop (:mod:`repro.service.vtime`), so a multi-minute traffic story
+replays in milliseconds and byte-identically from its seed; ``repro
+serve`` (:mod:`repro.service.server`) runs the identical service code on
+a real loop and socket.
+"""
+
+from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.loadgen import (
+    PROFILES,
+    ArrivalProfile,
+    LoadtestResult,
+    run_loadtest,
+)
+from repro.service.server import ServiceServer, serve
+from repro.service.service import ConsensusService, ServiceConfig
+from repro.service.session import (
+    FAILURE_CODES,
+    REJECTION_CODES,
+    SESSION_STATUSES,
+    SessionRequest,
+    SessionResponse,
+)
+from repro.service.slo import (
+    SLO_SCHEMA_VERSION,
+    build_report,
+    deterministic_view,
+    load_report,
+    render_report,
+    write_report,
+)
+from repro.service.vtime import VirtualTimeEventLoop, run_virtual
+from repro.service.workers import ALGORITHMS, WorkOutcome, execute_session
+
+__all__ = [
+    "ALGORITHMS",
+    "FAILURE_CODES",
+    "PROFILES",
+    "REJECTION_CODES",
+    "SESSION_STATUSES",
+    "SLO_SCHEMA_VERSION",
+    "ArrivalProfile",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ConsensusService",
+    "LoadtestResult",
+    "ServiceConfig",
+    "ServiceServer",
+    "SessionRequest",
+    "SessionResponse",
+    "VirtualTimeEventLoop",
+    "WorkOutcome",
+    "build_report",
+    "deterministic_view",
+    "execute_session",
+    "load_report",
+    "render_report",
+    "run_loadtest",
+    "run_virtual",
+    "serve",
+    "write_report",
+]

@@ -1,0 +1,147 @@
+"""Per-shard circuit breaker with half-open probing.
+
+A shard that keeps failing (blacked out, overloaded, or chaos-killed)
+should not keep receiving sessions: every attempt it eats burns a chunk
+of some client's deadline before failing, which is strictly worse than an
+instant ``Rejected(breaker-open)`` the client can route around.  The
+breaker implements the standard three-state machine:
+
+- **closed** — healthy; failures are counted, ``failure_threshold``
+  consecutive ones trip the breaker;
+- **open** — every admission is refused for ``cooldown`` service-clock
+  seconds, giving the shard time to recover;
+- **half-open** — after the cooldown, up to ``half_open_probes`` sessions
+  are let through as probes; a single failure re-opens the breaker (with
+  a fresh cooldown), while ``half_open_probes`` successes close it.
+
+The breaker is driven entirely by explicit ``(event, now)`` calls — it
+never reads a clock itself — so under the virtual-time loadtest its
+transitions are deterministic, and its transition counters
+(``opened``/``half_opened``/``closed``) land in the SLO report as
+first-class evidence that the overload story actually exercised all
+three states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "BreakerConfig", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one shard's circuit breaker.
+
+    Attributes:
+        failure_threshold: consecutive failures that trip a closed breaker.
+        cooldown: seconds an open breaker refuses admissions before
+            allowing half-open probes.
+        half_open_probes: successful probes required to close again (and
+            the concurrent probe budget while half-open).
+    """
+
+    failure_threshold: int = 4
+    cooldown: float = 1.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, "
+                f"got {self.failure_threshold}"
+            )
+        if self.cooldown <= 0:
+            raise ConfigurationError(
+                f"cooldown must be > 0, got {self.cooldown}"
+            )
+        if self.half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """One shard's three-state breaker, clocked by its caller."""
+
+    def __init__(self, config: BreakerConfig):
+        self.config = config
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        # Transition counters, reported in the SLO artifact.
+        self.opened = 0
+        self.half_opened = 0
+        self.closed_again = 0
+
+    def allow(self, now: float) -> bool:
+        """May a session be admitted to this shard at ``now``?
+
+        Admission to a half-open breaker reserves one probe slot; the
+        caller must report the probe's fate via :meth:`record_success` or
+        :meth:`record_failure` to release it.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self._opened_at >= self.config.cooldown:
+                self.state = HALF_OPEN
+                self.half_opened += 1
+                self._probes_in_flight = 0
+                self._probe_successes = 0
+            else:
+                return False
+        # half-open: admit only while probe slots remain.
+        if self._probes_in_flight < self.config.half_open_probes:
+            self._probes_in_flight += 1
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        """A served session (or probe) succeeded."""
+        if self.state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.half_open_probes:
+                self.state = CLOSED
+                self.closed_again += 1
+                self._consecutive_failures = 0
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """A served session (or probe) failed; may trip or re-open."""
+        if self.state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._trip(now)
+        elif self.state == CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.config.failure_threshold:
+                self._trip(now)
+        # failures reported while already open (late in-flight results)
+        # extend nothing: the cooldown runs from the trip that opened it.
+
+    def _trip(self, now: float) -> None:
+        self.state = OPEN
+        self.opened += 1
+        self._opened_at = now
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+
+    def to_json(self) -> Dict[str, Any]:
+        """Transition counters + final state for the SLO report."""
+        return {
+            "state": self.state,
+            "opened": self.opened,
+            "half_opened": self.half_opened,
+            "closed_again": self.closed_again,
+        }

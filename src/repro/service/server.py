@@ -1,0 +1,132 @@
+"""A JSON-lines TCP front end for the consensus service.
+
+``repro serve`` binds this server to a host/port and answers one
+:class:`~repro.service.session.SessionRequest` JSON object per line with
+one :class:`~repro.service.session.SessionResponse` JSON line.  The
+protocol is deliberately primitive — newline-delimited JSON over TCP, no
+framing negotiation, no TLS — because the server's job is to demonstrate
+the *service* semantics (admission, deadlines, breakers, degradation) on
+a real event loop, not to be a production transport.
+
+Malformed lines get an error object (``{"error": ...}``) rather than a
+dropped connection: a load generator mid-run should see its own bug, not
+a mysterious reset.  The server runs the same :class:`ConsensusService`
+code the virtual-time loadtest drives, so behaviour differences between
+``repro serve`` and ``repro loadtest`` reduce to the clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.faults import ServiceFaultPlan
+from repro.service.service import ConsensusService, ServiceConfig
+from repro.service.session import SessionRequest
+
+__all__ = ["ServiceServer", "serve"]
+
+
+class ServiceServer:
+    """One bound TCP endpoint wrapping a :class:`ConsensusService`."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        chaos: Optional[ServiceFaultPlan] = None,
+    ):
+        self.service = ConsensusService(
+            config, metrics=metrics, chaos=chaos
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when started on port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() before serve_forever()")
+        await self._server.serve_forever()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._answer(line)
+                writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client hung up mid-line; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _answer(self, line: bytes) -> str:
+        try:
+            request = SessionRequest.from_json(json.loads(line))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            return json.dumps(
+                {"error": f"malformed request line: {error}"},
+                sort_keys=True,
+            )
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            return json.dumps(
+                {"error": f"invalid session request: {error}"},
+                sort_keys=True,
+            )
+        try:
+            response = await self.service.submit(request)
+        except ReproError as error:
+            # Configuration errors (unknown algorithm, bad family) are the
+            # client's fault; report them without killing the connection.
+            return json.dumps(
+                {
+                    "error": str(error),
+                    "session_id": request.session_id,
+                },
+                sort_keys=True,
+            )
+        return json.dumps(response.to_json(), sort_keys=True)
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8737,
+    *,
+    config: Optional[ServiceConfig] = None,
+    chaos: Optional[ServiceFaultPlan] = None,
+) -> None:
+    """Bind and serve until cancelled (the ``repro serve`` entry point)."""
+    server = ServiceServer(config, chaos=chaos)
+    await server.start(host, port)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

@@ -1,0 +1,526 @@
+"""The consensus service: admission control, retries, breakers, degradation.
+
+:class:`ConsensusService` turns the repo's simulators into a served
+system: clients submit :class:`~repro.service.session.SessionRequest`\\ s,
+sharded workers run the rounds, and every robustness decision the ISSUE
+names happens here, in one place, in deterministic order:
+
+- **Bounded admission** — each shard admits at most ``queue_capacity``
+  concurrent sessions; the rest get an instant
+  ``Rejected(code="queue-full")`` instead of unbounded queueing (the
+  load-shedding half of backpressure).
+- **Deadline budgets** — a session's ``deadline`` is a total budget
+  covering queue wait, client stalls, every retry attempt, and backoff.
+  Each worker call's timeout is ``min(attempt_timeout, remaining)`` — the
+  invariant the deadline-propagation tests pin — so no attempt can
+  outlive its session.
+- **Retries with capped full jitter** — transient worker failures (chaos
+  kills, blackouts, timeouts) retry up to ``max_attempts`` times under
+  the same :class:`~repro.runtime.backoff.BackoffPolicy` object the
+  parallel sweep engine uses, with per-session seeded jitter.
+- **Circuit breakers** — one :class:`~repro.service.breaker.CircuitBreaker`
+  per shard, consulted at admission, fed by attempt outcomes; an open
+  breaker sheds with ``Rejected(code="breaker-open")``.
+- **Graceful degradation** — when queue occupancy stays above
+  ``degrade_watermark`` for ``degrade_after`` seconds, eligible sessions
+  fall back from the generator simulator to the ~50× vectorized backend;
+  the response carries ``degraded=True`` so the downgrade is never
+  silent.  Occupancy back under ``degrade_recover`` restores normal mode.
+
+**The cost model.**  Simulated rounds are CPU-bound, so the service never
+measures wall clock: an attempt's *service time* is computed from the
+round's charged step count as ``dispatch_overhead + steps /
+worker_steps_per_sec`` (divided by ``vectorized_speedup`` on the degraded
+path, matching the ~52× speedup PR 6 measured) plus any chaos response
+delay, and then *slept* on the event loop.  Under the virtual-time loop
+(:mod:`repro.service.vtime`) those sleeps are instant and exact, which
+makes a whole loadtest a pure function of its seeds; under a real loop
+(``repro serve``) the same sleeps model a realistically loaded backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.backoff import BackoffPolicy
+from repro.runtime.faults import ServiceFaultController, ServiceFaultPlan
+from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.session import (
+    FAILED,
+    FAILED_CLIENT_DROP,
+    FAILED_DEADLINE,
+    FAILED_WORKER,
+    REJECTED,
+    REJECTED_BREAKER_OPEN,
+    REJECTED_DEADLINE,
+    REJECTED_QUEUE_FULL,
+    SessionRequest,
+    SessionResponse,
+)
+from repro.service.workers import execute_session, vectorized_eligible
+
+__all__ = ["ConsensusService", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for one :class:`ConsensusService` instance.
+
+    Attributes:
+        shards: worker shards; sessions route by ``session_id % shards``.
+        workers_per_shard: concurrent worker slots per shard.
+        queue_capacity: max concurrent admitted sessions per shard
+            (queued + in service); more means queue-full shedding.
+        worker_steps_per_sec: cost model — simulated charged steps one
+            worker retires per service-clock second.
+        vectorized_speedup: cost-model divisor for degraded attempts
+            (PR 6 measured ~52× on sweep workloads).
+        dispatch_overhead: fixed per-attempt overhead seconds.
+        attempt_timeout: per-attempt timeout ceiling; the effective
+            timeout is ``min(attempt_timeout, remaining budget)``.
+        max_attempts: worker attempts per session before giving up.
+        backoff: retry backoff policy, shared shape with the sweep engine.
+        breaker: per-shard circuit breaker configuration.
+        degrade_watermark: queue occupancy fraction that starts the
+            overload clock.
+        degrade_after: seconds occupancy must stay above the watermark
+            before degraded mode engages.
+        degrade_recover: occupancy fraction at or below which degraded
+            mode disengages.
+        seed: master seed for service-side randomness (retry jitter).
+        record_calls: when True, log every worker call's
+            ``(session_id, shard, attempt, timeout, remaining)`` for the
+            deadline-propagation tests.
+    """
+
+    shards: int = 2
+    workers_per_shard: int = 2
+    queue_capacity: int = 16
+    worker_steps_per_sec: float = 20_000.0
+    vectorized_speedup: float = 50.0
+    dispatch_overhead: float = 0.001
+    attempt_timeout: float = 0.5
+    max_attempts: int = 3
+    backoff: BackoffPolicy = field(
+        default_factory=lambda: BackoffPolicy(base=0.05, max_delay=0.5)
+    )
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    degrade_watermark: float = 0.75
+    degrade_after: float = 0.5
+    degrade_recover: float = 0.25
+    seed: int = 0
+    record_calls: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.workers_per_shard < 1:
+            raise ConfigurationError(
+                f"workers_per_shard must be >= 1, "
+                f"got {self.workers_per_shard}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.worker_steps_per_sec <= 0:
+            raise ConfigurationError(
+                f"worker_steps_per_sec must be > 0, "
+                f"got {self.worker_steps_per_sec}"
+            )
+        if self.vectorized_speedup < 1:
+            raise ConfigurationError(
+                f"vectorized_speedup must be >= 1, "
+                f"got {self.vectorized_speedup}"
+            )
+        if self.dispatch_overhead < 0:
+            raise ConfigurationError(
+                f"dispatch_overhead must be >= 0, "
+                f"got {self.dispatch_overhead}"
+            )
+        if self.attempt_timeout <= 0:
+            raise ConfigurationError(
+                f"attempt_timeout must be > 0, got {self.attempt_timeout}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not 0 < self.degrade_watermark <= 1:
+            raise ConfigurationError(
+                f"degrade_watermark must be in (0, 1], "
+                f"got {self.degrade_watermark}"
+            )
+        if self.degrade_after < 0:
+            raise ConfigurationError(
+                f"degrade_after must be >= 0, got {self.degrade_after}"
+            )
+        if not 0 <= self.degrade_recover < self.degrade_watermark:
+            raise ConfigurationError(
+                f"degrade_recover must be in [0, degrade_watermark), "
+                f"got {self.degrade_recover}"
+            )
+
+
+class _Shard:
+    """One shard's breaker, worker slots, and occupancy accounting."""
+
+    def __init__(self, config: ServiceConfig):
+        self.breaker = CircuitBreaker(config.breaker)
+        self.workers = asyncio.Semaphore(config.workers_per_shard)
+        self.occupancy = 0
+
+
+class ConsensusService:
+    """Sharded, deadline-aware, degradable consensus-round service.
+
+    One instance serves one event loop (virtual or real).  All state is
+    loop-confined — no locks beyond the worker semaphores — and every
+    decision consults the loop clock, so the same request stream replays
+    identically on the virtual loop.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        chaos: Optional[ServiceFaultPlan] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.chaos: Optional[ServiceFaultController] = (
+            None if chaos is None or chaos.is_empty else chaos.controller()
+        )
+        self._shards = [_Shard(self.config) for _ in range(self.config.shards)]
+        # Degraded-mode state: the overload clock starts when occupancy
+        # crosses the watermark and the mode flips after degrade_after.
+        self.degraded = False
+        self._overload_since: Optional[float] = None
+        self._degraded_entered_at = 0.0
+        self.degraded_entries = 0
+        self.degraded_seconds = 0.0
+        #: Worker-call audit log (deadline-propagation tests).
+        self.calls: List[Dict[str, Any]] = []
+
+    # -- introspection -------------------------------------------------------
+
+    def shard_for(self, session_id: int) -> int:
+        return session_id % self.config.shards
+
+    def breaker(self, shard: int) -> CircuitBreaker:
+        return self._shards[shard].breaker
+
+    @property
+    def total_occupancy(self) -> int:
+        return sum(shard.occupancy for shard in self._shards)
+
+    def snapshot(self, now: float) -> Dict[str, Any]:
+        """Breaker and degradation state for the SLO report."""
+        self._settle_degraded(now)
+        return {
+            "breakers": {
+                str(index): shard.breaker.to_json()
+                for index, shard in enumerate(self._shards)
+            },
+            "degraded_mode": {
+                "active": self.degraded,
+                "entered": self.degraded_entries,
+                "virtual_seconds": self.degraded_seconds,
+            },
+        }
+
+    # -- degradation clock ---------------------------------------------------
+
+    def _capacity(self) -> int:
+        return self.config.shards * self.config.queue_capacity
+
+    def _update_overload(self, now: float) -> None:
+        fraction = self.total_occupancy / self._capacity()
+        if self.degraded:
+            if fraction <= self.config.degrade_recover:
+                self.degraded = False
+                self.degraded_seconds += now - self._degraded_entered_at
+                self._overload_since = None
+                self.metrics.counter("service.degraded", event="exit").inc()
+            return
+        if fraction >= self.config.degrade_watermark:
+            if self._overload_since is None:
+                self._overload_since = now
+            elif now - self._overload_since >= self.config.degrade_after:
+                self.degraded = True
+                self.degraded_entries += 1
+                self._degraded_entered_at = now
+                self.metrics.counter("service.degraded", event="enter").inc()
+        else:
+            self._overload_since = None
+
+    def _settle_degraded(self, now: float) -> None:
+        """Fold any still-open degraded window into the seconds counter."""
+        if self.degraded:
+            self.degraded_seconds += now - self._degraded_entered_at
+            self._degraded_entered_at = now
+
+    # -- the session lifecycle ----------------------------------------------
+
+    async def submit(
+        self,
+        request: SessionRequest,
+        *,
+        client_stall: float = 0.0,
+        drop_at: Optional[float] = None,
+    ) -> SessionResponse:
+        """Serve one session to a terminal response.
+
+        ``client_stall`` models a slow client: the budget burns for that
+        long between admission and the first attempt.  ``drop_at`` models
+        a client hanging up at that loop time: the service still finishes
+        the work (capacity is spent either way — the real cost of drops),
+        but a completion after the hangup is reported as
+        ``failed/client-drop`` because nobody received it.
+        """
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        shard_index = self.shard_for(request.session_id)
+        shard = self._shards[shard_index]
+
+        # Admission: breaker first (cheapest signal of a sick shard), then
+        # queue bound, then a deadline sanity check — a budget too small to
+        # cover even the dispatch overhead can never be met, and rejecting
+        # it up front costs nothing.
+        if not shard.breaker.allow(now):
+            return self._reject(request, shard_index, REJECTED_BREAKER_OPEN)
+        if shard.occupancy >= self.config.queue_capacity:
+            self._probe_cancelled(shard, now)
+            return self._reject(request, shard_index, REJECTED_QUEUE_FULL)
+        if request.deadline <= self.config.dispatch_overhead:
+            self._probe_cancelled(shard, now)
+            return self._reject(request, shard_index, REJECTED_DEADLINE)
+
+        shard.occupancy += 1
+        self._update_overload(now)
+        self.metrics.counter("service.admitted").inc()
+        admitted_at = now
+        deadline_at = admitted_at + request.deadline
+        try:
+            response = await self._serve(
+                request, shard_index, shard, admitted_at, deadline_at,
+                client_stall,
+            )
+        finally:
+            shard.occupancy -= 1
+            self._update_overload(loop.time())
+
+        if (
+            response.status == "completed"
+            and drop_at is not None
+            and loop.time() > drop_at
+        ):
+            # The round finished, but the client was gone: spent capacity
+            # with zero goodput.  Do not count it as a completion.
+            response = SessionResponse(
+                session_id=request.session_id,
+                status=FAILED,
+                code=FAILED_CLIENT_DROP,
+                shard=shard_index,
+                attempts=response.attempts,
+                latency=response.latency,
+                degraded=response.degraded,
+                backend=response.backend,
+            )
+        self._count(response)
+        return response
+
+    async def _serve(
+        self,
+        request: SessionRequest,
+        shard_index: int,
+        shard: _Shard,
+        admitted_at: float,
+        deadline_at: float,
+        client_stall: float,
+    ) -> SessionResponse:
+        loop = asyncio.get_running_loop()
+        jitter = BackoffPolicy.rng(
+            self.config.seed, "service", str(request.session_id)
+        )
+        degraded_session = False
+        if client_stall > 0:
+            await asyncio.sleep(
+                min(client_stall, max(0.0, deadline_at - loop.time()))
+            )
+        for attempt in range(self.config.max_attempts):
+            ok = False
+            remaining = deadline_at - loop.time()
+            if remaining <= 0:
+                return self._failed(
+                    request, shard_index, FAILED_DEADLINE, attempt,
+                    admitted_at, loop.time(), degraded_session,
+                )
+            # Queue wait burns budget too: give up when the deadline
+            # passes before a worker slot frees up.
+            try:
+                await asyncio.wait_for(
+                    shard.workers.acquire(), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                return self._failed(
+                    request, shard_index, FAILED_DEADLINE, attempt,
+                    admitted_at, loop.time(), degraded_session,
+                )
+            try:
+                now = loop.time()
+                remaining = deadline_at - now
+                if remaining <= 0:
+                    return self._failed(
+                        request, shard_index, FAILED_DEADLINE, attempt,
+                        admitted_at, now, degraded_session,
+                    )
+                # THE deadline-propagation invariant: a worker call's
+                # timeout never exceeds the session's remaining budget.
+                timeout = min(self.config.attempt_timeout, remaining)
+                if self.config.record_calls:
+                    self.calls.append({
+                        "session_id": request.session_id,
+                        "shard": shard_index,
+                        "attempt": attempt,
+                        "timeout": timeout,
+                        "remaining": remaining,
+                    })
+                self.metrics.counter("service.attempts").inc()
+
+                injected = (
+                    self.chaos.attempt_failure(shard_index, now)
+                    if self.chaos is not None
+                    else None
+                )
+                if injected is not None:
+                    # Chaos failures are near-instant: the worker dies on
+                    # dispatch rather than mid-round.
+                    await asyncio.sleep(
+                        min(self.config.dispatch_overhead, timeout)
+                    )
+                    self.metrics.counter(
+                        "service.chaos", kind=injected
+                    ).inc()
+                    shard.breaker.record_failure(loop.time())
+                    ok = False
+                else:
+                    use_vectorized = self.degraded and vectorized_eligible(
+                        request
+                    )
+                    degraded_session = degraded_session or use_vectorized
+                    backend = "vectorized" if use_vectorized else "generator"
+                    outcome = execute_session(request, backend=backend)
+                    duration = self._service_time(
+                        outcome.steps, backend, shard_index, now
+                    )
+                    if duration > timeout:
+                        # The attempt is abandoned at its timeout; the
+                        # worker slot was held for the whole window.
+                        await asyncio.sleep(timeout)
+                        shard.breaker.record_failure(loop.time())
+                        ok = False
+                    else:
+                        await asyncio.sleep(duration)
+                        finished = loop.time()
+                        shard.breaker.record_success(finished)
+                        return SessionResponse(
+                            session_id=request.session_id,
+                            status="completed",
+                            shard=shard_index,
+                            attempts=attempt + 1,
+                            latency=finished - admitted_at,
+                            degraded=degraded_session,
+                            backend=backend,
+                            result=outcome.to_json(),
+                        )
+            finally:
+                shard.workers.release()
+            if not ok and attempt + 1 < self.config.max_attempts:
+                delay = self.config.backoff.delay(attempt, jitter)
+                remaining = deadline_at - loop.time()
+                if remaining <= 0:
+                    return self._failed(
+                        request, shard_index, FAILED_DEADLINE, attempt + 1,
+                        admitted_at, loop.time(), degraded_session,
+                    )
+                await asyncio.sleep(min(delay, remaining))
+        return self._failed(
+            request, shard_index, FAILED_WORKER, self.config.max_attempts,
+            admitted_at, loop.time(), degraded_session,
+        )
+
+    def _service_time(
+        self, steps: float, backend: str, shard_index: int, now: float
+    ) -> float:
+        duration = steps / self.config.worker_steps_per_sec
+        if backend == "vectorized":
+            duration /= self.config.vectorized_speedup
+        duration += self.config.dispatch_overhead
+        if self.chaos is not None:
+            duration += self.chaos.extra_delay(shard_index, now)
+        return duration
+
+    def _probe_cancelled(self, shard: _Shard, now: float) -> None:
+        """Release a half-open probe slot reserved by ``allow`` when a
+        later admission check bounced the session before any attempt."""
+        if shard.breaker.state == "half-open":
+            shard.breaker._probes_in_flight = max(
+                0, shard.breaker._probes_in_flight - 1
+            )
+
+    def _reject(
+        self, request: SessionRequest, shard_index: int, code: str
+    ) -> SessionResponse:
+        response = SessionResponse(
+            session_id=request.session_id,
+            status=REJECTED,
+            code=code,
+            shard=shard_index,
+        )
+        self._count(response)
+        return response
+
+    def _failed(
+        self,
+        request: SessionRequest,
+        shard_index: int,
+        code: str,
+        attempts: int,
+        admitted_at: float,
+        now: float,
+        degraded: bool,
+    ) -> SessionResponse:
+        return SessionResponse(
+            session_id=request.session_id,
+            status=FAILED,
+            code=code,
+            shard=shard_index,
+            attempts=attempts,
+            latency=now - admitted_at,
+            degraded=degraded,
+        )
+
+    def _count(self, response: SessionResponse) -> None:
+        if response.status == "completed":
+            self.metrics.counter(
+                "service.completed", backend=response.backend or "generator"
+            ).inc()
+            self.metrics.histogram("service.latency").observe(
+                response.latency
+            )
+            if response.degraded:
+                self.metrics.counter("service.degraded_sessions").inc()
+        elif response.status == REJECTED:
+            self.metrics.counter(
+                "service.rejected", reason=response.code or ""
+            ).inc()
+        else:
+            self.metrics.counter(
+                "service.failed", code=response.code or ""
+            ).inc()

@@ -1,0 +1,263 @@
+"""SLO report: one loadtest run reduced to a versioned JSON artifact.
+
+The report is the service layer's analogue of the sweep records in
+:mod:`repro.analysis.records`: a self-describing, schema-versioned JSON
+document that CI can gate on and the trend ledger can track.  Its
+determinism contract is explicit: every field except the ``wall_clock``
+section is a pure function of the loadtest's seeded inputs, so
+:func:`deterministic_view` (the report minus ``wall_clock``) must be
+byte-identical across runs and machines — the committed
+``benchmarks/SLO_baseline.json`` is diffed exactly that way in CI.
+
+Latency percentiles are computed here from the full response list with
+the nearest-rank rule (not from the decimated
+:class:`~repro.obs.metrics.Histogram`), because the committed baseline
+should pin exact values; the metrics snapshot rides along for the trend
+ledger and for operators who want the full registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.service.loadgen import LoadtestResult
+from repro.service.session import (
+    COMPLETED,
+    FAILED,
+    FAILURE_CODES,
+    REJECTED,
+    REJECTION_CODES,
+)
+
+__all__ = [
+    "SLO_SCHEMA_VERSION",
+    "append_slo_history",
+    "build_report",
+    "deterministic_view",
+    "load_report",
+    "render_report",
+    "slo_history_entry",
+    "write_report",
+]
+
+SLO_SCHEMA_VERSION = 1
+
+_HISTORY_KIND = "repro-slo-history"
+
+#: Fields excluded from the determinism contract (and the CI byte-diff).
+_NONDETERMINISTIC_KEYS = ("wall_clock",)
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def build_report(
+    result: LoadtestResult,
+    *,
+    label: str = "",
+    slo_target_latency: float = 1.0,
+    chaos_stack: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Reduce one :class:`~repro.service.loadgen.LoadtestResult` to JSON.
+
+    ``slo_target_latency`` defines attainment: the fraction of *offered*
+    sessions that completed within the target — rejected and failed
+    sessions count against the SLO, which is the point of measuring it
+    under overload.
+    """
+    if slo_target_latency <= 0:
+        raise ConfigurationError(
+            f"slo_target_latency must be > 0, got {slo_target_latency}"
+        )
+    offered = result.sessions
+    completed = [r for r in result.responses if r.status == COMPLETED]
+    rejected = [r for r in result.responses if r.status == REJECTED]
+    failed = [r for r in result.responses if r.status == FAILED]
+    latencies = sorted(r.latency for r in completed)
+    within = sum(1 for value in latencies if value <= slo_target_latency)
+    config = result.config
+    report = {
+        "v": SLO_SCHEMA_VERSION,
+        "label": label,
+        "seed": result.seed,
+        "profile": result.profile,
+        "chaos_stack": chaos_stack,
+        "config": {
+            "shards": config.shards,
+            "workers_per_shard": config.workers_per_shard,
+            "queue_capacity": config.queue_capacity,
+            "worker_steps_per_sec": config.worker_steps_per_sec,
+            "vectorized_speedup": config.vectorized_speedup,
+            "attempt_timeout": config.attempt_timeout,
+            "max_attempts": config.max_attempts,
+            "degrade_watermark": config.degrade_watermark,
+        },
+        "sessions": {
+            "offered": offered,
+            "admitted": offered - len(rejected),
+            "completed": len(completed),
+            "rejected": {
+                code: sum(1 for r in rejected if r.code == code)
+                for code in REJECTION_CODES
+            },
+            "failed": {
+                code: sum(1 for r in failed if r.code == code)
+                for code in FAILURE_CODES
+            },
+            "degraded": sum(1 for r in completed if r.degraded),
+            "unexpected_errors": result.unexpected_errors,
+        },
+        "latency": {
+            "p50": _quantile(latencies, 0.50),
+            "p95": _quantile(latencies, 0.95),
+            "p99": _quantile(latencies, 0.99),
+            "mean": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "duration_virtual_seconds": result.duration,
+        "goodput_per_sec": (
+            len(completed) / result.duration if result.duration > 0 else 0.0
+        ),
+        "shed_rate": len(rejected) / offered if offered else 0.0,
+        "slo": {
+            "target_latency": slo_target_latency,
+            "attainment": within / offered if offered else 0.0,
+        },
+        "breakers": result.service_snapshot["breakers"],
+        "degraded_mode": result.service_snapshot["degraded_mode"],
+        "metrics": result.metrics.to_json(),
+        "wall_clock": {
+            "generated_unix": time.time(),
+        },
+    }
+    return report
+
+
+def deterministic_view(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The report minus its wall-clock fields — the byte-diffable part."""
+    return {
+        key: value
+        for key, value in report.items()
+        if key not in _NONDETERMINISTIC_KEYS
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write a report as canonical JSON (sorted keys, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read a report back, refusing foreign schema versions."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict) or report.get("v") != SLO_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported SLO report version "
+            f"{report.get('v') if isinstance(report, dict) else report!r}; "
+            f"this build reads version {SLO_SCHEMA_VERSION}"
+        )
+    return report
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """A terminal-friendly summary of one SLO report."""
+    sessions = report["sessions"]
+    latency = report["latency"]
+    lines = [
+        f"SLO report{' ' + report['label'] if report['label'] else ''} "
+        f"(profile={report['profile']}, seed={report['seed']})",
+        f"  sessions   offered={sessions['offered']} "
+        f"completed={sessions['completed']} "
+        f"degraded={sessions['degraded']} "
+        f"unexpected={sessions['unexpected_errors']}",
+        f"  rejected   " + " ".join(
+            f"{code}={count}"
+            for code, count in sorted(sessions["rejected"].items())
+        ),
+        f"  failed     " + " ".join(
+            f"{code}={count}"
+            for code, count in sorted(sessions["failed"].items())
+        ),
+        f"  latency    p50={latency['p50']:.4f}s p95={latency['p95']:.4f}s "
+        f"p99={latency['p99']:.4f}s max={latency['max']:.4f}s",
+        f"  goodput    {report['goodput_per_sec']:.1f}/s over "
+        f"{report['duration_virtual_seconds']:.2f} virtual seconds",
+        f"  shed rate  {report['shed_rate']:.3f}",
+        f"  slo        {report['slo']['attainment']:.3f} within "
+        f"{report['slo']['target_latency']:.2f}s",
+    ]
+    for shard, breaker in sorted(report["breakers"].items()):
+        lines.append(
+            f"  breaker[{shard}] state={breaker['state']} "
+            f"opened={breaker['opened']} "
+            f"half_opened={breaker['half_opened']} "
+            f"closed_again={breaker['closed_again']}"
+        )
+    degraded = report["degraded_mode"]
+    lines.append(
+        f"  degraded   entered={degraded['entered']} "
+        f"virtual_seconds={degraded['virtual_seconds']:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def slo_history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Distill one SLO report to a trend-ledger line.
+
+    The same append-only JSONL discipline as the bench ledger
+    (:mod:`repro.obs.trend`): one compact line per run, carrying the
+    handful of numbers worth trending (tail latency, shed rate, goodput,
+    attainment) plus enough identity (seed, profile, git SHA) to explain
+    a shift.
+    """
+    from repro.obs.bench import _git_sha
+
+    if "sessions" not in report or "latency" not in report:
+        raise ConfigurationError(
+            "not an SLO report: missing 'sessions'/'latency'; build one "
+            "with build_report"
+        )
+    return {
+        "v": SLO_SCHEMA_VERSION,
+        "kind": _HISTORY_KIND,
+        "label": report.get("label", ""),
+        "seed": report.get("seed"),
+        "profile": report.get("profile"),
+        "chaos_stack": report.get("chaos_stack"),
+        "git_sha": _git_sha(),
+        "created_unix": report.get("wall_clock", {}).get("generated_unix"),
+        "p50": report["latency"]["p50"],
+        "p99": report["latency"]["p99"],
+        "shed_rate": report["shed_rate"],
+        "goodput_per_sec": report["goodput_per_sec"],
+        "attainment": report["slo"]["attainment"],
+        "unexpected_errors": report["sessions"]["unexpected_errors"],
+    }
+
+
+def append_slo_history(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Append one report's ledger line to ``path``; returns the entry."""
+    import os
+
+    entry = slo_history_entry(report)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True,
+                                separators=(",", ":")))
+        handle.write("\n")
+    return entry

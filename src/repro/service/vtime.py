@@ -1,0 +1,99 @@
+"""A deterministic virtual-time asyncio event loop for traffic replay.
+
+The loadtest's acceptance bar is *byte-identical SLO reports from the same
+seed* — on any machine, at any load.  A real event loop cannot deliver
+that: wall-clock timer expiry interleaves with CPU speed, so two runs of
+the same seeded arrival process admit and time out sessions in different
+orders.  The fix is the classic discrete-event trick, applied to asyncio
+itself: run a single-threaded selector loop whose clock is a plain float
+that *jumps* to the next scheduled timer whenever the ready queue drains.
+
+Concretely, :class:`VirtualTimeEventLoop` subclasses
+:class:`asyncio.SelectorEventLoop` and overrides two methods:
+
+- :meth:`time` returns the virtual clock instead of ``time.monotonic()``;
+- :meth:`_run_once` advances the virtual clock to the earliest pending
+  timer deadline when no callback is ready, then defers to the stock
+  implementation (which now sees that timer as already due).
+
+Every ``await asyncio.sleep(dt)`` therefore completes in zero wall-clock
+time but exactly ``dt`` virtual seconds, and because the loop is single
+threaded with no real I/O, callback order is a pure function of the
+program — timers with equal deadlines keep their scheduling order
+(``heapq`` plus ``TimerHandle``'s tiebreaker are stable).  The service
+code does not know which loop it is on: ``repro loadtest`` runs it here,
+``repro serve`` runs the same coroutines on the standard real-time loop.
+
+The two private attributes this relies on (``_ready``, ``_scheduled`` and
+the ``TimerHandle._when``/``_cancelled`` fields) have been stable across
+every CPython 3.x asyncio release; a guard in ``__init__`` fails loudly if
+a future interpreter renames them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import selectors
+from typing import Any, Coroutine, TypeVar
+
+__all__ = ["VirtualTimeEventLoop", "run_virtual"]
+
+T = TypeVar("T")
+
+
+class VirtualTimeEventLoop(asyncio.SelectorEventLoop):
+    """A selector event loop whose clock jumps between timer deadlines."""
+
+    def __init__(self) -> None:
+        # A plain SelectSelector: never polled with a timeout (we pass 0 by
+        # keeping something due), and portable everywhere.
+        super().__init__(selectors.SelectSelector())
+        self._virtual_time = 0.0
+        if not hasattr(self, "_scheduled") or not hasattr(self, "_ready"):
+            raise RuntimeError(
+                "asyncio internals changed; VirtualTimeEventLoop needs "
+                "_scheduled/_ready to drive virtual time"
+            )
+
+    def time(self) -> float:
+        """The virtual clock, in seconds since the loop was created."""
+        return self._virtual_time
+
+    def _run_once(self) -> None:
+        # With nothing ready to run, real loops block in select() until the
+        # earliest timer is due.  We instead teleport the clock to that
+        # deadline, so the base implementation pops the timer immediately
+        # and select() is only ever called with a zero timeout.  Cancelled
+        # timers at the heap top are discarded first — jumping to a dead
+        # deadline would charge virtual seconds nothing actually waited for.
+        # The private asyncio attributes below are absent from typeshed,
+        # hence the attr-defined ignores; the __init__ guard vouches for
+        # them at runtime.
+        if not self._ready:  # type: ignore[attr-defined]
+            scheduled = self._scheduled  # type: ignore[attr-defined]
+            while scheduled and scheduled[0]._cancelled:
+                handle = heapq.heappop(scheduled)
+                handle._scheduled = False
+            if scheduled:
+                when = scheduled[0]._when
+                if when > self._virtual_time:
+                    self._virtual_time = when
+        super()._run_once()  # type: ignore[misc]
+
+
+def run_virtual(coro: Coroutine[Any, Any, T]) -> T:
+    """Run ``coro`` to completion on a fresh virtual-time loop.
+
+    The virtual-time analogue of :func:`asyncio.run`: creates the loop,
+    runs the coroutine, and closes the loop — but completes instantly in
+    wall-clock terms no matter how much virtual time the coroutine sleeps.
+    """
+    loop = VirtualTimeEventLoop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        try:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()

@@ -1,0 +1,202 @@
+"""Integration: seeded loadtests, SLO reports, and the committed baseline.
+
+These are the PR's acceptance gates, run in-process:
+
+- same seed ⇒ byte-identical deterministic SLO view (the virtual-time
+  loop plus pre-drawn traffic makes the whole loadtest a pure function
+  of its arguments);
+- the burst profile with the ``baseline`` chaos stack demonstrates the
+  full overload story: queue-full shedding, a complete breaker
+  open → half-open → close cycle, and vectorized-fallback degradation;
+- the committed ``benchmarks/SLO_baseline.json`` regenerates exactly;
+- the ``repro loadtest`` CLI exits 0 on clean runs and writes valid
+  versioned reports and history ledger lines.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.fuzz.stacks import get_service_chaos
+from repro.service import (
+    ServiceConfig,
+    build_report,
+    deterministic_view,
+    load_report,
+    render_report,
+    run_loadtest,
+)
+from repro.service.slo import append_slo_history, slo_history_entry
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "SLO_baseline.json"
+)
+
+
+def baseline_run(sessions=2000, seed=0):
+    """The exact configuration the committed baseline artifact used."""
+    return run_loadtest(
+        profile="burst",
+        sessions=sessions,
+        seed=seed,
+        config=ServiceConfig(),
+        chaos=get_service_chaos("baseline"),
+    )
+
+
+def canonical(view):
+    return json.dumps(view, indent=2, sort_keys=True)
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        first = build_report(
+            baseline_run(sessions=400), label="det", chaos_stack="baseline"
+        )
+        second = build_report(
+            baseline_run(sessions=400), label="det", chaos_stack="baseline"
+        )
+        assert canonical(deterministic_view(first)) == canonical(
+            deterministic_view(second)
+        )
+
+    def test_different_seeds_differ(self):
+        first = build_report(baseline_run(sessions=400, seed=0))
+        second = build_report(baseline_run(sessions=400, seed=1))
+        assert canonical(deterministic_view(first)) != canonical(
+            deterministic_view(second)
+        )
+
+
+class TestOverloadStory:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(
+            baseline_run(), label="baseline", chaos_stack="baseline"
+        )
+
+    def test_no_unexpected_errors(self, report):
+        assert report["sessions"]["unexpected_errors"] == 0
+
+    def test_burst_overload_sheds_on_the_queue_bound(self, report):
+        assert report["sessions"]["rejected"]["queue-full"] > 0
+        assert report["shed_rate"] > 0
+
+    def test_breaker_completes_a_full_cycle(self, report):
+        cycles = [
+            breaker for breaker in report["breakers"].values()
+            if breaker["opened"] >= 1
+            and breaker["half_opened"] >= 1
+            and breaker["closed_again"] >= 1
+        ]
+        assert cycles, (
+            "at least one shard's breaker must open, half-open, and "
+            f"close again; got {report['breakers']}"
+        )
+
+    def test_sustained_overload_degrades_to_the_vectorized_backend(
+        self, report
+    ):
+        assert report["degraded_mode"]["entered"] >= 1
+        assert report["sessions"]["degraded"] > 0
+
+    def test_report_carries_the_slo_schema_fields(self, report):
+        assert report["v"] == 1
+        for field in ("p50", "p95", "p99", "mean", "max"):
+            assert isinstance(report["latency"][field], float)
+        assert 0 <= report["shed_rate"] <= 1
+        assert 0 <= report["slo"]["attainment"] <= 1
+        assert report["goodput_per_sec"] > 0
+
+    def test_render_report_summarizes_every_section(self, report):
+        text = render_report(report)
+        for needle in ("offered=2000", "queue-full=", "breaker[0]",
+                       "degraded", "shed rate"):
+            assert needle in text
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_regenerates_exactly(self):
+        committed = load_report(BASELINE_PATH)
+        regenerated = build_report(
+            baseline_run(),
+            label=committed["label"],
+            slo_target_latency=committed["slo"]["target_latency"],
+            chaos_stack=committed["chaos_stack"],
+        )
+        assert canonical(deterministic_view(regenerated)) == canonical(
+            deterministic_view(committed)
+        )
+
+    def test_load_report_rejects_foreign_versions(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"v": 99}))
+        with pytest.raises(ConfigurationError, match="version"):
+            load_report(str(path))
+
+
+class TestHistoryLedger:
+    def test_entry_distills_the_trend_numbers(self):
+        report = build_report(
+            baseline_run(sessions=200), label="ledger",
+            chaos_stack="baseline",
+        )
+        entry = slo_history_entry(report)
+        assert entry["kind"] == "repro-slo-history"
+        assert entry["p50"] == report["latency"]["p50"]
+        assert entry["shed_rate"] == report["shed_rate"]
+        assert entry["unexpected_errors"] == 0
+
+    def test_append_is_one_json_line_per_run(self, tmp_path):
+        report = build_report(baseline_run(sessions=200))
+        path = tmp_path / "ledger" / "SLO_history.jsonl"
+        append_slo_history(report, str(path))
+        append_slo_history(report, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "repro-slo-history"
+
+    def test_non_report_is_refused(self):
+        with pytest.raises(ConfigurationError, match="not an SLO report"):
+            slo_history_entry({"v": 1})
+
+
+class TestLoadtestCli:
+    def test_clean_run_exits_zero_and_writes_artifacts(self, tmp_path,
+                                                       capsys):
+        out = tmp_path / "report.json"
+        history = tmp_path / "history.jsonl"
+        code = main([
+            "loadtest", "--profile", "steady", "--sessions", "60",
+            "--seed", "3", "--label", "ci-smoke",
+            "--out", str(out), "--history", str(history),
+        ])
+        assert code == 0
+        report = load_report(str(out))
+        assert report["label"] == "ci-smoke"
+        assert report["sessions"]["unexpected_errors"] == 0
+        assert len(history.read_text().splitlines()) == 1
+        assert "SLO report" in capsys.readouterr().out
+
+    def test_verify_determinism_flag_passes(self, capsys):
+        code = main([
+            "loadtest", "--profile", "burst", "--sessions", "150",
+            "--seed", "5", "--chaos", "brownout", "--verify-determinism",
+            "--json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        verdict, _, payload = out.partition("\n")
+        assert "determinism verified" in verdict
+        assert json.loads(payload)["v"] == 1
+
+    def test_unknown_chaos_stack_is_a_loud_error(self, capsys):
+        code = main([
+            "loadtest", "--profile", "steady", "--sessions", "10",
+            "--chaos", "no-such-stack",
+        ])
+        assert code != 0
+        assert "unknown service chaos stack" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Integration: the JSON-lines TCP endpoint behind ``repro serve``.
+
+Binds a real server on an ephemeral port and speaks the wire protocol:
+one request object per line in, one response (or error) object per line
+out, connection survives malformed input.
+"""
+
+import asyncio
+import json
+
+from repro.service import ServiceConfig, ServiceServer, SessionRequest
+
+
+def talk(lines, config=None):
+    """Start a server, send ``lines``, return the parsed reply objects."""
+
+    async def main():
+        server = ServiceServer(config or ServiceConfig())
+        await server.start("127.0.0.1", 0)
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            replies = []
+            for line in lines:
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+                replies.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            return replies
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def request_line(session_id, **overrides):
+    request = SessionRequest(
+        session_id=session_id, algorithm="sifting", n=4,
+        schedule_family="round-robin", deadline=5.0, seed=0,
+    )
+    data = request.to_json()
+    data.update(overrides)
+    return json.dumps(data)
+
+
+class TestWireProtocol:
+    def test_valid_request_round_trips_to_a_completed_session(self):
+        reply = talk([request_line(7)])[0]
+        assert reply["status"] == "completed"
+        assert reply["session_id"] == 7
+        assert reply["result"]["agreement"] in (True, False)
+        assert reply["backend"] == "generator"
+
+    def test_multiple_requests_share_one_connection(self):
+        replies = talk([request_line(i) for i in range(3)])
+        assert [r["session_id"] for r in replies] == [0, 1, 2]
+        assert all(r["status"] == "completed" for r in replies)
+
+    def test_malformed_json_gets_an_error_line_not_a_reset(self):
+        replies = talk(["{not json", request_line(1)])
+        assert "error" in replies[0]
+        # The connection survived: the next request still completes.
+        assert replies[1]["status"] == "completed"
+
+    def test_invalid_request_object_is_reported(self):
+        replies = talk([json.dumps({"version": 1, "session_id": -5})])
+        assert "error" in replies[0]
+
+    def test_foreign_version_is_reported(self):
+        replies = talk([request_line(0, version=99)])
+        assert "error" in replies[0]
+        assert "version" in replies[0]["error"]
+
+    def test_unknown_algorithm_is_the_clients_fault(self):
+        replies = talk([request_line(0, algorithm="no-such")])
+        assert "error" in replies[0]
+        assert replies[0]["session_id"] == 0
+
+    def test_port_property_requires_a_started_server(self):
+        import pytest
+
+        server = ServiceServer()
+        with pytest.raises(RuntimeError, match="not started"):
+            server.port

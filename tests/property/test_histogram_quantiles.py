@@ -1,0 +1,182 @@
+"""Property tests pinning Histogram quantile error under decimation/merge.
+
+The histogram keeps exact moments but only a bounded, stride-decimated
+subsample for quantiles, so ``quantile(q)`` is an estimate once the
+observation count exceeds ``max_samples``.  These tests pin how wrong it
+is allowed to be, in *rank* terms: the returned value's rank in the full
+observation multiset must be within a tolerance of ``q``.
+
+Rank error is the right metric because it is distribution-free: a value
+bound would depend on the data's spacing, while rank error only depends
+on which observations the decimation kept.  Tolerances differ by stream
+shape — a sorted stream's systematic subsample is order-exact (tight
+tolerance), a shuffled stream's behaves like a uniform random subsample
+(statistical tolerance) — and merge pooling must not bias ranks toward
+the finer-stride side (the drift this PR fixed: before the stride
+normalization in ``merge_from``, a 100-observation stride-1 histogram
+merged into a 10^4-observation stride-64 histogram contributed ~39% of
+the pooled samples while representing under 1% of the mass, dragging
+p95 from 0.0 to 1.0 in the regression case below).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import Histogram
+
+
+def rank_error(values, estimate, q):
+    """How far ``estimate``'s rank in ``values`` is from target ``q``.
+
+    Zero when the estimate's rank interval [fraction strictly below,
+    fraction at-or-below] covers ``q`` (ties make ranks intervals).
+    """
+    ordered = sorted(values)
+    below = sum(1 for value in ordered if value < estimate)
+    at_or_below = sum(1 for value in ordered if value <= estimate)
+    lo = below / len(ordered)
+    hi = at_or_below / len(ordered)
+    if lo <= q <= hi:
+        return 0.0
+    return min(abs(q - lo), abs(q - hi))
+
+
+class TestExactRegime:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=1, max_size=200,
+        ),
+        st.sampled_from([0.5, 0.99]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_is_exact_below_max_samples(self, values, q):
+        """With no decimation the estimate IS the nearest-rank quantile."""
+        histogram = Histogram(max_samples=256)
+        for value in values:
+            histogram.observe(value)
+        ordered = sorted(values)
+        expected = ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+        assert histogram.quantile(q) == expected
+
+
+class TestDecimatedRegime:
+    @given(
+        st.integers(min_value=2_000, max_value=20_000),
+        st.integers(min_value=0, max_value=2**32),
+        st.sampled_from([0.5, 0.99]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sorted_stream_rank_error_is_tight(self, count, seed, q):
+        """A sorted stream's systematic subsample preserves order exactly,
+        so rank error is bounded by ~1/retained-samples (< 0.02 here)."""
+        rng = random.Random(seed)
+        values = sorted(rng.uniform(0, 1000) for _ in range(count))
+        histogram = Histogram(max_samples=256)
+        for value in values:
+            histogram.observe(value)
+        assert len(histogram.samples) <= 256
+        assert rank_error(values, histogram.quantile(q), q) <= 0.02
+
+    @given(
+        st.integers(min_value=2_000, max_value=20_000),
+        st.integers(min_value=0, max_value=2**32),
+        st.sampled_from([0.5, 0.99]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shuffled_stream_rank_error_is_statistical(self, count, seed, q):
+        """A shuffled stream's systematic subsample behaves like a uniform
+        random subsample of >= 128 points: rank error stays within a
+        3-sigma-ish 0.15 of the target (sigma ~ 0.044 at p50 with the
+        worst-case ~128 retained samples just after a decimation)."""
+        rng = random.Random(seed)
+        values = [rng.uniform(0, 1000) for _ in range(count)]
+        histogram = Histogram(max_samples=256)
+        for value in values:
+            histogram.observe(value)
+        assert rank_error(values, histogram.quantile(q), q) <= 0.15
+
+
+class TestMergeRegime:
+    def test_merge_regression_skewed_strides(self):
+        """THE drift this PR fixed, pinned exactly: a big stride-64
+        histogram of zeros absorbs a small stride-1 histogram of ones.
+        Pre-fix pooling kept all 100 stride-1 samples next to ~157
+        stride-64 ones — a ~39% sample share for under 1% of the mass —
+        which dragged p95 from 0.0 to 1.0.  Post-fix, both sides are
+        normalized to the coarser stride first, so the ones' sample share
+        matches their mass share and p95 stays 0.0."""
+        big = Histogram(max_samples=256)
+        for _ in range(10_000):
+            big.observe(0.0)
+        small = Histogram(max_samples=256)
+        for _ in range(100):
+            small.observe(1.0)
+        assert big.stride > small.stride
+        big.merge_from(small)
+        ones = sum(1 for value in big.samples if value == 1.0)
+        # Mass share of the ones is ~0.0099; their sample share must be
+        # of the same order, not the pre-fix ~0.39.
+        assert ones / len(big.samples) <= 0.05
+        assert big.quantile(0.95) == 0.0
+        assert big.quantile(0.5) == 0.0
+        # p99 straddles the 1% mass boundary exactly; either side is an
+        # acceptable nearest-rank answer, but only just.
+        union = [0.0] * 10_000 + [1.0] * 100
+        assert rank_error(union, big.quantile(0.99), 0.99) <= 0.005
+        # Exact moments are unaffected by sample pooling.
+        assert big.count == 10_100
+        assert big.total == 100.0
+        assert big.max == 1.0
+
+    @given(
+        st.integers(min_value=100, max_value=8_000),
+        st.integers(min_value=100, max_value=8_000),
+        st.integers(min_value=0, max_value=2**32),
+        st.sampled_from([0.5, 0.99]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_merged_rank_error_is_bounded(self, count_a, count_b, seed, q):
+        """Merging two shuffled streams keeps rank error within the same
+        statistical tolerance as observing the union directly."""
+        rng = random.Random(seed)
+        values_a = [rng.uniform(0, 1000) for _ in range(count_a)]
+        values_b = [rng.uniform(500, 1500) for _ in range(count_b)]
+        one = Histogram(max_samples=256)
+        for value in values_a:
+            one.observe(value)
+        two = Histogram(max_samples=256)
+        for value in values_b:
+            two.observe(value)
+        one.merge_from(two)
+        union = values_a + values_b
+        assert one.count == len(union)
+        assert rank_error(union, one.quantile(q), q) <= 0.15
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.sampled_from([0.5, 0.99]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_merge_direction_does_not_bias_ranks(self, seed, q):
+        """Folding small-into-big and big-into-small both stay within
+        tolerance of the union's quantile (they need not be equal — the
+        pooled sample sets differ — but neither may drift)."""
+        rng = random.Random(seed)
+        big_values = [rng.uniform(0, 100) for _ in range(9_000)]
+        small_values = [rng.uniform(200, 300) for _ in range(300)]
+        union = big_values + small_values
+
+        def build(values):
+            histogram = Histogram(max_samples=256)
+            for value in values:
+                histogram.observe(value)
+            return histogram
+
+        forward = build(big_values)
+        forward.merge_from(build(small_values))
+        backward = build(small_values)
+        backward.merge_from(build(big_values))
+        assert rank_error(union, forward.quantile(q), q) <= 0.15
+        assert rank_error(union, backward.quantile(q), q) <= 0.15

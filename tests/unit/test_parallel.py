@@ -7,7 +7,9 @@ import pytest
 from repro.analysis.experiments import trial_seed_tree
 from repro.errors import CheckpointError, ConfigurationError, StepLimitExceededError
 from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.backoff import BackoffPolicy
 from repro.runtime.parallel import (
+    MAX_RETRY_BACKOFF,
     ParallelConfig,
     available_workers,
     default_chunk_size,
@@ -15,6 +17,7 @@ from repro.runtime.parallel import (
     iter_chunks,
     parallelism,
     resolve_workers,
+    retry_backoff_policy,
     run_indexed_trials,
     set_default_parallelism,
     supports_fork,
@@ -232,6 +235,9 @@ class TestRetrySemantics:
         assert "(2, 3)" in notes
 
     def test_backoff_delays_retries(self):
+        """Retries sleep a jittered delay: nonzero, but capped by the
+        policy ceiling — the full-jitter draw never exceeds base * 2^k."""
+
         def task(index):
             raise RuntimeError("always fails")
 
@@ -240,8 +246,35 @@ class TestRetrySemantics:
             run_indexed_trials(
                 task, 2, workers=2, chunk_size=1, retries=2, backoff=0.3
             )
-        # retries at +0.3s and +0.6s: total must reflect the backoff.
-        assert time.time() - started >= 0.8
+        elapsed = time.time() - started
+        # Two chunks, two retries each, ceilings 0.3s and 0.6s: the
+        # jittered total can never exceed the un-jittered worst case
+        # (plus scheduling slack).  A tight lower bound would be flaky
+        # under full jitter (the draw may legitimately be ~0).
+        assert elapsed < 2 * (0.3 + 0.6) + 2.0
+
+    def test_retry_backoff_policy_is_jittered_and_capped(self):
+        """The chunk-retry policy is full-jitter with the 30s cap, and the
+        jitter stream is a deterministic function of the run key."""
+        policy = retry_backoff_policy(0.3)
+        assert policy.max_delay == MAX_RETRY_BACKOFF
+        assert policy.jitter == "full"
+        assert policy.cap(0) == pytest.approx(0.3)
+        assert policy.cap(1) == pytest.approx(0.6)
+        # The exponential ceiling saturates at MAX_RETRY_BACKOFF.
+        assert policy.cap(20) == MAX_RETRY_BACKOFF
+
+        first = BackoffPolicy.rng(0, "parallel-retry", "key")
+        second = BackoffPolicy.rng(0, "parallel-retry", "key")
+        draws_one = [policy.delay(k, first) for k in range(6)]
+        draws_two = [policy.delay(k, second) for k in range(6)]
+        assert draws_one == draws_two
+        assert any(delay > 0 for delay in draws_one)
+        for attempt, delay in enumerate(draws_one):
+            assert 0.0 <= delay <= policy.cap(attempt)
+
+        other = BackoffPolicy.rng(0, "parallel-retry", "other-key")
+        assert [policy.delay(k, other) for k in range(6)] != draws_one
 
 
 @needs_fork

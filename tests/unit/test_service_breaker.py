@@ -1,0 +1,120 @@
+"""Unit tests for the per-shard circuit breaker state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+
+
+def make(threshold=3, cooldown=1.0, probes=2):
+    return CircuitBreaker(BreakerConfig(
+        failure_threshold=threshold,
+        cooldown=cooldown,
+        half_open_probes=probes,
+    ))
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"cooldown": 0.0},
+        {"half_open_probes": 0},
+    ])
+    def test_bad_config_is_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BreakerConfig(**kwargs)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow(0.0)
+
+    def test_consecutive_failures_trip_at_the_threshold(self):
+        breaker = make(threshold=3)
+        breaker.record_failure(0.1)
+        breaker.record_failure(0.2)
+        assert breaker.state == CLOSED
+        breaker.record_failure(0.3)
+        assert breaker.state == OPEN
+        assert breaker.opened == 1
+
+    def test_a_success_resets_the_failure_streak(self):
+        breaker = make(threshold=3)
+        breaker.record_failure(0.1)
+        breaker.record_failure(0.2)
+        breaker.record_success(0.3)
+        breaker.record_failure(0.4)
+        breaker.record_failure(0.5)
+        assert breaker.state == CLOSED  # streak broken at 2
+
+
+class TestOpen:
+    def test_open_refuses_until_the_cooldown(self):
+        breaker = make(cooldown=1.0)
+        for t in (0.1, 0.2, 0.3):
+            breaker.record_failure(t)
+        assert breaker.state == OPEN
+        assert not breaker.allow(0.5)
+        assert not breaker.allow(1.2)
+        # Cooldown elapses 1.0s after the trip at t=0.3.
+        assert breaker.allow(1.3)
+        assert breaker.state == HALF_OPEN
+        assert breaker.half_opened == 1
+
+    def test_late_failures_while_open_do_not_extend_the_cooldown(self):
+        breaker = make(cooldown=1.0)
+        for t in (0.1, 0.2, 0.3):
+            breaker.record_failure(t)
+        breaker.record_failure(0.9)  # in-flight result landing late
+        assert breaker.allow(1.3)   # still measured from the trip
+
+
+class TestHalfOpen:
+    def trip(self, breaker, at=0.0):
+        for index in range(breaker.config.failure_threshold):
+            breaker.record_failure(at + index * 0.01)
+
+    def test_probe_budget_limits_concurrent_admissions(self):
+        breaker = make(cooldown=1.0, probes=2)
+        self.trip(breaker)
+        assert breaker.allow(2.0)
+        assert breaker.allow(2.0)
+        assert not breaker.allow(2.0)  # only 2 probes in flight
+
+    def test_enough_probe_successes_close_the_breaker(self):
+        breaker = make(cooldown=1.0, probes=2)
+        self.trip(breaker)
+        assert breaker.allow(2.0)
+        assert breaker.allow(2.0)
+        breaker.record_success(2.1)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success(2.2)
+        assert breaker.state == CLOSED
+        assert breaker.closed_again == 1
+
+    def test_one_probe_failure_reopens_with_a_fresh_cooldown(self):
+        breaker = make(cooldown=1.0, probes=2)
+        self.trip(breaker)
+        assert breaker.allow(2.0)
+        breaker.record_failure(2.1)
+        assert breaker.state == OPEN
+        assert breaker.opened == 2
+        assert not breaker.allow(2.9)   # fresh cooldown from t=2.1
+        assert breaker.allow(3.2)
+
+    def test_full_cycle_counters(self):
+        """open -> half-open -> closed transitions all land in counters
+        (the SLO report's evidence that the cycle really happened)."""
+        breaker = make(cooldown=1.0, probes=1)
+        self.trip(breaker)
+        assert breaker.allow(2.0)
+        breaker.record_success(2.1)
+        snapshot = breaker.to_json()
+        assert snapshot == {
+            "state": CLOSED,
+            "opened": 1,
+            "half_opened": 1,
+            "closed_again": 1,
+        }
