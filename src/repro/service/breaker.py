@@ -118,6 +118,20 @@ class CircuitBreaker:
         else:
             self._consecutive_failures = 0
 
+    def probe_abandoned(self, now: float) -> None:
+        """A probe admitted by :meth:`allow` ended without an outcome.
+
+        Sessions can terminate before their first worker attempt — the
+        deadline expires during a client stall or a queue wait, or a
+        later admission check bounces them.  Such an ending says nothing
+        about shard health, so it neither counts toward closing nor
+        re-opens the breaker; it only releases the reserved probe slot.
+        Without this, leaked slots would eventually exhaust
+        ``half_open_probes`` and wedge the breaker half-open forever.
+        """
+        if self.state == HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
     def record_failure(self, now: float) -> None:
         """A served session (or probe) failed; may trip or re-open."""
         if self.state == HALF_OPEN:

@@ -73,7 +73,27 @@ class ServiceServer:
     ) -> None:
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError,
+                        asyncio.IncompleteReadError):
+                    # A line over the StreamReader limit (64 KiB by
+                    # default) raises instead of returning; the buffer was
+                    # flushed mid-line so framing is lost — report the
+                    # protocol error and close rather than guess where the
+                    # next request starts.
+                    writer.write(json.dumps(
+                        {"error": "request line too long"}, sort_keys=True,
+                    ).encode("utf-8") + b"\n")
+                    await writer.drain()
+                    if writer.can_write_eof():
+                        writer.write_eof()
+                    # Swallow the rest of the oversized line: closing with
+                    # unread inbound bytes would RST the socket and race
+                    # the error reply to the client.
+                    while await reader.read(65536):
+                        pass
+                    break
                 if not line:
                     break
                 response = await self._answer(line)

@@ -48,7 +48,7 @@ from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.backoff import BackoffPolicy
 from repro.runtime.faults import ServiceFaultController, ServiceFaultPlan
-from repro.service.breaker import BreakerConfig, CircuitBreaker
+from repro.service.breaker import HALF_OPEN, BreakerConfig, CircuitBreaker
 from repro.service.session import (
     FAILED,
     FAILED_CLIENT_DROP,
@@ -294,11 +294,17 @@ class ConsensusService:
         # it up front costs nothing.
         if not shard.breaker.allow(now):
             return self._reject(request, shard_index, REJECTED_BREAKER_OPEN)
+        # A half-open breaker admitted this session as a probe and reserved
+        # a slot; every path from here must release it — via an attempt
+        # outcome (record_success/record_failure) or probe_abandoned.
+        probe = shard.breaker.state == HALF_OPEN
         if shard.occupancy >= self.config.queue_capacity:
-            self._probe_cancelled(shard, now)
+            if probe:
+                shard.breaker.probe_abandoned(now)
             return self._reject(request, shard_index, REJECTED_QUEUE_FULL)
         if request.deadline <= self.config.dispatch_overhead:
-            self._probe_cancelled(shard, now)
+            if probe:
+                shard.breaker.probe_abandoned(now)
             return self._reject(request, shard_index, REJECTED_DEADLINE)
 
         shard.occupancy += 1
@@ -309,7 +315,7 @@ class ConsensusService:
         try:
             response = await self._serve(
                 request, shard_index, shard, admitted_at, deadline_at,
-                client_stall,
+                client_stall, probe,
             )
         finally:
             shard.occupancy -= 1
@@ -343,117 +349,143 @@ class ConsensusService:
         admitted_at: float,
         deadline_at: float,
         client_stall: float,
+        probe: bool,
     ) -> SessionResponse:
         loop = asyncio.get_running_loop()
         jitter = BackoffPolicy.rng(
             self.config.seed, "service", str(request.session_id)
         )
         degraded_session = False
-        if client_stall > 0:
-            await asyncio.sleep(
-                min(client_stall, max(0.0, deadline_at - loop.time()))
-            )
-        for attempt in range(self.config.max_attempts):
-            ok = False
-            remaining = deadline_at - loop.time()
-            if remaining <= 0:
-                return self._failed(
-                    request, shard_index, FAILED_DEADLINE, attempt,
-                    admitted_at, loop.time(), degraded_session,
+        # ``probe`` means this session still holds the half-open probe
+        # slot its admission reserved.  The first attempt outcome reported
+        # to the breaker releases it inside record_success/record_failure;
+        # the finally below covers every exit path that ends the session
+        # without reporting one (deadline during the stall or queue wait,
+        # budget-clipped abandonment), so slots cannot leak and wedge the
+        # breaker half-open.
+        try:
+            if client_stall > 0:
+                await asyncio.sleep(
+                    min(client_stall, max(0.0, deadline_at - loop.time()))
                 )
-            # Queue wait burns budget too: give up when the deadline
-            # passes before a worker slot frees up.
-            try:
-                await asyncio.wait_for(
-                    shard.workers.acquire(), timeout=remaining
-                )
-            except asyncio.TimeoutError:
-                return self._failed(
-                    request, shard_index, FAILED_DEADLINE, attempt,
-                    admitted_at, loop.time(), degraded_session,
-                )
-            try:
-                now = loop.time()
-                remaining = deadline_at - now
-                if remaining <= 0:
-                    return self._failed(
-                        request, shard_index, FAILED_DEADLINE, attempt,
-                        admitted_at, now, degraded_session,
-                    )
-                # THE deadline-propagation invariant: a worker call's
-                # timeout never exceeds the session's remaining budget.
-                timeout = min(self.config.attempt_timeout, remaining)
-                if self.config.record_calls:
-                    self.calls.append({
-                        "session_id": request.session_id,
-                        "shard": shard_index,
-                        "attempt": attempt,
-                        "timeout": timeout,
-                        "remaining": remaining,
-                    })
-                self.metrics.counter("service.attempts").inc()
-
-                injected = (
-                    self.chaos.attempt_failure(shard_index, now)
-                    if self.chaos is not None
-                    else None
-                )
-                if injected is not None:
-                    # Chaos failures are near-instant: the worker dies on
-                    # dispatch rather than mid-round.
-                    await asyncio.sleep(
-                        min(self.config.dispatch_overhead, timeout)
-                    )
-                    self.metrics.counter(
-                        "service.chaos", kind=injected
-                    ).inc()
-                    shard.breaker.record_failure(loop.time())
-                    ok = False
-                else:
-                    use_vectorized = self.degraded and vectorized_eligible(
-                        request
-                    )
-                    degraded_session = degraded_session or use_vectorized
-                    backend = "vectorized" if use_vectorized else "generator"
-                    outcome = execute_session(request, backend=backend)
-                    duration = self._service_time(
-                        outcome.steps, backend, shard_index, now
-                    )
-                    if duration > timeout:
-                        # The attempt is abandoned at its timeout; the
-                        # worker slot was held for the whole window.
-                        await asyncio.sleep(timeout)
-                        shard.breaker.record_failure(loop.time())
-                        ok = False
-                    else:
-                        await asyncio.sleep(duration)
-                        finished = loop.time()
-                        shard.breaker.record_success(finished)
-                        return SessionResponse(
-                            session_id=request.session_id,
-                            status="completed",
-                            shard=shard_index,
-                            attempts=attempt + 1,
-                            latency=finished - admitted_at,
-                            degraded=degraded_session,
-                            backend=backend,
-                            result=outcome.to_json(),
-                        )
-            finally:
-                shard.workers.release()
-            if not ok and attempt + 1 < self.config.max_attempts:
-                delay = self.config.backoff.delay(attempt, jitter)
+            for attempt in range(self.config.max_attempts):
+                ok = False
                 remaining = deadline_at - loop.time()
                 if remaining <= 0:
                     return self._failed(
-                        request, shard_index, FAILED_DEADLINE, attempt + 1,
+                        request, shard_index, FAILED_DEADLINE, attempt,
                         admitted_at, loop.time(), degraded_session,
                     )
-                await asyncio.sleep(min(delay, remaining))
-        return self._failed(
-            request, shard_index, FAILED_WORKER, self.config.max_attempts,
-            admitted_at, loop.time(), degraded_session,
-        )
+                # Queue wait burns budget too: give up when the deadline
+                # passes before a worker slot frees up.
+                try:
+                    await asyncio.wait_for(
+                        shard.workers.acquire(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    return self._failed(
+                        request, shard_index, FAILED_DEADLINE, attempt,
+                        admitted_at, loop.time(), degraded_session,
+                    )
+                try:
+                    now = loop.time()
+                    remaining = deadline_at - now
+                    if remaining <= 0:
+                        return self._failed(
+                            request, shard_index, FAILED_DEADLINE, attempt,
+                            admitted_at, now, degraded_session,
+                        )
+                    # THE deadline-propagation invariant: a worker call's
+                    # timeout never exceeds the session's remaining budget.
+                    timeout = min(self.config.attempt_timeout, remaining)
+                    if self.config.record_calls:
+                        self.calls.append({
+                            "session_id": request.session_id,
+                            "shard": shard_index,
+                            "attempt": attempt,
+                            "timeout": timeout,
+                            "remaining": remaining,
+                        })
+                    self.metrics.counter("service.attempts").inc()
+
+                    injected = (
+                        self.chaos.attempt_failure(shard_index, now)
+                        if self.chaos is not None
+                        else None
+                    )
+                    if injected is not None:
+                        # Chaos failures are near-instant: the worker dies
+                        # on dispatch rather than mid-round.
+                        await asyncio.sleep(
+                            min(self.config.dispatch_overhead, timeout)
+                        )
+                        self.metrics.counter(
+                            "service.chaos", kind=injected
+                        ).inc()
+                        probe = False
+                        shard.breaker.record_failure(loop.time())
+                        ok = False
+                    else:
+                        use_vectorized = (
+                            self.degraded and vectorized_eligible(request)
+                        )
+                        degraded_session = degraded_session or use_vectorized
+                        backend = (
+                            "vectorized" if use_vectorized else "generator"
+                        )
+                        outcome = execute_session(request, backend=backend)
+                        duration = self._service_time(
+                            outcome.steps, backend, shard_index, now
+                        )
+                        if duration > timeout:
+                            # The attempt is abandoned at its timeout; the
+                            # worker slot was held for the whole window.
+                            await asyncio.sleep(timeout)
+                            if duration > self.config.attempt_timeout:
+                                # Missing the full attempt window says the
+                                # shard is slow; a timeout clipped by the
+                                # client's remaining budget only measures
+                                # deadline pressure, so it must not feed
+                                # the breaker — the session fails as a
+                                # deadline miss on the next loop check.
+                                probe = False
+                                shard.breaker.record_failure(loop.time())
+                            ok = False
+                        else:
+                            await asyncio.sleep(duration)
+                            finished = loop.time()
+                            probe = False
+                            shard.breaker.record_success(finished)
+                            return SessionResponse(
+                                session_id=request.session_id,
+                                status="completed",
+                                shard=shard_index,
+                                attempts=attempt + 1,
+                                latency=finished - admitted_at,
+                                degraded=degraded_session,
+                                backend=backend,
+                                result=outcome.to_json(),
+                            )
+                finally:
+                    shard.workers.release()
+                if not ok and attempt + 1 < self.config.max_attempts:
+                    delay = self.config.backoff.delay(attempt, jitter)
+                    remaining = deadline_at - loop.time()
+                    if remaining <= 0:
+                        return self._failed(
+                            request, shard_index, FAILED_DEADLINE,
+                            attempt + 1, admitted_at, loop.time(),
+                            degraded_session,
+                        )
+                    await asyncio.sleep(min(delay, remaining))
+            return self._failed(
+                request, shard_index, FAILED_WORKER,
+                self.config.max_attempts, admitted_at, loop.time(),
+                degraded_session,
+            )
+        finally:
+            if probe:
+                shard.breaker.probe_abandoned(loop.time())
 
     def _service_time(
         self, steps: float, backend: str, shard_index: int, now: float
@@ -465,14 +497,6 @@ class ConsensusService:
         if self.chaos is not None:
             duration += self.chaos.extra_delay(shard_index, now)
         return duration
-
-    def _probe_cancelled(self, shard: _Shard, now: float) -> None:
-        """Release a half-open probe slot reserved by ``allow`` when a
-        later admission check bounced the session before any attempt."""
-        if shard.breaker.state == "half-open":
-            shard.breaker._probes_in_flight = max(
-                0, shard.breaker._probes_in_flight - 1
-            )
 
     def _reject(
         self, request: SessionRequest, shard_index: int, code: str

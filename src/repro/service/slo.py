@@ -102,7 +102,13 @@ def build_report(
         },
         "sessions": {
             "offered": offered,
-            "admitted": offered - len(rejected),
+            # Admitted counts only *observed* admitted outcomes; sessions
+            # with no response at all (submit() raised, or a response slot
+            # stayed None) land in "missing" instead of being silently
+            # presumed admitted, so offered == admitted + rejected +
+            # missing always holds.
+            "admitted": len(completed) + len(failed),
+            "missing": offered - len(result.responses),
             "completed": len(completed),
             "rejected": {
                 code: sum(1 for r in rejected if r.code == code)
@@ -180,8 +186,10 @@ def render_report(report: Dict[str, Any]) -> str:
         f"SLO report{' ' + report['label'] if report['label'] else ''} "
         f"(profile={report['profile']}, seed={report['seed']})",
         f"  sessions   offered={sessions['offered']} "
+        f"admitted={sessions['admitted']} "
         f"completed={sessions['completed']} "
         f"degraded={sessions['degraded']} "
+        f"missing={sessions['missing']} "
         f"unexpected={sessions['unexpected_errors']}",
         f"  rejected   " + " ".join(
             f"{code}={count}"

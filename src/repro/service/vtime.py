@@ -50,10 +50,15 @@ class VirtualTimeEventLoop(asyncio.SelectorEventLoop):
         # keeping something due), and portable everywhere.
         super().__init__(selectors.SelectSelector())
         self._virtual_time = 0.0
-        if not hasattr(self, "_scheduled") or not hasattr(self, "_ready"):
+        if (
+            not hasattr(self, "_scheduled")
+            or not hasattr(self, "_ready")
+            or not hasattr(self, "_timer_cancelled_count")
+        ):
             raise RuntimeError(
                 "asyncio internals changed; VirtualTimeEventLoop needs "
-                "_scheduled/_ready to drive virtual time"
+                "_scheduled/_ready/_timer_cancelled_count to drive "
+                "virtual time"
             )
 
     def time(self) -> float:
@@ -75,6 +80,13 @@ class VirtualTimeEventLoop(asyncio.SelectorEventLoop):
             while scheduled and scheduled[0]._cancelled:
                 handle = heapq.heappop(scheduled)
                 handle._scheduled = False
+                # Mirror BaseEventLoop._run_once: each cancelled handle
+                # popped here is one the base loop no longer needs to
+                # count toward its heap-rebuild heuristic.
+                self._timer_cancelled_count = max(
+                    0,
+                    self._timer_cancelled_count - 1,  # type: ignore[attr-defined]
+                )
             if scheduled:
                 when = scheduled[0]._when
                 if when > self._virtual_time:

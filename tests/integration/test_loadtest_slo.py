@@ -103,6 +103,20 @@ class TestOverloadStory:
         assert report["degraded_mode"]["entered"] >= 1
         assert report["sessions"]["degraded"] > 0
 
+    def test_session_accounting_sums_to_offered(self, report):
+        """Offered = admitted + rejected + missing, with admitted drawn
+        from observed outcomes only — never presumed from the offer."""
+        sessions = report["sessions"]
+        assert sessions["offered"] == (
+            sessions["admitted"]
+            + sum(sessions["rejected"].values())
+            + sessions["missing"]
+        )
+        assert sessions["admitted"] == (
+            sessions["completed"] + sum(sessions["failed"].values())
+        )
+        assert sessions["missing"] == 0  # clean run: every offer answered
+
     def test_report_carries_the_slo_schema_fields(self, report):
         assert report["v"] == 1
         for field in ("p50", "p95", "p99", "mean", "max"):
@@ -136,6 +150,25 @@ class TestCommittedBaseline:
         path.write_text(json.dumps({"v": 99}))
         with pytest.raises(ConfigurationError, match="version"):
             load_report(str(path))
+
+
+class TestSessionAccounting:
+    def test_missing_responses_are_not_presumed_admitted(self):
+        """Sessions with no response at all (submit() raised, slot stayed
+        None) land in the ``missing`` bucket, not in ``admitted``."""
+        import dataclasses
+
+        result = baseline_run(sessions=100)
+        dropped = dataclasses.replace(
+            result, responses=result.responses[:-5], unexpected_errors=5,
+        )
+        sessions = build_report(dropped)["sessions"]
+        assert sessions["missing"] == 5
+        assert sessions["offered"] == (
+            sessions["admitted"]
+            + sum(sessions["rejected"].values())
+            + sessions["missing"]
+        )
 
 
 class TestHistoryLedger:

@@ -78,6 +78,35 @@ class TestWireProtocol:
         assert "error" in replies[0]
         assert replies[0]["session_id"] == 0
 
+    def test_oversized_line_gets_an_error_reply_not_a_traceback(self):
+        """A request over the StreamReader's 64 KiB line limit raises
+        inside readline; the handler must answer with an error object and
+        close cleanly instead of dying with an unhandled traceback."""
+
+        async def main():
+            server = ServiceServer(ServiceConfig())
+            await server.start("127.0.0.1", 0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"x" * (256 * 1024) + b"\n")
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                # Framing was lost mid-line, so the server closes after
+                # reporting the error.
+                eof = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                return reply, eof
+            finally:
+                await server.stop()
+
+        reply, eof = asyncio.run(main())
+        assert "error" in reply
+        assert "too long" in reply["error"]
+        assert eof == b""
+
     def test_port_property_requires_a_started_server(self):
         import pytest
 

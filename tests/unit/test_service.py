@@ -227,6 +227,69 @@ class TestRetriesAndFailures:
         assert response.attempts == 1
 
 
+class TestBreakerHygiene:
+    def test_probe_dying_on_deadline_does_not_wedge_the_breaker(self):
+        """Regression: a session admitted as the only half-open probe
+        that dies on its deadline before any attempt (stalled client)
+        must release the probe slot; leaking it would leave allow()
+        refusing every future session on the shard forever."""
+        from repro.service.breaker import BreakerConfig
+
+        config = ServiceConfig(
+            shards=1, breaker=BreakerConfig(half_open_probes=1),
+        )
+        service = ConsensusService(config)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            breaker = service.breaker(0)
+            for _ in range(breaker.config.failure_threshold):
+                breaker.record_failure(loop.time())
+            assert breaker.state == "open"
+            await asyncio.sleep(breaker.config.cooldown + 0.01)
+            # The probe: stalls through its whole budget, dies with no
+            # worker attempt and therefore no breaker outcome.
+            dead = await service.submit(
+                request(0, deadline=0.5), client_stall=1.0,
+            )
+            # The shard must still be probe-able afterwards.
+            recovered = await service.submit(request(0, deadline=5.0))
+            return dead, recovered
+
+        dead, recovered = run_virtual(main())
+        assert dead.status == "failed"
+        assert dead.code == FAILED_DEADLINE
+        assert dead.attempts == 0
+        assert recovered.ok
+        breaker = service.breaker(0)
+        assert breaker.state == "closed"
+        assert breaker.to_json()["closed_again"] == 1
+
+    def test_budget_clipped_timeouts_do_not_trip_the_breaker(self):
+        """A burst of short-deadline clients abandoning attempts at a
+        budget-clipped timeout says nothing about shard health: the
+        breaker must stay closed, and the sessions fail as deadline
+        misses, not worker failures."""
+        chaos = ServiceFaultPlan(
+            response_delays=(ResponseDelayFault(
+                shard=0, start=0.0, duration=100.0, delay=1.0,
+            ),),
+        )
+        service = ConsensusService(
+            ServiceConfig(shards=1, max_attempts=2, attempt_timeout=2.0),
+            chaos=chaos,
+        )
+        # More clipped abandonments than the failure threshold.
+        count = service.breaker(0).config.failure_threshold + 2
+        responses = submit_all(
+            service, [request(i, deadline=0.5) for i in range(count)],
+        )
+        assert all(r.code == FAILED_DEADLINE for r in responses)
+        breaker = service.breaker(0)
+        assert breaker.state == "closed"
+        assert breaker.to_json()["opened"] == 0
+
+
 class TestDeadlinePropagation:
     def collect_calls(self, deadline, client_stall=0.0, chaos=None):
         config = ServiceConfig(

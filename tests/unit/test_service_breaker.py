@@ -104,6 +104,41 @@ class TestHalfOpen:
         assert not breaker.allow(2.9)   # fresh cooldown from t=2.1
         assert breaker.allow(3.2)
 
+    def test_abandoned_probes_release_their_slots(self):
+        """A probe that ends without an outcome (deadline death before
+        any attempt) must free its slot, or the breaker wedges half-open
+        once every slot has leaked."""
+        breaker = make(cooldown=1.0, probes=1)
+        self.trip(breaker)
+        assert breaker.allow(2.0)          # the only probe slot
+        assert not breaker.allow(2.1)      # budget exhausted
+        breaker.probe_abandoned(2.2)       # probe died with no outcome
+        assert breaker.state == HALF_OPEN  # abandonment is not a failure
+        assert breaker.allow(2.3)          # slot is admittable again
+        breaker.record_success(2.4)
+        assert breaker.state == CLOSED
+
+    def test_abandonment_does_not_count_toward_closing(self):
+        breaker = make(cooldown=1.0, probes=2)
+        self.trip(breaker)
+        assert breaker.allow(2.0)
+        assert breaker.allow(2.0)
+        breaker.probe_abandoned(2.1)
+        breaker.record_success(2.2)
+        assert breaker.state == HALF_OPEN  # one success, not two
+        assert breaker.allow(2.3)
+        breaker.record_success(2.4)
+        assert breaker.state == CLOSED
+
+    def test_probe_abandoned_outside_half_open_is_a_no_op(self):
+        breaker = make()
+        breaker.probe_abandoned(0.1)
+        assert breaker.state == CLOSED
+        self.trip(breaker, at=1.0)
+        breaker.probe_abandoned(1.5)
+        assert breaker.state == OPEN
+        assert breaker.allow(2.1)  # cooldown re-entry unaffected
+
     def test_full_cycle_counters(self):
         """open -> half-open -> closed transitions all land in counters
         (the SLO report's evidence that the cycle really happened)."""
