@@ -18,6 +18,9 @@ Installed as ``python -m repro``.  Subcommands:
 - ``bench``        run the curated perf suite, write ``BENCH_<label>.json``
 - ``bench compare`` gate one bench report against another (CI perf gate)
 - ``bench trend``  summarize the append-only BENCH_history.jsonl ledger
+- ``growth``       sweep n over decades to 10^6 and emit the deterministic
+  asymptotic separation curves (``GROWTH_<label>.json``); ``--baseline``
+  byte-gates the result against a committed report (CI scale-smoke)
 - ``serve``        expose consensus rounds as sessions over a JSON-lines
   TCP endpoint (the consensus-as-a-service front end)
 - ``loadtest``     replay a seeded open-loop traffic profile against the
@@ -494,6 +497,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_trend.add_argument("--json", action="store_true",
                              help="print the trend summary as JSON")
+
+    from repro.analysis.growth import DEFAULT_MAX_N, QUICK_MAX_N
+
+    growth = sub.add_parser(
+        "growth",
+        help="sweep n over decades to the million-process regime and emit "
+             "the deterministic GROWTH_<label>.json separation curves",
+        description="Run the asymptotic growth-curve experiment: ensemble "
+                    "per-process work for the snapshot/sifting conciliators "
+                    "and the DoublingCIL baseline on the vectorized backend, "
+                    "the baseline's solo-run log-n ladder on the generator "
+                    "backend, and a sparse/streaming shared-state probe at "
+                    "the largest decade.  The report is a pure function of "
+                    "(seed, epsilon, max-n) — no wall clock or git SHA — so "
+                    "CI byte-compares it against a committed baseline.",
+        epilog="Exit codes: 0 = curves computed and self-checks passed "
+               "(and the baseline matched, when --baseline is given); "
+               "1 = self-checks failed or the baseline diverged; "
+               "2 = usage or configuration error.",
+    )
+    growth.add_argument("--quick", action="store_true",
+                        help=f"stop the sweep at n={QUICK_MAX_N:,} (the CI "
+                             "scale-smoke size) instead of "
+                             f"n={DEFAULT_MAX_N:,}")
+    growth.add_argument("--max-n", type=int, default=None, metavar="N",
+                        help="override the largest decade explicitly "
+                             "(wins over --quick)")
+    growth.add_argument("--label", type=str, default="local",
+                        help="report label; names the output file "
+                             "GROWTH_<label>.json (default: local)")
+    growth.add_argument("--seed", type=int, default=2012)
+    growth.add_argument("--epsilon", type=float, default=0.5)
+    growth.add_argument("--out", type=str, default=None, metavar="PATH",
+                        help="write the report to PATH (a directory gets "
+                             "the canonical GROWTH_<label>.json name)")
+    growth.add_argument("--baseline", type=str, default=None, metavar="PATH",
+                        help="byte-compare this run's deterministic view "
+                             "against the committed report at PATH and fail "
+                             "on any divergence (the scale-smoke gate)")
+    growth.add_argument("--json", action="store_true",
+                        help="print the full report as JSON on stdout")
 
     serve = sub.add_parser(
         "serve",
@@ -1214,6 +1258,53 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0 if report["sessions"]["unexpected_errors"] == 0 else 1
 
 
+def _cmd_growth(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.growth import (
+        DEFAULT_MAX_N,
+        QUICK_MAX_N,
+        compare_growth,
+        load_growth_json,
+        run_growth_experiment,
+        write_growth_json,
+    )
+
+    if args.max_n is not None:
+        max_n = args.max_n
+    elif args.quick:
+        max_n = QUICK_MAX_N
+    else:
+        max_n = DEFAULT_MAX_N
+    report = run_growth_experiment(
+        label=args.label,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        max_n=max_n,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    if args.out is not None:
+        path = write_growth_json(report, args.out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        checks = report["checks"]
+        print(f"label={report['label']} seed={report['seed']} "
+              f"max_n={report['max_n']} "
+              f"ordering={' <= '.join(checks['observed_ordering'])} "
+              f"growth_ratio={checks['growth_ratio']}x "
+              f"checks={'ok' if checks['ok'] else 'FAILED'}")
+    ok = bool(report["checks"]["ok"])
+    if args.baseline is not None:
+        matches, message = compare_growth(
+            load_growth_json(args.baseline), report
+        )
+        print(message, file=sys.stderr)
+        ok = ok and matches
+    return 0 if ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1230,6 +1321,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explain": _cmd_explain,
         "timeline": _cmd_timeline,
         "bench": _cmd_bench,
+        "growth": _cmd_growth,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
     }

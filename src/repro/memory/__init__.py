@@ -27,7 +27,11 @@ read-resolution policy.
 
 from repro.memory.base import SharedObject
 from repro.memory.bounded_max_register import BoundedMaxRegister
-from repro.memory.emulated_snapshot import EmulatedSnapshot, SnapshotCell
+from repro.memory.emulated_snapshot import (
+    EmulatedSnapshot,
+    LazyRegisterFile,
+    SnapshotCell,
+)
 from repro.memory.max_register import MaxRegister
 from repro.memory.register import AtomicRegister
 from repro.memory.register_array import RegisterArray, SnapshotArray
@@ -36,15 +40,22 @@ from repro.memory.semantics import (
     SemanticsInjector,
     SemanticsResolver,
 )
-from repro.memory.snapshot import SnapshotObject
+from repro.memory.snapshot import (
+    SPARSE_AUTO_THRESHOLD,
+    SnapshotObject,
+    SparseView,
+)
 
 __all__ = [
     "SharedObject",
     "AtomicRegister",
     "SnapshotObject",
+    "SparseView",
+    "SPARSE_AUTO_THRESHOLD",
     "MaxRegister",
     "BoundedMaxRegister",
     "EmulatedSnapshot",
+    "LazyRegisterFile",
     "SnapshotCell",
     "RegisterArray",
     "SnapshotArray",

@@ -29,14 +29,54 @@ register reads and writes, exactly how a real algorithm would layer it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.memory.register import AtomicRegister
 from repro.runtime.operations import Operation, Read, Write
 from repro.runtime.process import ProcessContext
 
-__all__ = ["SnapshotCell", "EmulatedSnapshot"]
+__all__ = ["SnapshotCell", "EmulatedSnapshot", "LazyRegisterFile"]
+
+
+class LazyRegisterFile:
+    """A fixed-size register file allocated one register per first touch.
+
+    Looks like the eager ``List[AtomicRegister]`` it replaces — indexing
+    and iteration over all ``n`` slots work unchanged — but a register
+    object only exists once some operation targets its index, so building
+    an ``n``-component emulation costs :math:`O(1)` until processes move.
+    A full collect still touches (and therefore allocates) every index:
+    that is the emulation's own :math:`O(n)`-reads-per-scan price, not a
+    storage artifact.
+    """
+
+    def __init__(self, n: int, name: str):
+        self.n = n
+        self.name = name
+        self._registers: Dict[int, AtomicRegister] = {}
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, index: int) -> AtomicRegister:
+        if not 0 <= index < self.n:
+            raise IndexError(
+                f"register index {index} out of range for n={self.n}"
+            )
+        register = self._registers.get(index)
+        if register is None:
+            register = AtomicRegister(f"{self.name}[{index}]")
+            self._registers[index] = register
+        return register
+
+    def __iter__(self) -> Iterator[AtomicRegister]:
+        for index in range(self.n):
+            yield self[index]
+
+    def allocated(self) -> List[int]:
+        """Indices whose registers exist, in sorted order."""
+        return sorted(self._registers)
 
 
 @dataclass(frozen=True)
@@ -56,9 +96,7 @@ class EmulatedSnapshot:
             raise ConfigurationError(f"snapshot needs n >= 1, got {n}")
         self.n = n
         self.name = name
-        self.registers: List[AtomicRegister] = [
-            AtomicRegister(f"{name}[{pid}]") for pid in range(n)
-        ]
+        self.registers = LazyRegisterFile(n, name)
         # Instrumentation for E15 and the tests.
         self.clean_scans = 0
         self.borrowed_scans = 0

@@ -9,7 +9,7 @@ array, while experiments can still enumerate what was actually used.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.memory.base import SharedObject
 from repro.memory.register import AtomicRegister
@@ -61,14 +61,21 @@ class RegisterArray(ObjectArray):
 
 
 class SnapshotArray(ObjectArray):
-    """Unbounded array of snapshot objects, e.g. ``A_i`` in Algorithm 1."""
+    """Unbounded array of snapshot objects, e.g. ``A_i`` in Algorithm 1.
 
-    def __init__(self, n: int, name: str = "A"):
+    ``sparse`` is forwarded to every :class:`SnapshotObject` this array
+    materializes (``None`` keeps the size-based automatic choice), so a
+    round-indexed family of snapshots inherits the sparse storage model
+    from one switch.
+    """
+
+    def __init__(self, n: int, name: str = "A", *, sparse: Optional[bool] = None):
         super().__init__(
-            lambda index: SnapshotObject(n, f"{name}[{index}]"),
+            lambda index: SnapshotObject(n, f"{name}[{index}]", sparse=sparse),
             name=name,
         )
         self.n = n
+        self.sparse = sparse
 
     def __getitem__(self, index: int) -> SnapshotObject:
         snapshot = super().__getitem__(index)

@@ -14,6 +14,11 @@ number here:
 - ``vectorized-snapshot``   Algorithm 1 on the NumPy mass-trial backend
 - ``late-adversary-sifting``  Algorithm 2 under the late-δ choosing
   adversary (the weakened-model hot path: adversary wrapper + clamping)
+- ``sparse-sifting-large``  Algorithm 2 at thousands of processes under an
+  O(1)-memory streaming schedule (the large-n generator path: lazy
+  register allocation + pure-function sampling)
+- ``streaming-schedule``    raw ``pid_at`` sampler throughput at
+  n = 10^6 (the million-process regime's schedule hot loop)
 
 The two ``vectorized-*`` cases exist to pin the mass-trial backend's
 headline claim — orders of magnitude more steps/sec than the generator's
@@ -121,11 +126,13 @@ def _run_trials(
     seed: int,
     hooks_factory: Optional[Callable[[], Tuple[List[Any], MetricsRegistry]]],
     allow_partial: bool = False,
+    family: str = "random",
 ) -> Dict[str, Any]:
     """Shared measurement loop: per-trial latency, steps, metric snapshots.
 
     ``build(seeds)`` returns ``(programs, inputs)`` for one trial; the
-    schedule comes from the trial's ``"schedule"`` seed branch as usual.
+    schedule is the ``family`` member built from the trial's ``"schedule"``
+    seed branch as usual.
     """
     latencies: List[float] = []
     total_steps = 0
@@ -133,7 +140,7 @@ def _run_trials(
     for trial in range(trials):
         seeds = SeedTree(seed).child(f"bench-{trial}")
         programs, inputs = build(seeds)
-        schedule = make_schedule("random", n, seeds.child("schedule"))
+        schedule = make_schedule(family, n, seeds.child("schedule"))
         hooks: List[Any] = []
         registry: Optional[MetricsRegistry] = None
         if hooks_factory is not None:
@@ -294,6 +301,60 @@ def _case_late_adversary_sifting(sizing: _Sizing, seed: int) -> Dict[str, Any]:
     }
 
 
+def _case_sparse_sifting_large(sizing: _Sizing, seed: int) -> Dict[str, Any]:
+    """Algorithm 2 at thousands of processes on the generator backend.
+
+    Exercises the large-n path the small cases never touch: lazily
+    allocated register files (only the handful of round registers
+    materialize) driven by an O(1)-memory streaming schedule instead of a
+    materialized pid list.  Metrics hooks are left off — at this size the
+    hook dispatch would dominate and hide a regression in the state layer
+    itself.
+    """
+    from repro.core.sifting_conciliator import SiftingConciliator
+
+    def build(seeds: SeedTree):
+        conciliator = SiftingConciliator(sizing.n)
+        return ([conciliator.program] * sizing.n,
+                [pid % 2 for pid in range(sizing.n)])
+
+    return _run_trials(
+        build, n=sizing.n, trials=sizing.trials, seed=seed,
+        hooks_factory=None, family="streaming-permuted",
+    )
+
+
+def _case_streaming_schedule(sizing: _Sizing, seed: int) -> Dict[str, Any]:
+    """Raw streaming-sampler throughput at the million-process regime.
+
+    One timed scan of ``trials`` slots through a
+    :class:`~repro.runtime.streaming.StreamingPermutedSchedule` at
+    ``n = 10^6`` — the schedule hot loop of every large-n experiment, with
+    no simulator around it.  ``total_steps`` counts sampled slots, so the
+    headline stays steps/sec; the pid checksum keeps the loop honest.
+    """
+    from repro.runtime.streaming import StreamingPermutedSchedule
+
+    schedule = StreamingPermutedSchedule(sizing.n, seed)
+    slots = sizing.trials
+    checksum = 0
+    started = time.perf_counter()
+    for step in range(slots):
+        checksum += schedule.pid_at(step)
+    elapsed = time.perf_counter() - started
+    assert 0 <= checksum < slots * sizing.n
+    return {
+        "trials": 1,
+        "n": sizing.n,
+        "total_steps": slots,
+        "elapsed_seconds": elapsed,
+        "steps_per_sec": slots / elapsed if elapsed > 0 else 0.0,
+        "latency_p50_s": elapsed,
+        "latency_p95_s": elapsed,
+        "metrics": None,
+    }
+
+
 def _numpy_available() -> bool:
     """Indirection over the backend's probe (monkeypatchable in tests)."""
     from repro.runtime.vectorized import numpy_available
@@ -389,6 +450,18 @@ _SUITE: Dict[str, Tuple[Callable[[_Sizing, int], Dict[str, Any]],
     "late-adversary-sifting": (
         _case_late_adversary_sifting,
         _Sizing(n=16, trials=200), _Sizing(n=32, trials=300),
+    ),
+    # Large-n cases for the million-process machinery: the generator loop
+    # over lazy registers + streaming schedule, and the bare sampler.  For
+    # `streaming-schedule`, `trials` is the slot count of one timed scan.
+    "sparse-sifting-large": (
+        _case_sparse_sifting_large,
+        _Sizing(n=2048, trials=3), _Sizing(n=4096, trials=6),
+    ),
+    "streaming-schedule": (
+        _case_streaming_schedule,
+        _Sizing(n=1_000_000, trials=100_000),
+        _Sizing(n=1_000_000, trials=400_000),
     ),
 }
 

@@ -17,6 +17,16 @@ Cost model:
 - **Attached, sampling**: ``sample_every=k`` records every ``k``-th step
   event (lifecycle events — crash, stall, finish, run boundaries — are
   always recorded; they are rare and carry the causal skeleton).
+- **Attached, pid sampling** (the million-process mode): per-process
+  lifecycle events stop being "rare" once there are :math:`10^6`
+  processes — every pid emits at least a ``finish`` — so
+  ``pid_sample_every=k`` restricts *all* per-pid events (steps and
+  lifecycle alike) to the strided pid subset ``{0, k, 2k, ...}``, and
+  ``pid_reservoir=m`` with ``reservoir_seed`` keeps a seeded
+  pseudo-random subset of at most ``m`` pids instead (drawn once per run
+  from the run's ``n``; deterministic given the seed).  Run boundaries
+  (``run-start`` / ``run-end``) are always recorded — they carry the
+  whole-run accounting.  The two pid filters are mutually exclusive.
 
 Protocol-level milestones (persona adoption, round transitions) are not
 visible at the shared-memory interface, so they cannot be captured at step
@@ -67,10 +77,25 @@ class TraceRecorder(StepHook):
     Args:
         capacity: ring-buffer size; ``None`` keeps every recorded event.
         sample_every: record every ``k``-th step event (1 = all).
-            Lifecycle events are exempt from sampling.
+            Lifecycle events are exempt from this *step* sampling.
+        pid_sample_every: restrict every per-pid event (steps *and*
+            lifecycle) to pids divisible by ``k`` (1 = all pids).  This is
+            what keeps observability affordable at millions of processes,
+            where even one ``finish`` event per pid is a gigabyte.
+        pid_reservoir: instead of a stride, keep a seeded pseudo-random
+            subset of at most this many pids, drawn once per run from the
+            run's process count (``random.Random(reservoir_seed).sample``),
+            so the retained pids are unbiased in pid order yet exactly
+            reproducible.  Mutually exclusive with ``pid_sample_every``.
+        reservoir_seed: seed for the reservoir draw (default 0).
         include_values: include written values and results in payloads
             (True by default; disable to shrink traces of value-heavy
             protocols while keeping the step/object skeleton).
+
+    Run boundaries (``run-start`` / ``run-end``) are never pid-sampled;
+    events recorded before any run starts (externally emitted milestones)
+    pass the reservoir filter untouched, because the population is not
+    known until ``on_run_start``.
     """
 
     def __init__(
@@ -78,6 +103,9 @@ class TraceRecorder(StepHook):
         *,
         capacity: Optional[int] = None,
         sample_every: int = 1,
+        pid_sample_every: int = 1,
+        pid_reservoir: Optional[int] = None,
+        reservoir_seed: int = 0,
         include_values: bool = True,
     ):
         if capacity is not None and capacity < 1:
@@ -88,9 +116,28 @@ class TraceRecorder(StepHook):
             raise ConfigurationError(
                 f"sample_every must be >= 1, got {sample_every}"
             )
+        if pid_sample_every < 1:
+            raise ConfigurationError(
+                f"pid_sample_every must be >= 1, got {pid_sample_every}"
+            )
+        if pid_reservoir is not None:
+            if pid_reservoir < 1:
+                raise ConfigurationError(
+                    f"pid_reservoir must be >= 1 (or None), got "
+                    f"{pid_reservoir}"
+                )
+            if pid_sample_every != 1:
+                raise ConfigurationError(
+                    "pid_sample_every and pid_reservoir are mutually "
+                    "exclusive pid filters; set at most one"
+                )
         self.capacity = capacity
         self.sample_every = sample_every
+        self.pid_sample_every = pid_sample_every
+        self.pid_reservoir = pid_reservoir
+        self.reservoir_seed = reservoir_seed
         self.include_values = include_values
+        self._reservoir: Optional[frozenset] = None
         self._events: Deque[TraceEventRecord] = deque(maxlen=capacity)
         self._step_events_seen = 0
         #: Events recorded (post-sampling) over the recorder's lifetime,
@@ -98,6 +145,8 @@ class TraceRecorder(StepHook):
         self.recorded_total = 0
         #: Step events observed before sampling, for sampling diagnostics.
         self.steps_observed = 0
+        #: Per-pid events dropped by the pid filter, for diagnostics.
+        self.pid_events_dropped = 0
 
     # ----- access ----------------------------------------------------------
 
@@ -127,9 +176,34 @@ class TraceRecorder(StepHook):
         """Record an externally built event (protocol milestones, tests)."""
         self._record(event)
 
+    # ----- pid sampling -----------------------------------------------------
+
+    def _pid_sampled(self, pid: int) -> bool:
+        """True when ``pid``'s events should be retained."""
+        if self.pid_reservoir is not None:
+            if self._reservoir is None:
+                return True  # population unknown before the run starts
+            return pid in self._reservoir
+        return pid % self.pid_sample_every == 0
+
+    @property
+    def sampled_pids(self) -> Optional[frozenset]:
+        """The reservoir pid set once a run has started (else ``None``)."""
+        return self._reservoir
+
     # ----- StepHook interface ----------------------------------------------
 
     def on_run_start(self, simulator: "Simulator") -> None:
+        if self.pid_reservoir is not None:
+            import random
+
+            population = simulator.n
+            size = min(self.pid_reservoir, population)
+            self._reservoir = frozenset(
+                random.Random(self.reservoir_seed).sample(
+                    range(population), size
+                )
+            )
         self._record(TraceEventRecord(
             kind="run-start",
             payload={"n": simulator.n, "step_limit": simulator.step_limit},
@@ -139,6 +213,10 @@ class TraceRecorder(StepHook):
         self, pid: int, step_index: int, operation: Operation, result: Any
     ) -> None:
         self.steps_observed += 1
+        if not self._pid_sampled(pid):
+            self.pid_events_dropped += 1
+            self._step_events_seen += 1
+            return
         if self._step_events_seen % self.sample_every == 0:
             kind = OPERATION_EVENT_KINDS.get(operation.kind, "step")
             payload = {"obj": operation.obj.name, "op": operation.kind}
@@ -163,16 +241,25 @@ class TraceRecorder(StepHook):
         return None
 
     def on_skip(self, pid: int, global_steps: int) -> None:
+        if not self._pid_sampled(pid):
+            self.pid_events_dropped += 1
+            return
         self._record(TraceEventRecord(
             kind="stall", step=global_steps, pid=pid,
         ))
 
     def on_crash(self, pid: int, steps_taken: int) -> None:
+        if not self._pid_sampled(pid):
+            self.pid_events_dropped += 1
+            return
         self._record(TraceEventRecord(
             kind="crash", pid=pid, payload={"steps_taken": steps_taken},
         ))
 
     def on_finish(self, pid: int, output: Any) -> None:
+        if not self._pid_sampled(pid):
+            self.pid_events_dropped += 1
+            return
         payload = {}
         if self.include_values:
             payload["output"] = _jsonable(output)

@@ -4,6 +4,21 @@ Experiments hold the adversary *family* fixed while sweeping n or drawing
 fresh trials; :func:`make_schedule` builds the named family member for a
 given n and trial seed, keeping every randomized schedule on its own seed
 branch (so schedules stay independent of algorithm coins).
+
+Seeding contract: every randomized family draws its private seed from a
+*named child* of the ``seeds`` tree passed in (``seeds.child("permuted")``,
+``seeds.child("random")``, ...), and :class:`ScheduleSpec` pins the integer
+seed directly.  Two specs with equal ``(family, n, seed)`` therefore
+rebuild bit-identical schedules on any host, and a family's seed never
+feeds any other family's randomness.  The ``streaming-*`` families consume
+their seed through stateless hashing (no ``random.Random`` instance at
+all), so the same integer seed can be shared across millions of slots
+without per-pass state.
+
+Scale contract: families whose construction or iteration materializes
+:math:`O(n)` state (:data:`MATERIALIZED_FAMILIES`) are refused above
+:data:`MAX_MATERIALIZED_N` processes with a pointer at the equivalent
+``streaming-*`` family, instead of silently allocating gigabytes.
 """
 
 from __future__ import annotations
@@ -25,10 +40,20 @@ from repro.runtime.scheduler import (
     RoundRobinSchedule,
     Schedule,
 )
+from repro.runtime.streaming import (
+    StreamingInterleavedSchedule,
+    StreamingPermutedSchedule,
+    StreamingRandomSchedule,
+    StreamingReversedSchedule,
+    StreamingRoundRobinSchedule,
+)
 
 __all__ = [
     "SCHEDULE_FAMILIES",
     "LOCKSTEP_FAMILIES",
+    "STREAMING_FAMILIES",
+    "MATERIALIZED_FAMILIES",
+    "MAX_MATERIALIZED_N",
     "ALL_SCHEDULE_FAMILIES",
     "ScheduleSpec",
     "make_schedule",
@@ -51,9 +76,50 @@ SCHEDULE_FAMILIES = (
 #: every seeded campaign and invalidate the committed regression corpus.
 LOCKSTEP_FAMILIES = ("round-robin", "reversed", "permuted", "interleaved")
 
+#: O(1)-memory pure-function samplers (:mod:`repro.runtime.streaming`).
+#: ``streaming-round-robin`` / ``streaming-reversed`` are bit-identical to
+#: their materialized namesakes; the seeded three are the same distribution
+#: families re-sampled through a Feistel permutation / hash, registered as
+#: new names so existing seeded runs keep their exact streams.
+STREAMING_FAMILIES = (
+    "streaming-round-robin",
+    "streaming-reversed",
+    "streaming-permuted",
+    "streaming-interleaved",
+    "streaming-random",
+)
+
+#: Families that materialize O(n) state per construction or pass —
+#: ``permuted`` reshuffles a pid list, ``interleaved`` a 2n-slot window,
+#: ``crash-half`` a crash budget per crashed pid.  Above
+#: :data:`MAX_MATERIALIZED_N` they are refused with a streaming hint.
+MATERIALIZED_FAMILIES = ("permuted", "interleaved", "crash-half")
+
+#: Hard ceiling (2**20 processes) for :data:`MATERIALIZED_FAMILIES`.
+MAX_MATERIALIZED_N = 1 << 20
+
+#: The streaming stand-in suggested when a materialized family is refused.
+_STREAMING_HINT = {
+    "permuted": "streaming-permuted",
+    "interleaved": "streaming-interleaved",
+    "crash-half": "streaming-random",
+}
+
 #: Everything :func:`make_schedule` understands (the classic gallery plus
-#: the lockstep-only families used by the vectorized backend).
-ALL_SCHEDULE_FAMILIES = SCHEDULE_FAMILIES + ("permuted", "interleaved")
+#: the lockstep-only families used by the vectorized backend and the
+#: streaming samplers for the million-process regime).
+ALL_SCHEDULE_FAMILIES = (
+    SCHEDULE_FAMILIES + ("permuted", "interleaved") + STREAMING_FAMILIES
+)
+
+
+def _check_materialized_scale(family: str, n: int) -> None:
+    if family in MATERIALIZED_FAMILIES and n > MAX_MATERIALIZED_N:
+        raise ConfigurationError(
+            f"family {family!r} materializes O(n) state and is refused at "
+            f"n={n} > {MAX_MATERIALIZED_N} (2**20): use the O(1)-memory "
+            f"{_STREAMING_HINT[family]!r} streaming family instead"
+        )
 
 
 def make_schedule(family: str, n: int, seeds: SeedTree) -> Schedule:
@@ -63,6 +129,7 @@ def make_schedule(family: str, n: int, seeds: SeedTree) -> Schedule:
     subtree so that repeated trials see fresh (but reproducible) adversary
     randomness.
     """
+    _check_materialized_scale(family, n)
     if family == "round-robin":
         return RoundRobinSchedule(n)
     if family == "reversed":
@@ -71,6 +138,22 @@ def make_schedule(family: str, n: int, seeds: SeedTree) -> Schedule:
         return PermutedRoundRobinSchedule(n, seeds.child("permuted").seed)
     if family == "interleaved":
         return InterleavedLockstepSchedule(n, seeds.child("interleaved").seed)
+    if family == "streaming-round-robin":
+        return StreamingRoundRobinSchedule(n)
+    if family == "streaming-reversed":
+        return StreamingReversedSchedule(n)
+    if family == "streaming-permuted":
+        return StreamingPermutedSchedule(
+            n, seeds.child("streaming-permuted").seed
+        )
+    if family == "streaming-interleaved":
+        return StreamingInterleavedSchedule(
+            n, seeds.child("streaming-interleaved").seed
+        )
+    if family == "streaming-random":
+        return StreamingRandomSchedule(
+            n, seeds.child("streaming-random").seed
+        )
     if family == "random":
         return RandomSchedule(n, seeds.child("random").seed)
     if family == "blocks":
@@ -129,6 +212,9 @@ class ScheduleSpec:
             )
         if self.n < 1:
             raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        # Refuse gigabyte-scale materialization at spec-construction time,
+        # before any sweep machinery holds a doomed spec.
+        _check_materialized_scale(self.family, self.n)
 
     @property
     def is_finite(self) -> bool:

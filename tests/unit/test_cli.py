@@ -600,3 +600,40 @@ class TestBackendFlags:
                          "--trials", "4", "--schedule", family])
             assert code == 0
             assert "agreement rate:" in capsys.readouterr().out
+
+
+class TestGrowthCommand:
+    def test_growth_runs_and_writes_report(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        code = main(["growth", "--max-n", "10", "--label", "t",
+                     "--out", str(tmp_path)])
+        captured = capsys.readouterr()
+        # Separation needs several decades; a single-decade run reports
+        # its curves but fails the self-checks — exit 1, file still written.
+        assert code == 1
+        assert "checks=FAILED" in captured.out
+        assert (tmp_path / "GROWTH_t.json").exists()
+
+    def test_growth_baseline_gate_matches_itself(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        main(["growth", "--max-n", "100", "--label", "a",
+              "--out", str(tmp_path)])
+        capsys.readouterr()
+        code = main(["growth", "--max-n", "100", "--label", "b",
+                     "--baseline", str(tmp_path / "GROWTH_a.json")])
+        captured = capsys.readouterr()
+        assert "byte for byte" in captured.err
+        # Both runs fail only the separation self-check (two decades); the
+        # byte gate itself passed, proving label-independent determinism.
+        assert "diverges" not in captured.err
+
+    def test_growth_baseline_gate_catches_divergence(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        main(["growth", "--max-n", "100", "--label", "a",
+              "--out", str(tmp_path)])
+        capsys.readouterr()
+        code = main(["growth", "--max-n", "100", "--seed", "999",
+                     "--baseline", str(tmp_path / "GROWTH_a.json")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "diverges" in captured.err

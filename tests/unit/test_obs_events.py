@@ -262,3 +262,69 @@ class TestAnnotateConciliator:
         assert transitions
         for event in transitions:
             assert 1 <= event.payload["survivors"] <= n
+
+
+class TestPidSampling:
+    """The million-process mode: strided / reservoir pid filters."""
+
+    def test_stride_keeps_only_multiple_pids(self):
+        recorder = _run_traced(n=6, ops=3, pid_sample_every=3)
+        step_kinds = ("register-write", "register-read", "step")
+        for event in recorder.events:
+            if event.kind in step_kinds or event.kind == "finish":
+                assert event.pid % 3 == 0
+        finishes = recorder.events_of_kind("finish")
+        assert sorted(e.pid for e in finishes) == [0, 3]
+        assert recorder.pid_events_dropped > 0
+
+    def test_stride_of_one_drops_nothing(self):
+        recorder = _run_traced(n=4, ops=2)
+        assert recorder.pid_events_dropped == 0
+        assert len(recorder.events_of_kind("finish")) == 4
+
+    def test_reservoir_is_seeded_and_bounded(self):
+        first = _run_traced(n=8, ops=3, pid_reservoir=3, reservoir_seed=5)
+        second = _run_traced(n=8, ops=3, pid_reservoir=3, reservoir_seed=5)
+        assert first.sampled_pids == second.sampled_pids
+        assert len(first.sampled_pids) == 3
+        for event in first.events:
+            if event.pid is not None:
+                assert event.pid in first.sampled_pids
+        other = _run_traced(n=8, ops=3, pid_reservoir=3, reservoir_seed=6)
+        assert other.sampled_pids != first.sampled_pids
+
+    def test_reservoir_larger_than_n_keeps_everything(self):
+        recorder = _run_traced(n=4, ops=2, pid_reservoir=100)
+        assert recorder.sampled_pids == frozenset(range(4))
+        assert recorder.pid_events_dropped == 0
+
+    def test_run_boundaries_always_recorded(self):
+        recorder = _run_traced(n=6, ops=3, pid_sample_every=1000)
+        assert recorder.events[0].kind == "run-start"
+        assert recorder.events[-1].kind == "run-end"
+
+    def test_pid_filter_composes_with_step_sampling_stride(self):
+        # The global step stride counts *observed* steps, not retained
+        # ones, so adding a pid filter must not shift which steps the
+        # stride selects for the surviving pids.
+        dense = _run_traced(n=4, ops=6, sample_every=3)
+        filtered = _run_traced(
+            n=4, ops=6, sample_every=3, pid_sample_every=2
+        )
+        step_kinds = ("register-write", "register-read")
+        dense_steps = [
+            (e.pid, e.step) for e in dense.events
+            if e.kind in step_kinds and e.pid % 2 == 0
+        ]
+        filtered_steps = [
+            (e.pid, e.step) for e in filtered.events if e.kind in step_kinds
+        ]
+        assert filtered_steps == dense_steps
+
+    def test_rejects_conflicting_and_invalid_filters(self):
+        with pytest.raises(ConfigurationError, match="mutually"):
+            TraceRecorder(pid_sample_every=2, pid_reservoir=3)
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(pid_sample_every=0)
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(pid_reservoir=0)

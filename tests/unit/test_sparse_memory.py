@@ -1,0 +1,145 @@
+"""Sparse/lazy shared state: SparseView, sparse snapshots, lazy registers.
+
+The load-bearing property is dense==sparse equivalence: a sparse
+:class:`SnapshotObject` must be observationally identical to a dense one
+under any interleaving of updates and scans — same per-index reads, same
+equality against tuple expectations, same touched accounting — because
+the conciliators and the trace checker are written against the dense
+contract.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.emulated_snapshot import EmulatedSnapshot, LazyRegisterFile
+from repro.memory.register_array import SnapshotArray
+from repro.memory.snapshot import (
+    SPARSE_AUTO_THRESHOLD,
+    SnapshotObject,
+    SparseView,
+)
+from repro.runtime.operations import Scan, Update
+
+
+class TestSparseView:
+    def _view(self):
+        return SparseView(((1, "a"), (4, "b")), n=6)
+
+    def test_len_is_n(self):
+        assert len(self._view()) == 6
+
+    def test_getitem_dense_contract(self):
+        view = self._view()
+        assert [view[i] for i in range(6)] == [
+            None, "a", None, None, "b", None,
+        ]
+        assert view[-2] == "b"
+        with pytest.raises(IndexError):
+            view[6]
+        with pytest.raises(IndexError):
+            view[-7]
+
+    def test_slice_returns_dense_tuple(self):
+        assert self._view()[1:5] == ("a", None, None, "b")
+
+    def test_iteration_yields_touched_only(self):
+        assert list(self._view()) == ["a", "b"]
+        assert [e for e in self._view() if e is not None] == ["a", "b"]
+
+    def test_dense_iteration_and_equality(self):
+        view = self._view()
+        assert tuple(view.dense()) == (None, "a", None, None, "b", None)
+        assert view == (None, "a", None, None, "b", None)
+        assert view != (None, "a", None, None, "b", "x")
+        assert view == SparseView(((1, "a"), (4, "b")), n=6)
+        assert view != SparseView(((1, "a"),), n=6)
+
+    def test_touched_and_items(self):
+        view = self._view()
+        assert view.touched() == 2
+        assert view.items() == ((1, "a"), (4, "b"))
+
+    def test_hashable(self):
+        assert hash(self._view()) == hash(SparseView(((1, "a"), (4, "b")), 6))
+
+
+class TestSparseSnapshotObject:
+    def test_auto_threshold_selects_mode(self):
+        assert not SnapshotObject(4).sparse
+        assert not SnapshotObject(SPARSE_AUTO_THRESHOLD - 1).sparse
+        assert SnapshotObject(SPARSE_AUTO_THRESHOLD).sparse
+        assert SnapshotObject(4, sparse=True).sparse
+        assert not SnapshotObject(SPARSE_AUTO_THRESHOLD, sparse=False).sparse
+
+    def test_sparse_scan_returns_sparse_view(self):
+        snapshot = SnapshotObject(8, sparse=True)
+        snapshot.apply(Update(snapshot, "v3"), 3)
+        view = snapshot.apply(Scan(snapshot), 0)
+        assert isinstance(view, SparseView)
+        assert len(view) == 8
+        assert view[3] == "v3" and view[0] is None
+        assert list(view) == ["v3"]
+
+    def test_idle_processes_cost_nothing_until_first_write(self):
+        snapshot = SnapshotObject(10**6, sparse=True)
+        assert snapshot.touched_components == 0
+        snapshot.apply(Update(snapshot, "x"), 999_999)
+        assert snapshot.touched_components == 1
+        view = snapshot.apply(Scan(snapshot), 0)
+        assert view.touched() == 1
+        assert view[999_999] == "x"
+
+    def test_dense_sparse_equivalence_property(self):
+        # Dense and sparse objects driven through identical seeded
+        # update/scan interleavings must agree on every observable.
+        for trial in range(30):
+            rng = random.Random(1000 + trial)
+            n = rng.randrange(1, 12)
+            dense = SnapshotObject(n, sparse=False)
+            sparse = SnapshotObject(n, sparse=True)
+            for _ in range(rng.randrange(1, 40)):
+                pid = rng.randrange(n)
+                if rng.random() < 0.5:
+                    value = rng.randrange(100)
+                    dense.apply(Update(dense, value), pid)
+                    sparse.apply(Update(sparse, value), pid)
+                else:
+                    dense_view = dense.apply(Scan(dense), pid)
+                    sparse_view = sparse.apply(Scan(sparse), pid)
+                    assert sparse_view == dense_view
+                    assert tuple(sparse_view.dense()) == dense_view
+                    assert [sparse_view[i] for i in range(n)] == list(dense_view)
+            assert sparse.components == dense.components
+            assert sparse.touched_components == dense.touched_components
+            assert sparse.view_sizes == dense.view_sizes
+            assert sparse.views_nest() == dense.views_nest()
+
+    def test_snapshot_array_forwards_sparse(self):
+        array = SnapshotArray(4, sparse=True)
+        assert array[0].sparse and array[3].sparse
+        assert not SnapshotArray(4)[0].sparse
+
+
+class TestLazyRegisterFile:
+    def test_allocates_on_first_touch_only(self):
+        registers = LazyRegisterFile(10**6, "r")
+        assert len(registers) == 10**6
+        assert registers.allocated() == []
+        register = registers[123_456]
+        assert register.name == "r[123456]"
+        assert registers.allocated() == [123_456]
+        assert registers[123_456] is register
+
+    def test_range_checked(self):
+        registers = LazyRegisterFile(4, "r")
+        with pytest.raises(IndexError):
+            registers[4]
+        with pytest.raises(IndexError):
+            registers[-1]
+
+    def test_emulated_snapshot_registers_are_lazy(self):
+        snapshot = EmulatedSnapshot(SPARSE_AUTO_THRESHOLD * 4, "S")
+        assert isinstance(snapshot.registers, LazyRegisterFile)
+        assert snapshot.registers.allocated() == []

@@ -154,10 +154,13 @@ class TestLockstepFamilies:
     def test_family_lists_are_consistent(self):
         # SCHEDULE_FAMILIES is frozen (fuzz corpus determinism); the new
         # lockstep families extend it without reordering.
+        from repro.workloads.schedules import STREAMING_FAMILIES
+
         assert ALL_SCHEDULE_FAMILIES[: len(SCHEDULE_FAMILIES)] == SCHEDULE_FAMILIES
         assert set(ALL_SCHEDULE_FAMILIES) - set(SCHEDULE_FAMILIES) == {
             "permuted",
             "interleaved",
+            *STREAMING_FAMILIES,
         }
         assert set(LOCKSTEP_FAMILIES) <= set(ALL_SCHEDULE_FAMILIES)
         assert LOCKSTEP_FAMILIES == (
