@@ -25,6 +25,10 @@ Installed as ``python -m repro``.  Subcommands:
   TCP endpoint (the consensus-as-a-service front end)
 - ``loadtest``     replay a seeded open-loop traffic profile against the
   service on a virtual-time loop and emit a deterministic SLO report
+  (``--spans DIR`` persists every session's span tree)
+- ``slo trend``    summarize the append-only SLO_history.jsonl ledger
+- ``slo waterfall`` render one session's span tree as an ASCII or HTML
+  waterfall chart from a ``loadtest --spans`` file
 
 Every command takes ``--seed`` and is fully reproducible; schedules come
 from the named adversary families in ``repro.workloads.schedules``.  Trial
@@ -560,6 +564,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chaos", type=str, default=None, metavar="NAME",
                        help="inject a named service chaos stack "
                             f"({', '.join(service_chaos_names())})")
+    serve.add_argument(
+        "--stats-interval", type=float, default=None, metavar="SECONDS",
+        help="periodically print the service's health summary (the same "
+             "document the {\"cmd\": \"health\"} control verb returns) to "
+             "stderr every SECONDS seconds",
+    )
+    serve.add_argument(
+        "--span-capacity", type=int, default=1024, metavar="N",
+        help="ring-buffer size for retained session span trees (the "
+             "{\"cmd\": \"stats\"} verb reports retention); default 1024 "
+             "— a long-lived server must bound this, unlike a loadtest",
+    )
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -615,6 +631,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-determinism", action="store_true",
         help="run the loadtest twice and fail unless the deterministic "
              "views of both reports are byte-identical",
+    )
+    loadtest.add_argument(
+        "--spans", type=str, default=None, metavar="DIR",
+        help="persist every session's span tree to "
+             "DIR/SPANS_<label>.jsonl (one canonical JSON line per "
+             "session; `repro slo waterfall` reads this file)",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="inspect SLO artifacts: trend ledger, per-session waterfalls",
+        description="Tools over the service layer's SLO artifacts: "
+                    "'trend' summarizes the append-only SLO_history.jsonl "
+                    "ledger (the loadtest --history output), 'waterfall' "
+                    "renders one session's span tree from a loadtest "
+                    "--spans file as an ASCII or HTML waterfall chart.",
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_trend = slo_sub.add_parser(
+        "trend",
+        help="summarize tail latency/shed rate/goodput/attainment deltas "
+             "across the append-only SLO_history.jsonl ledger",
+    )
+    slo_trend.add_argument(
+        "--history", type=str, default="benchmarks/SLO_history.jsonl",
+        metavar="PATH", help="ledger file to summarize "
+                             "(default: benchmarks/SLO_history.jsonl)",
+    )
+    slo_trend.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only summarize the newest N ledger entries",
+    )
+    slo_trend.add_argument("--json", action="store_true",
+                           help="print the trend summary as JSON")
+    slo_waterfall = slo_sub.add_parser(
+        "waterfall",
+        help="render one session's span tree as a waterfall chart",
+    )
+    slo_waterfall.add_argument(
+        "spans", help="SPANS_*.jsonl file written by loadtest --spans",
+    )
+    slo_waterfall.add_argument(
+        "--session", type=int, required=True, metavar="ID",
+        help="session id to render (the SLO report's latency_attribution "
+             "percentile rows name interesting ones)",
+    )
+    slo_waterfall.add_argument("--width", type=int, default=100,
+                               help="chart width in columns (default 100)")
+    slo_waterfall.add_argument(
+        "--html", action="store_true",
+        help="emit a self-contained static HTML page instead of ASCII",
+    )
+    slo_waterfall.add_argument(
+        "--out", type=str, default=None, metavar="PATH",
+        help="write the rendering to PATH instead of stdout",
     )
     return parser
 
@@ -1164,6 +1235,7 @@ def _service_config(args: argparse.Namespace) -> "ServiceConfig":
         workers_per_shard=args.workers_per_shard,
         queue_capacity=args.queue_capacity,
         seed=args.seed,
+        span_capacity=getattr(args, "span_capacity", None),
     )
 
 
@@ -1175,12 +1247,31 @@ def _resolve_chaos(name: Optional[str]):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import json as json_module
 
+    from repro.errors import ConfigurationError
     from repro.service import ServiceServer
+    from repro.service.server import health_summary
 
+    if args.stats_interval is not None and args.stats_interval <= 0:
+        raise ConfigurationError(
+            f"--stats-interval must be > 0, got {args.stats_interval}"
+        )
     server = ServiceServer(
         _service_config(args), chaos=_resolve_chaos(args.chaos)
     )
+
+    async def self_report(interval: float) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            print(
+                json_module.dumps(
+                    health_summary(server.service.snapshot(loop.time())),
+                    sort_keys=True,
+                ),
+                file=sys.stderr,
+            )
 
     async def run() -> None:
         await server.start(args.host, args.port)
@@ -1188,9 +1279,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(shards={args.shards}, "
               f"queue={args.queue_capacity}/shard"
               + (f", chaos={args.chaos}" if args.chaos else "") + ")")
-        print("protocol: one SessionRequest JSON object per line; "
-              "Ctrl-C to stop")
-        await server.serve_forever()
+        print("protocol: one SessionRequest JSON object per line "
+              "({\"cmd\": \"stats\"} / {\"cmd\": \"health\"} for live "
+              "introspection); Ctrl-C to stop")
+        reporter = (
+            asyncio.ensure_future(self_report(args.stats_interval))
+            if args.stats_interval is not None else None
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            if reporter is not None:
+                reporter.cancel()
 
     try:
         asyncio.run(run())
@@ -1222,16 +1322,17 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             schedule_family=args.schedule,
             deadline=args.deadline,
         )
-        return build_report(
+        report = build_report(
             result,
             label=args.label,
             slo_target_latency=args.slo_target,
             chaos_stack=args.chaos,
         )
+        return report, result
 
-    report = one_run()
+    report, result = one_run()
     if args.verify_determinism:
-        second = one_run()
+        second, _ = one_run()
         first_view = json_module.dumps(
             deterministic_view(report), sort_keys=True
         )
@@ -1247,6 +1348,15 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     if args.out:
         write_report(report, args.out)
         print(f"wrote {args.out}")
+    if args.spans:
+        import os
+
+        from repro.service.spans import write_spans_jsonl
+
+        os.makedirs(args.spans, exist_ok=True)
+        spans_path = os.path.join(args.spans, f"SPANS_{args.label}.jsonl")
+        write_spans_jsonl(result.spans, spans_path)
+        print(f"wrote {len(result.spans)} span tree(s) to {spans_path}")
     if args.history:
         entry = append_slo_history(report, args.history)
         print(f"appended p99={entry['p99']:.4f}s "
@@ -1256,6 +1366,59 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     else:
         print(render_report(report))
     return 0 if report["sessions"]["unexpected_errors"] == 0 else 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    if args.slo_command == "trend":
+        from dataclasses import asdict
+
+        from repro.service.slo import (
+            load_slo_history,
+            render_slo_trend,
+            summarize_slo_trend,
+        )
+
+        entries = load_slo_history(args.history)
+        if args.json:
+            print(json_module.dumps(
+                [asdict(trend)
+                 for trend in summarize_slo_trend(entries, last=args.last)],
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(render_slo_trend(entries, last=args.last))
+        return 0
+
+    # waterfall
+    from repro.obs.timeline import render_waterfall, render_waterfall_html
+    from repro.service.spans import read_spans_jsonl, tree_to_json
+
+    roots = read_spans_jsonl(args.spans)
+    match = next(
+        (root for root in roots
+         if root.attrs.get("session_id") == args.session),
+        None,
+    )
+    if match is None:
+        print(f"error: no session {args.session} in {args.spans} "
+              f"({len(roots)} tree(s) read)", file=sys.stderr)
+        return 1
+    tree = tree_to_json(match)
+    if args.html:
+        rendering = render_waterfall_html(
+            tree, title=f"session {args.session} waterfall",
+        )
+    else:
+        rendering = render_waterfall(tree, width=args.width)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendering)
+        print(f"wrote {args.out}")
+    else:
+        print(rendering, end="")
+    return 0
 
 
 def _cmd_growth(args: argparse.Namespace) -> int:
@@ -1324,6 +1487,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "growth": _cmd_growth,
         "serve": _cmd_serve,
         "loadtest": _cmd_loadtest,
+        "slo": _cmd_slo,
     }
     try:
         return handlers[args.command](args)

@@ -86,6 +86,13 @@ class CaseExplanation:
     disagreement: Optional[DisagreementReport]
     attribution: Optional[AttributionReport]
     note: str = ""
+    #: The recorder's retention counters (``TraceRecorder.metadata()``):
+    #: recorded_total / retained / steps_observed / ring_dropped /
+    #: pid_events_dropped.  ``None`` only for explanations written before
+    #: the counters existed; fresh replays always carry them, and an
+    #: unsampled, uncapped replay has both drop counters at zero — the
+    #: "this trace is complete" receipt.
+    trace_counters: Optional[Dict[str, int]] = None
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -106,6 +113,10 @@ class CaseExplanation:
                 else self.attribution.to_json()
             ),
             "note": self.note,
+            "trace_counters": (
+                None if self.trace_counters is None
+                else dict(self.trace_counters)
+            ),
         }
 
     @classmethod
@@ -141,6 +152,13 @@ class CaseExplanation:
                 else AttributionReport.from_json(attribution)
             ),
             note=str(data.get("note", "")),
+            trace_counters=(
+                None if data.get("trace_counters") is None
+                else {
+                    str(key): int(value)
+                    for key, value in data["trace_counters"].items()
+                }
+            ),
         )
 
     def canonical_bytes(self) -> bytes:
@@ -165,7 +183,13 @@ class CaseExplanation:
             f"  status: {self.status}"
             + (f"; oracles fired: {', '.join(self.oracles)}"
                if self.oracles else ""),
-            f"  trace: {len(self.events)} event(s)",
+            f"  trace: {len(self.events)} event(s)"
+            + (
+                f" (ring_dropped={self.trace_counters['ring_dropped']}, "
+                f"pid_events_dropped="
+                f"{self.trace_counters['pid_events_dropped']})"
+                if self.trace_counters is not None else ""
+            ),
         ]
         if self.disagreement is not None:
             lines.append("")
@@ -225,6 +249,7 @@ def explain_scenario(
         disagreement=disagreement,
         attribution=attribution,
         note=note,
+        trace_counters=recorder.metadata(),
     )
 
 

@@ -28,7 +28,8 @@ PR 5 adds the *analysis* half — turning recordings into explanations:
   and :class:`AttributionReport` (observed per-round step counts graded
   against :mod:`repro.analysis.theory` predictions);
 - :mod:`repro.obs.timeline` — deterministic ASCII and static-HTML
-  per-process timeline rendering of a trace;
+  per-process timeline rendering of a trace, plus per-session waterfall
+  rendering of the service layer's span trees (``repro slo waterfall``);
 - :mod:`repro.obs.trend` — the append-only ``BENCH_history.jsonl``
   bench ledger and its ``repro bench trend`` summary.
 """
@@ -74,7 +75,12 @@ from repro.obs.metrics import (
     merge_snapshots,
     set_default_registry,
 )
-from repro.obs.timeline import render_timeline, render_timeline_html
+from repro.obs.timeline import (
+    render_timeline,
+    render_timeline_html,
+    render_waterfall,
+    render_waterfall_html,
+)
 from repro.obs.tracing import TraceRecorder
 from repro.obs.trend import (
     TREND_SCHEMA_VERSION,
@@ -125,6 +131,8 @@ __all__ = [
     "render_timeline",
     "render_timeline_html",
     "render_trend",
+    "render_waterfall",
+    "render_waterfall_html",
     "run_bench_suite",
     "set_default_registry",
     "summarize_trend",

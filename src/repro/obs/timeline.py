@@ -12,17 +12,33 @@ table (no scripts, no external assets) for cases where a browser beats a
 pager.  Both renderers are pure functions of the event list — same trace,
 same bytes — so their output can be diffed across runs and committed as
 test fixtures.
+
+:func:`render_waterfall` / :func:`render_waterfall_html` apply the same
+discipline to one *session span tree* from the service layer
+(``repro.service.spans``): each span becomes a row whose bar is placed
+on a shared virtual-time axis, so a glance shows where a session's
+deadline budget went (queue wait vs worker call vs backoff).  They take
+the plain tree-JSON document (``tree_to_json`` output, or just its
+``root`` object) rather than ``Span`` instances: the service layer
+imports :mod:`repro.obs` for metrics, so the dependency cannot also run
+the other way.
 """
 
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs.events import TraceEventRecord
 
-__all__ = ["EVENT_MARKERS", "render_timeline", "render_timeline_html"]
+__all__ = [
+    "EVENT_MARKERS",
+    "render_timeline",
+    "render_timeline_html",
+    "render_waterfall",
+    "render_waterfall_html",
+]
 
 #: Single-character column markers, one per event kind that names a process.
 EVENT_MARKERS = {
@@ -203,4 +219,190 @@ def render_timeline_html(
         title=html.escape(title),
         pid_headers=pid_headers,
         rows="\n".join(rows),
+    )
+
+
+def _waterfall_root(tree: Dict[str, Any]) -> Dict[str, Any]:
+    """Accept either a ``tree_to_json`` document or a bare root span."""
+    if not isinstance(tree, dict):
+        raise ConfigurationError(
+            f"waterfall input must be a span-tree dict, got {type(tree).__name__}"
+        )
+    root = tree.get("root", tree)
+    if not isinstance(root, dict) or "name" not in root \
+            or "start" not in root or "end" not in root:
+        raise ConfigurationError(
+            "not a span tree: expected a dict with name/start/end (the "
+            "repro.service.spans tree_to_json shape)"
+        )
+    return root
+
+
+def _waterfall_label(span: Dict[str, Any], depth: int) -> str:
+    name = str(span["name"])
+    attrs = span.get("attrs", {})
+    if name == "attempt" and "attempt" in attrs:
+        name = f"attempt[{attrs['attempt']}]"
+    return "  " * depth + name
+
+
+def _waterfall_rows(
+    root: Dict[str, Any],
+) -> List[Tuple[str, float, float, str]]:
+    """Flatten the tree depth-first to ``(label, start, end, status)``."""
+    rows: List[Tuple[str, float, float, str]] = []
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        end = span["end"] if span.get("end") is not None else span["start"]
+        rows.append((
+            _waterfall_label(span, depth),
+            float(span["start"]),
+            float(end),
+            str(span.get("status", "")),
+        ))
+        for child in span.get("children", ()):
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return rows
+
+
+def render_waterfall(tree: Dict[str, Any], *, width: int = 100) -> str:
+    """Render one session span tree as an ASCII waterfall chart.
+
+    One row per span, depth-first; each bar occupies the span's slice of
+    a shared axis running from the session's admission to its terminal
+    timestamp.  Zero-duration spans (instant admissions, rejections)
+    render as a single ``|`` tick.  ``width`` bounds the full line
+    length (minimum 40), matching :func:`render_timeline`.
+    """
+    if width < 40:
+        raise ConfigurationError(f"width must be >= 40, got {width}")
+    root = _waterfall_root(tree)
+    rows = _waterfall_rows(root)
+    t0 = rows[0][1]
+    t1 = max(end for _, _, end, _ in rows)
+    total = t1 - t0
+    attrs = root.get("attrs", {})
+    label_w = max(len(label) for label, _, _, _ in rows)
+    # label | track | duration+status suffix; keep the track usable even
+    # at the minimum width by capping the label column.
+    label_w = min(label_w, max(12, width - 40))
+    track_w = max(10, width - label_w - 22)
+
+    def bar(start: float, end: float) -> str:
+        if total <= 0:
+            return "|" + " " * (track_w - 1)
+        begin = int((start - t0) / total * (track_w - 1))
+        finish = int((end - t0) / total * (track_w - 1))
+        if finish <= begin:
+            return " " * begin + "|" + " " * (track_w - begin - 1)
+        return (" " * begin + "#" * (finish - begin)).ljust(track_w)
+
+    detail = [
+        part for part in (
+            f"{attrs['attempts']} attempt(s)" if "attempts" in attrs
+            else None,
+            f"shard {root['shard']}" if root.get("shard") is not None
+            else None,
+        ) if part is not None
+    ]
+    header = (
+        f"session {attrs.get('session_id')}: {root.get('status', '?')} "
+        f"in {total:.4f}s"
+        + (f" ({', '.join(detail)})" if detail else "")
+    )
+    lines = [_truncate(header, width)]
+    axis = f"{'':<{label_w}} |{f'{0.0:.4f}s':<{track_w - 8}}{f'{total:.4f}s':>7}|"
+    lines.append(_truncate(axis, width))
+    for label, start, end, status in rows:
+        line = (
+            f"{_truncate(label, label_w):<{label_w}} |{bar(start, end)}| "
+            f"{end - start:.4f}s {status}"
+        )
+        lines.append(_truncate(line.rstrip(), width))
+    phases = attrs.get("phases")
+    if isinstance(phases, dict):
+        lines.append(_truncate(
+            "phases: " + " ".join(
+                f"{name}={seconds:.4f}s"
+                for name, seconds in phases.items()
+            ),
+            width,
+        ))
+    return "\n".join(lines) + "\n"
+
+
+_WATERFALL_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: monospace; margin: 1.5em; }}
+table {{ border-collapse: collapse; width: 100%; }}
+th, td {{ border: 1px solid #ccc; padding: 2px 8px; text-align: left; }}
+td.track {{ width: 60%; position: relative; }}
+td.track div {{ background: #69c; height: 0.9em; min-width: 2px; }}
+td.num {{ text-align: right; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<p>{summary}</p>
+<table>
+<tr><th>span</th><th>timeline</th><th>duration</th><th>status</th></tr>
+{rows}
+</table>
+{phases}
+</body>
+</html>
+"""
+
+
+def render_waterfall_html(
+    tree: Dict[str, Any], *, title: str = "repro session waterfall"
+) -> str:
+    """Render the same waterfall as a self-contained static HTML page.
+
+    No scripts, no external assets — bar geometry is inline CSS
+    percentages of the session's lifetime, so the file can be attached
+    to a CI artifact or an issue and opened anywhere.
+    """
+    root = _waterfall_root(tree)
+    rows = _waterfall_rows(root)
+    t0 = rows[0][1]
+    t1 = max(end for _, _, end, _ in rows)
+    total = t1 - t0
+    attrs = root.get("attrs", {})
+
+    html_rows: List[str] = []
+    for label, start, end, status in rows:
+        left = ((start - t0) / total * 100.0) if total > 0 else 0.0
+        span_width = ((end - start) / total * 100.0) if total > 0 else 0.0
+        html_rows.append(
+            "<tr>"
+            f"<td><pre style=\"margin:0\">{html.escape(label)}</pre></td>"
+            f"<td class=\"track\"><div style=\"margin-left:{left:.2f}%;"
+            f"width:{span_width:.2f}%\"></div></td>"
+            f"<td class=\"num\">{end - start:.4f}s</td>"
+            f"<td>{html.escape(status)}</td>"
+            "</tr>"
+        )
+    phases = attrs.get("phases")
+    phase_text = ""
+    if isinstance(phases, dict):
+        phase_text = "<p>phases: " + " ".join(
+            f"{html.escape(str(name))}={seconds:.4f}s"
+            for name, seconds in phases.items()
+        ) + "</p>"
+    summary = (
+        f"session {attrs.get('session_id')}: "
+        f"{root.get('status', '?')} in {total:.4f}s"
+    )
+    return _WATERFALL_PAGE.format(
+        title=html.escape(title),
+        summary=html.escape(summary),
+        rows="\n".join(html_rows),
+        phases=phase_text,
     )

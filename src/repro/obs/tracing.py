@@ -147,6 +147,11 @@ class TraceRecorder(StepHook):
         self.steps_observed = 0
         #: Per-pid events dropped by the pid filter, for diagnostics.
         self.pid_events_dropped = 0
+        #: Events evicted from a full ring buffer to make room.  Nonzero
+        #: means "the trace you are reading is a suffix": the events were
+        #: recorded, then aged out — distinct from ``pid_events_dropped``,
+        #: which counts events the filters never recorded at all.
+        self.ring_dropped = 0
 
     # ----- access ----------------------------------------------------------
 
@@ -169,8 +174,25 @@ class TraceRecorder(StepHook):
     # ----- recording -------------------------------------------------------
 
     def _record(self, event: TraceEventRecord) -> None:
+        if self.capacity is not None and len(self._events) == self.capacity:
+            self.ring_dropped += 1
         self._events.append(event)
         self.recorded_total += 1
+
+    def metadata(self) -> dict:
+        """Retention counters, for trace headers and ``repro explain``.
+
+        ``recorded_total`` - ``ring_dropped`` == ``retained`` always
+        holds; ``steps_observed`` and ``pid_events_dropped`` say how much
+        the sampling filters discarded *before* recording.
+        """
+        return {
+            "recorded_total": self.recorded_total,
+            "retained": len(self._events),
+            "steps_observed": self.steps_observed,
+            "ring_dropped": self.ring_dropped,
+            "pid_events_dropped": self.pid_events_dropped,
+        }
 
     def emit(self, event: TraceEventRecord) -> None:
         """Record an externally built event (protocol milestones, tests)."""

@@ -25,7 +25,7 @@ three states.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -82,6 +82,11 @@ class CircuitBreaker:
         self.opened = 0
         self.half_opened = 0
         self.closed_again = 0
+        #: Every state transition as ``(now, new_state)``, in order.  The
+        #: initial closed state is implicit.  Transitions need failures,
+        #: so the list stays small even over long runs; the SLO report's
+        #: ``latency_attribution`` section carries it per shard.
+        self.timeline: List[Tuple[float, str]] = []
 
     def allow(self, now: float) -> bool:
         """May a session be admitted to this shard at ``now``?
@@ -96,6 +101,7 @@ class CircuitBreaker:
             if now - self._opened_at >= self.config.cooldown:
                 self.state = HALF_OPEN
                 self.half_opened += 1
+                self.timeline.append((now, HALF_OPEN))
                 self._probes_in_flight = 0
                 self._probe_successes = 0
             else:
@@ -114,6 +120,7 @@ class CircuitBreaker:
             if self._probe_successes >= self.config.half_open_probes:
                 self.state = CLOSED
                 self.closed_again += 1
+                self.timeline.append((now, CLOSED))
                 self._consecutive_failures = 0
         else:
             self._consecutive_failures = 0
@@ -147,6 +154,7 @@ class CircuitBreaker:
     def _trip(self, now: float) -> None:
         self.state = OPEN
         self.opened += 1
+        self.timeline.append((now, OPEN))
         self._opened_at = now
         self._consecutive_failures = 0
         self._probe_successes = 0
@@ -159,3 +167,7 @@ class CircuitBreaker:
             "half_opened": self.half_opened,
             "closed_again": self.closed_again,
         }
+
+    def timeline_json(self) -> List[List[Any]]:
+        """The transition timeline as ``[[virtual_time, new_state], ...]``."""
+        return [[now, state] for now, state in self.timeline]

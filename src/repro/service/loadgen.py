@@ -35,6 +35,7 @@ from repro.runtime.faults import ServiceFaultPlan
 from repro.runtime.rng import derive_seed
 from repro.service.service import ConsensusService, ServiceConfig
 from repro.service.session import SessionRequest, SessionResponse
+from repro.service.spans import Span
 from repro.service.vtime import run_virtual
 from repro.service.workers import ALGORITHMS
 
@@ -161,6 +162,9 @@ class LoadtestResult:
     metrics: MetricsRegistry
     unexpected_errors: int
     config: ServiceConfig
+    #: One span tree per session, in completion order (None only for
+    #: results built by code predating the span schema).
+    spans: Optional[List[Span]] = None
 
 
 def _draw_arrivals(
@@ -283,7 +287,7 @@ def run_loadtest(
 
     async def main() -> Tuple[
         List[Optional[SessionResponse]], int, Dict[str, Any], float,
-        MetricsRegistry,
+        MetricsRegistry, List[Span],
     ]:
         loop = asyncio.get_running_loop()
         metrics = MetricsRegistry()
@@ -293,9 +297,11 @@ def run_loadtest(
         end = loop.time()
         return (
             responses, errors, service.snapshot(end), end - start, metrics,
+            service.spans.trees,
         )
 
-    responses, errors, snapshot, duration, metrics = run_virtual(main())
+    responses, errors, snapshot, duration, metrics, spans = \
+        run_virtual(main())
     missing = sum(1 for response in responses if response is None)
     return LoadtestResult(
         profile=profile,
@@ -307,4 +313,5 @@ def run_loadtest(
         metrics=metrics,
         unexpected_errors=errors + missing,
         config=resolved,
+        spans=spans,
     )

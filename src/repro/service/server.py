@@ -13,6 +13,15 @@ dropped connection: a load generator mid-run should see its own bug, not
 a mysterious reset.  The server runs the same :class:`ConsensusService`
 code the virtual-time loadtest drives, so behaviour differences between
 ``repro serve`` and ``repro loadtest`` reduce to the clock.
+
+Control verbs share the session stream: a line whose JSON object carries
+a ``"cmd"`` key is introspection, not traffic.  ``{"cmd": "stats"}``
+returns the full :meth:`ConsensusService.snapshot` (occupancy, breaker
+states and timelines, degradation, shed counters, span recorder totals)
+and ``{"cmd": "health"}`` a one-line liveness summary.  Both are computed
+synchronously between reads — they never await — so asking for stats
+cannot reorder or perturb in-flight sessions on the same or any other
+connection.
 """
 
 from __future__ import annotations
@@ -27,7 +36,27 @@ from repro.runtime.faults import ServiceFaultPlan
 from repro.service.service import ConsensusService, ServiceConfig
 from repro.service.session import SessionRequest
 
-__all__ = ["ServiceServer", "serve"]
+__all__ = ["ServiceServer", "health_summary", "serve"]
+
+
+def health_summary(snapshot: dict) -> dict:
+    """Distill a :meth:`ConsensusService.snapshot` to the health document.
+
+    Shared by the ``{"cmd": "health"}`` control verb and ``repro serve
+    --stats-interval``, so the periodic self-report and the on-demand
+    probe are the same bytes for the same snapshot.
+    """
+    return {
+        "cmd": "health",
+        "status": (
+            "degraded" if snapshot["degraded_mode"]["active"] else "ok"
+        ),
+        "breakers": {
+            shard: breaker["state"]
+            for shard, breaker in snapshot["breakers"].items()
+        },
+        "occupancy": snapshot["occupancy"]["total"],
+    }
 
 
 class ServiceServer:
@@ -110,12 +139,16 @@ class ServiceServer:
 
     async def _answer(self, line: bytes) -> str:
         try:
-            request = SessionRequest.from_json(json.loads(line))
+            payload = json.loads(line)
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
             return json.dumps(
                 {"error": f"malformed request line: {error}"},
                 sort_keys=True,
             )
+        if isinstance(payload, dict) and "cmd" in payload:
+            return self._control(payload)
+        try:
+            request = SessionRequest.from_json(payload)
         except (ReproError, KeyError, TypeError, ValueError) as error:
             return json.dumps(
                 {"error": f"invalid session request: {error}"},
@@ -134,6 +167,35 @@ class ServiceServer:
                 sort_keys=True,
             )
         return json.dumps(response.to_json(), sort_keys=True)
+
+    def _control(self, payload: dict) -> str:
+        """Answer one control verb (a ``{"cmd": ...}`` line), synchronously.
+
+        ``stats`` returns :meth:`ConsensusService.snapshot` verbatim, so
+        a TCP client and an in-process caller see the same document.
+        ``health`` is the cheap liveness probe: overall status (degraded
+        or ok), per-shard breaker states, and total queue occupancy.
+        Unknown or non-string verbs get an ``{"error": ...}`` naming the
+        supported set — same contract as malformed session lines.
+        """
+        cmd = payload.get("cmd")
+        if not isinstance(cmd, str):
+            return json.dumps(
+                {"error": f"control cmd must be a string, got {cmd!r}"},
+                sort_keys=True,
+            )
+        now = asyncio.get_running_loop().time()
+        if cmd == "stats":
+            return json.dumps(self.service.snapshot(now), sort_keys=True)
+        if cmd == "health":
+            return json.dumps(
+                health_summary(self.service.snapshot(now)), sort_keys=True,
+            )
+        return json.dumps(
+            {"error": f"unknown control cmd {cmd!r}; "
+                      f"supported: health, stats"},
+            sort_keys=True,
+        )
 
 
 async def serve(

@@ -36,6 +36,17 @@ delay, and then *slept* on the event loop.  Under the virtual-time loop
 (:mod:`repro.service.vtime`) those sleeps are instant and exact, which
 makes a whole loadtest a pure function of its seeds; under a real loop
 (``repro serve``) the same sleeps model a realistically loaded backend.
+
+**Span trees.**  Every session — admitted or shed — leaves one
+:class:`~repro.service.spans.Span` tree in :attr:`ConsensusService.spans`
+recording where its deadline budget went (admission, breaker decision,
+client stall, per-attempt queue wait / worker call / backoff), with
+virtual-time boundaries taken from the serving loop.  Phase boundary
+timestamps are shared between adjacent spans (each boundary is read from
+the clock exactly once), so the leaf spans tile the session's lifetime
+and :func:`~repro.service.spans.attribute_phases` decomposes its latency
+exactly.  The PR 8 ``record_calls`` flat audit list survives as a view
+over these trees (:attr:`ConsensusService.calls`).
 """
 
 from __future__ import annotations
@@ -50,6 +61,7 @@ from repro.runtime.backoff import BackoffPolicy
 from repro.runtime.faults import ServiceFaultController, ServiceFaultPlan
 from repro.service.breaker import HALF_OPEN, BreakerConfig, CircuitBreaker
 from repro.service.session import (
+    COMPLETED,
     FAILED,
     FAILED_CLIENT_DROP,
     FAILED_DEADLINE,
@@ -61,6 +73,7 @@ from repro.service.session import (
     SessionRequest,
     SessionResponse,
 )
+from repro.service.spans import Span, SpanRecorder, attribute_phases
 from repro.service.workers import execute_session, vectorized_eligible
 
 __all__ = ["ConsensusService", "ServiceConfig"]
@@ -92,9 +105,14 @@ class ServiceConfig:
         degrade_recover: occupancy fraction at or below which degraded
             mode disengages.
         seed: master seed for service-side randomness (retry jitter).
-        record_calls: when True, log every worker call's
-            ``(session_id, shard, attempt, timeout, remaining)`` for the
-            deadline-propagation tests.
+        record_calls: retained for PR 8 compatibility.  Worker calls are
+            always recorded now — as ``worker-call`` spans — and
+            :attr:`ConsensusService.calls` derives the flat
+            ``(session_id, shard, attempt, timeout, remaining)`` list
+            from the span trees regardless of this flag.
+        span_capacity: how many finished session span trees to retain
+            (``None`` = all, the loadtest mode; bound it for long-lived
+            servers — evictions are counted, never silent).
     """
 
     shards: int = 2
@@ -114,8 +132,14 @@ class ServiceConfig:
     degrade_recover: float = 0.25
     seed: int = 0
     record_calls: bool = False
+    span_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.span_capacity is not None and self.span_capacity < 1:
+            raise ConfigurationError(
+                f"span_capacity must be >= 1 (or None), "
+                f"got {self.span_capacity}"
+            )
         if self.shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
         if self.workers_per_shard < 1:
@@ -204,10 +228,24 @@ class ConsensusService:
         self._degraded_entered_at = 0.0
         self.degraded_entries = 0
         self.degraded_seconds = 0.0
-        #: Worker-call audit log (deadline-propagation tests).
-        self.calls: List[Dict[str, Any]] = []
+        #: Finished session span trees, in completion order.
+        self.spans = SpanRecorder(capacity=self.config.span_capacity)
+        #: Terminal-status tallies for snapshots ({status: {code: n}}).
+        self._session_counts: Dict[str, Dict[str, int]] = {
+            REJECTED: {}, FAILED: {},
+        }
+        self._completed_count = 0
 
     # -- introspection -------------------------------------------------------
+
+    @property
+    def calls(self) -> List[Dict[str, Any]]:
+        """Flat worker-call audit view (deadline-propagation tests).
+
+        Derived from the retained span trees; see
+        :meth:`~repro.service.spans.SpanRecorder.calls_view`.
+        """
+        return self.spans.calls_view()
 
     def shard_for(self, session_id: int) -> int:
         return session_id % self.config.shards
@@ -220,11 +258,22 @@ class ConsensusService:
         return sum(shard.occupancy for shard in self._shards)
 
     def snapshot(self, now: float) -> Dict[str, Any]:
-        """Breaker and degradation state for the SLO report."""
+        """The service's full self-view: breakers, degradation,
+        occupancy, terminal-status tallies, and span retention.
+
+        This one dict feeds the SLO report, the server's
+        ``{"cmd": "stats"}`` control verb, and the ``repro serve
+        --stats-interval`` self-report, so all three agree by
+        construction.
+        """
         self._settle_degraded(now)
         return {
             "breakers": {
                 str(index): shard.breaker.to_json()
+                for index, shard in enumerate(self._shards)
+            },
+            "breaker_timelines": {
+                str(index): shard.breaker.timeline_json()
                 for index, shard in enumerate(self._shards)
             },
             "degraded_mode": {
@@ -232,6 +281,21 @@ class ConsensusService:
                 "entered": self.degraded_entries,
                 "virtual_seconds": self.degraded_seconds,
             },
+            "occupancy": {
+                "per_shard": [shard.occupancy for shard in self._shards],
+                "total": self.total_occupancy,
+                "capacity_per_shard": self.config.queue_capacity,
+            },
+            "sessions": {
+                "completed": self._completed_count,
+                "rejected": dict(sorted(
+                    self._session_counts[REJECTED].items()
+                )),
+                "failed": dict(sorted(
+                    self._session_counts[FAILED].items()
+                )),
+            },
+            "spans": self.spans.to_json(),
         }
 
     # -- degradation clock ---------------------------------------------------
@@ -287,25 +351,48 @@ class ConsensusService:
         now = loop.time()
         shard_index = self.shard_for(request.session_id)
         shard = self._shards[shard_index]
+        root = Span(
+            name="session", start=now, end=now, shard=shard_index,
+            attrs={
+                "session_id": request.session_id,
+                "deadline": request.deadline,
+            },
+        )
 
         # Admission: breaker first (cheapest signal of a sick shard), then
         # queue bound, then a deadline sanity check — a budget too small to
         # cover even the dispatch overhead can never be met, and rejecting
         # it up front costs nothing.
-        if not shard.breaker.allow(now):
-            return self._reject(request, shard_index, REJECTED_BREAKER_OPEN)
+        allowed = shard.breaker.allow(now)
         # A half-open breaker admitted this session as a probe and reserved
         # a slot; every path from here must release it — via an attempt
         # outcome (record_success/record_failure) or probe_abandoned.
-        probe = shard.breaker.state == HALF_OPEN
+        probe = allowed and shard.breaker.state == HALF_OPEN
+        root.child("breaker", now, status=shard.breaker.state,
+                   shard=shard_index, probe=probe)
+        if not allowed:
+            root.child("admission", now, status=REJECTED,
+                       code=REJECTED_BREAKER_OPEN)
+            return self._reject(
+                request, shard_index, REJECTED_BREAKER_OPEN, root
+            )
         if shard.occupancy >= self.config.queue_capacity:
             if probe:
                 shard.breaker.probe_abandoned(now)
-            return self._reject(request, shard_index, REJECTED_QUEUE_FULL)
+            root.child("admission", now, status=REJECTED,
+                       code=REJECTED_QUEUE_FULL)
+            return self._reject(
+                request, shard_index, REJECTED_QUEUE_FULL, root
+            )
         if request.deadline <= self.config.dispatch_overhead:
             if probe:
                 shard.breaker.probe_abandoned(now)
-            return self._reject(request, shard_index, REJECTED_DEADLINE)
+            root.child("admission", now, status=REJECTED,
+                       code=REJECTED_DEADLINE)
+            return self._reject(
+                request, shard_index, REJECTED_DEADLINE, root
+            )
+        root.child("admission", now, status="admitted")
 
         shard.occupancy += 1
         self._update_overload(now)
@@ -315,14 +402,14 @@ class ConsensusService:
         try:
             response = await self._serve(
                 request, shard_index, shard, admitted_at, deadline_at,
-                client_stall, probe,
+                client_stall, probe, root,
             )
         finally:
             shard.occupancy -= 1
             self._update_overload(loop.time())
 
         if (
-            response.status == "completed"
+            response.status == COMPLETED
             and drop_at is not None
             and loop.time() > drop_at
         ):
@@ -338,6 +425,10 @@ class ConsensusService:
                 degraded=response.degraded,
                 backend=response.backend,
             )
+        # No awaits since the terminal timestamp inside _serve, so
+        # loop.time() here still reads it: the root span closes exactly
+        # where the last leaf span ended.
+        self._finish_tree(root, response, loop.time())
         self._count(response)
         return response
 
@@ -350,12 +441,19 @@ class ConsensusService:
         deadline_at: float,
         client_stall: float,
         probe: bool,
+        root: Span,
     ) -> SessionResponse:
         loop = asyncio.get_running_loop()
         jitter = BackoffPolicy.rng(
             self.config.seed, "service", str(request.session_id)
         )
         degraded_session = False
+        # ``cursor`` tracks the last phase boundary.  Each boundary is
+        # read from the clock exactly once and shared between the span it
+        # closes and the span it opens, so the leaf spans tile the
+        # session's lifetime — the precondition for the exact phase
+        # decomposition attribute_phases performs at the end.
+        cursor = admitted_at
         # ``probe`` means this session still holds the half-open probe
         # slot its admission reserved.  The first attempt outcome reported
         # to the breaker releases it inside record_success/record_failure;
@@ -366,15 +464,23 @@ class ConsensusService:
         try:
             if client_stall > 0:
                 await asyncio.sleep(
-                    min(client_stall, max(0.0, deadline_at - loop.time()))
+                    min(client_stall, max(0.0, deadline_at - cursor))
                 )
+                now = loop.time()
+                root.child("stall", cursor, now, status="stalled",
+                           shard=shard_index)
+                cursor = now
             for attempt in range(self.config.max_attempts):
                 ok = False
-                remaining = deadline_at - loop.time()
+                attempt_span = root.child(
+                    "attempt", cursor, shard=shard_index, attempt=attempt,
+                )
+                remaining = deadline_at - cursor
                 if remaining <= 0:
+                    attempt_span.status = "deadline"
                     return self._failed(
                         request, shard_index, FAILED_DEADLINE, attempt,
-                        admitted_at, loop.time(), degraded_session,
+                        admitted_at, cursor, degraded_session,
                     )
                 # Queue wait burns budget too: give up when the deadline
                 # passes before a worker slot frees up.
@@ -383,33 +489,40 @@ class ConsensusService:
                         shard.workers.acquire(), timeout=remaining
                     )
                 except asyncio.TimeoutError:
+                    now = loop.time()
+                    attempt_span.child("queue-wait", cursor, now,
+                                       status="deadline",
+                                       shard=shard_index)
+                    attempt_span.status = "deadline"
+                    attempt_span.end = now
                     return self._failed(
                         request, shard_index, FAILED_DEADLINE, attempt,
-                        admitted_at, loop.time(), degraded_session,
+                        admitted_at, now, degraded_session,
                     )
+                now = loop.time()
+                attempt_span.child("queue-wait", cursor, now,
+                                   status="acquired", shard=shard_index)
+                cursor = now
                 try:
-                    now = loop.time()
-                    remaining = deadline_at - now
+                    remaining = deadline_at - cursor
                     if remaining <= 0:
+                        attempt_span.status = "deadline"
+                        attempt_span.end = cursor
                         return self._failed(
                             request, shard_index, FAILED_DEADLINE, attempt,
-                            admitted_at, now, degraded_session,
+                            admitted_at, cursor, degraded_session,
                         )
                     # THE deadline-propagation invariant: a worker call's
                     # timeout never exceeds the session's remaining budget.
                     timeout = min(self.config.attempt_timeout, remaining)
-                    if self.config.record_calls:
-                        self.calls.append({
-                            "session_id": request.session_id,
-                            "shard": shard_index,
-                            "attempt": attempt,
-                            "timeout": timeout,
-                            "remaining": remaining,
-                        })
+                    call_span = attempt_span.child(
+                        "worker-call", cursor, shard=shard_index,
+                        timeout=timeout, remaining=remaining,
+                    )
                     self.metrics.counter("service.attempts").inc()
 
                     injected = (
-                        self.chaos.attempt_failure(shard_index, now)
+                        self.chaos.attempt_failure(shard_index, cursor)
                         if self.chaos is not None
                         else None
                     )
@@ -419,11 +532,16 @@ class ConsensusService:
                         await asyncio.sleep(
                             min(self.config.dispatch_overhead, timeout)
                         )
+                        cursor = loop.time()
+                        call_span.end = cursor
+                        call_span.status = "chaos"
+                        call_span.attrs["chaos"] = injected
+                        attempt_span.status = "chaos"
                         self.metrics.counter(
                             "service.chaos", kind=injected
                         ).inc()
                         probe = False
-                        shard.breaker.record_failure(loop.time())
+                        shard.breaker.record_failure(cursor)
                         ok = False
                     else:
                         use_vectorized = (
@@ -435,12 +553,15 @@ class ConsensusService:
                         )
                         outcome = execute_session(request, backend=backend)
                         duration = self._service_time(
-                            outcome.steps, backend, shard_index, now
+                            outcome.steps, backend, shard_index, cursor
                         )
+                        call_span.attrs["backend"] = backend
                         if duration > timeout:
                             # The attempt is abandoned at its timeout; the
                             # worker slot was held for the whole window.
                             await asyncio.sleep(timeout)
+                            cursor = loop.time()
+                            call_span.end = cursor
                             if duration > self.config.attempt_timeout:
                                 # Missing the full attempt window says the
                                 # shard is slow; a timeout clipped by the
@@ -448,17 +569,25 @@ class ConsensusService:
                                 # deadline pressure, so it must not feed
                                 # the breaker — the session fails as a
                                 # deadline miss on the next loop check.
+                                call_span.status = "timeout"
                                 probe = False
-                                shard.breaker.record_failure(loop.time())
+                                shard.breaker.record_failure(cursor)
+                            else:
+                                call_span.status = "timeout-clipped"
+                            attempt_span.status = call_span.status
                             ok = False
                         else:
                             await asyncio.sleep(duration)
                             finished = loop.time()
+                            call_span.end = finished
+                            call_span.status = COMPLETED
+                            attempt_span.status = COMPLETED
+                            attempt_span.end = finished
                             probe = False
                             shard.breaker.record_success(finished)
                             return SessionResponse(
                                 session_id=request.session_id,
-                                status="completed",
+                                status=COMPLETED,
                                 shard=shard_index,
                                 attempts=attempt + 1,
                                 latency=finished - admitted_at,
@@ -468,19 +597,26 @@ class ConsensusService:
                             )
                 finally:
                     shard.workers.release()
+                attempt_span.end = cursor
                 if not ok and attempt + 1 < self.config.max_attempts:
                     delay = self.config.backoff.delay(attempt, jitter)
-                    remaining = deadline_at - loop.time()
+                    remaining = deadline_at - cursor
                     if remaining <= 0:
                         return self._failed(
                             request, shard_index, FAILED_DEADLINE,
-                            attempt + 1, admitted_at, loop.time(),
+                            attempt + 1, admitted_at, cursor,
                             degraded_session,
                         )
                     await asyncio.sleep(min(delay, remaining))
+                    now = loop.time()
+                    attempt_span.child("backoff", cursor, now,
+                                       status="waited", shard=shard_index,
+                                       delay=delay)
+                    attempt_span.end = now
+                    cursor = now
             return self._failed(
                 request, shard_index, FAILED_WORKER,
-                self.config.max_attempts, admitted_at, loop.time(),
+                self.config.max_attempts, admitted_at, cursor,
                 degraded_session,
             )
         finally:
@@ -499,7 +635,11 @@ class ConsensusService:
         return duration
 
     def _reject(
-        self, request: SessionRequest, shard_index: int, code: str
+        self,
+        request: SessionRequest,
+        shard_index: int,
+        code: str,
+        root: Span,
     ) -> SessionResponse:
         response = SessionResponse(
             session_id=request.session_id,
@@ -507,8 +647,23 @@ class ConsensusService:
             code=code,
             shard=shard_index,
         )
+        self._finish_tree(root, response, root.start)
         self._count(response)
         return response
+
+    def _finish_tree(
+        self, root: Span, response: SessionResponse, now: float
+    ) -> None:
+        """Close a session's root span and file the finished tree."""
+        root.end = now
+        root.status = response.status
+        root.attrs["code"] = response.code
+        root.attrs["attempts"] = response.attempts
+        root.attrs["latency"] = response.latency
+        root.attrs["degraded"] = response.degraded
+        root.attrs["backend"] = response.backend
+        root.attrs["phases"] = attribute_phases(root, response.latency)
+        self.spans.record(root)
 
     def _failed(
         self,
@@ -531,7 +686,8 @@ class ConsensusService:
         )
 
     def _count(self, response: SessionResponse) -> None:
-        if response.status == "completed":
+        if response.status == COMPLETED:
+            self._completed_count += 1
             self.metrics.counter(
                 "service.completed", backend=response.backend or "generator"
             ).inc()
@@ -541,10 +697,16 @@ class ConsensusService:
             if response.degraded:
                 self.metrics.counter("service.degraded_sessions").inc()
         elif response.status == REJECTED:
+            code = response.code or ""
+            counts = self._session_counts[REJECTED]
+            counts[code] = counts.get(code, 0) + 1
             self.metrics.counter(
-                "service.rejected", reason=response.code or ""
+                "service.rejected", reason=code
             ).inc()
         else:
+            code = response.code or ""
+            counts = self._session_counts[FAILED]
+            counts[code] = counts.get(code, 0) + 1
             self.metrics.counter(
-                "service.failed", code=response.code or ""
+                "service.failed", code=code
             ).inc()

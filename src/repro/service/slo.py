@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, List, Optional
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.service.loadgen import LoadtestResult
@@ -31,15 +34,21 @@ from repro.service.session import (
     REJECTED,
     REJECTION_CODES,
 )
+from repro.service.spans import PHASE_NAMES, span_digest
 
 __all__ = [
     "SLO_SCHEMA_VERSION",
+    "SLO_TREND_METRICS",
+    "SLOTrend",
     "append_slo_history",
     "build_report",
     "deterministic_view",
     "load_report",
+    "load_slo_history",
     "render_report",
+    "render_slo_trend",
     "slo_history_entry",
+    "summarize_slo_trend",
     "write_report",
 ]
 
@@ -57,6 +66,81 @@ def _quantile(sorted_values: List[float], q: float) -> float:
         return 0.0
     index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
     return sorted_values[index]
+
+
+def _latency_attribution(result: LoadtestResult) -> Optional[Dict[str, Any]]:
+    """Fold the run's span trees into the ``latency_attribution`` section.
+
+    Phase totals accumulate over *admitted* sessions (completed + failed)
+    in response order; shares are fractions of the summed end-to-end
+    latency.  Per-percentile rows pick the nearest-rank completed session
+    (ties broken by session id, matching the ``latency`` section's
+    nearest-rank convention) and show where *that* session's budget went.
+    Per-session exactness — phase times summing bit-for-bit to the
+    session latency — is the
+    :func:`~repro.service.spans.attribute_phases` contract.
+    """
+    if result.spans is None:
+        return None
+    by_id = {
+        tree.attrs.get("session_id"): tree for tree in result.spans
+    }
+    admitted = [
+        r for r in result.responses if r.status in (COMPLETED, FAILED)
+    ]
+    totals = {name: 0.0 for name in PHASE_NAMES}
+    total_latency = 0.0
+    unmatched = 0
+    for response in admitted:
+        tree = by_id.get(response.session_id)
+        if tree is None:
+            unmatched += 1
+            continue
+        phases = tree.attrs.get("phases", {})
+        for name in PHASE_NAMES:
+            totals[name] += phases.get(name, 0.0)
+        total_latency += response.latency
+
+    def share(seconds: float) -> float:
+        return seconds / total_latency if total_latency > 0 else 0.0
+
+    completed = sorted(
+        (r for r in result.responses if r.status == COMPLETED),
+        key=lambda r: (r.latency, r.session_id),
+    )
+    percentiles: Dict[str, Any] = {}
+    for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        if not completed:
+            percentiles[label] = None
+            continue
+        index = min(len(completed) - 1, int(q * len(completed)))
+        pick = completed[index]
+        tree = by_id.get(pick.session_id)
+        percentiles[label] = {
+            "session_id": pick.session_id,
+            "latency": pick.latency,
+            "attempts": pick.attempts,
+            "phases": (
+                dict(tree.attrs.get("phases", {})) if tree is not None
+                else None
+            ),
+        }
+    snapshot = result.service_snapshot
+    return {
+        "phases": {
+            name: {"seconds": totals[name], "share": share(totals[name])}
+            for name in PHASE_NAMES
+        },
+        "total_latency_seconds": total_latency,
+        "sessions_attributed": len(admitted) - unmatched,
+        "sessions_unmatched": unmatched,
+        "percentiles": percentiles,
+        "breaker_timelines": snapshot.get("breaker_timelines", {}),
+        "spans": {
+            "sessions": len(result.spans),
+            "digest": span_digest(result.spans),
+        },
+    }
 
 
 def build_report(
@@ -141,6 +225,7 @@ def build_report(
         },
         "breakers": result.service_snapshot["breakers"],
         "degraded_mode": result.service_snapshot["degraded_mode"],
+        "latency_attribution": _latency_attribution(result),
         "metrics": result.metrics.to_json(),
         "wall_clock": {
             "generated_unix": time.time(),
@@ -219,6 +304,33 @@ def render_report(report: Dict[str, Any]) -> str:
         f"  degraded   entered={degraded['entered']} "
         f"virtual_seconds={degraded['virtual_seconds']:.3f}"
     )
+    attribution = report.get("latency_attribution")
+    if attribution is not None:
+        phases = attribution["phases"]
+        lines.append(
+            "  budget     " + " ".join(
+                f"{name}={phases[name]['share']:.1%}"
+                for name in sorted(phases)
+                if phases[name]["seconds"] > 0 or name != "unattributed"
+            )
+        )
+        for label in ("p50", "p95", "p99"):
+            row = attribution["percentiles"].get(label)
+            if row is None or row.get("phases") is None:
+                continue
+            breakdown = row["phases"]
+            lines.append(
+                f"  {label} budget "
+                f"session={row['session_id']} "
+                f"queue={breakdown.get('queue-wait', 0.0):.4f}s "
+                f"worker={breakdown.get('worker-call', 0.0):.4f}s "
+                f"backoff={breakdown.get('backoff', 0.0):.4f}s "
+                f"stall={breakdown.get('stall', 0.0):.4f}s"
+            )
+        lines.append(
+            f"  spans      {attribution['spans']['sessions']} tree(s) "
+            f"digest={attribution['spans']['digest'][:19]}..."
+        )
     return "\n".join(lines)
 
 
@@ -269,3 +381,156 @@ def append_slo_history(report: Dict[str, Any], path: str) -> Dict[str, Any]:
                                 separators=(",", ":")))
         handle.write("\n")
     return entry
+
+
+#: The ledger fields `repro slo trend` tracks, in display order.  Latency
+#: and shed rate trend *down*-is-better; goodput and attainment up — the
+#: renderer shows raw fractional change and leaves the judgement to the
+#: reader (the CI gate is the SLO baseline diff, not this table).
+SLO_TREND_METRICS: Tuple[str, ...] = (
+    "p50", "p99", "shed_rate", "goodput_per_sec", "attainment",
+)
+
+
+def load_slo_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load the SLO ledger, in append order.
+
+    Same contract as the bench ledger reader
+    (:func:`repro.obs.trend.load_history`): a missing file is an empty
+    history; an unparseable *final* line is a torn append, tolerated with
+    a warning; an unparseable line with durable entries after it, or any
+    parseable line with a foreign version or kind, raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    pending_error: Optional[Tuple[int, str]] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if pending_error is not None:
+                raise ConfigurationError(
+                    f"SLO history {str(path)!r} line {pending_error[0]} "
+                    f"is unreadable but later entries exist: "
+                    f"{pending_error[1]}"
+                )
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as error:
+                pending_error = (line_number, str(error))
+                continue
+            if not isinstance(entry, dict) \
+                    or entry.get("v") != SLO_SCHEMA_VERSION:
+                version = entry.get("v") if isinstance(entry, dict) else None
+                raise ConfigurationError(
+                    f"unsupported SLO history version {version!r} at "
+                    f"{str(path)!r} line {line_number}; this build reads "
+                    f"version {SLO_SCHEMA_VERSION}"
+                )
+            if entry.get("kind") != _HISTORY_KIND:
+                raise ConfigurationError(
+                    f"{str(path)!r} line {line_number} is not an SLO "
+                    f"history entry (kind={entry.get('kind')!r}, "
+                    f"expected {_HISTORY_KIND!r})"
+                )
+            entries.append(entry)
+    if pending_error is not None:
+        warnings.warn(
+            f"SLO history {str(path)!r} ends with a torn line "
+            f"(line {pending_error[0]}); dropping it: {pending_error[1]}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return entries
+
+
+@dataclass(frozen=True)
+class SLOTrend:
+    """One ledger metric's trajectory across the loaded entries."""
+
+    metric: str
+    points: int
+    first: float
+    last: float
+    #: Fractional change from the newest entry's predecessor; ``None``
+    #: when the metric appears in fewer than two entries or the older
+    #: value is zero (fractions of zero are meaningless, not infinite).
+    latest_change: Optional[float]
+    #: Fractional change across the whole window (first -> last).
+    overall_change: Optional[float]
+
+
+def _slo_fraction(old: float, new: float) -> Optional[float]:
+    return (new - old) / old if old > 0 else None
+
+
+def summarize_slo_trend(
+    entries: Sequence[Dict[str, Any]], *, last: Optional[int] = None
+) -> List[SLOTrend]:
+    """Per-metric first/last/delta summary over the (windowed) ledger.
+
+    ``last`` restricts the window to the newest N entries.  Metrics are
+    summarized independently because older ledger lines may predate a
+    metric (entries simply lacking the key are skipped for that metric).
+    """
+    if last is not None:
+        if last < 1:
+            raise ConfigurationError(f"last must be >= 1, got {last}")
+        entries = list(entries)[-last:]
+    trends: List[SLOTrend] = []
+    for metric in SLO_TREND_METRICS:
+        values = [
+            float(entry[metric]) for entry in entries if metric in entry
+        ]
+        if not values:
+            continue
+        trends.append(SLOTrend(
+            metric=metric,
+            points=len(values),
+            first=values[0],
+            last=values[-1],
+            latest_change=(
+                _slo_fraction(values[-2], values[-1]) if len(values) >= 2
+                else None
+            ),
+            overall_change=(
+                _slo_fraction(values[0], values[-1]) if len(values) >= 2
+                else None
+            ),
+        ))
+    return trends
+
+
+def render_slo_trend(
+    entries: Sequence[Dict[str, Any]], *, last: Optional[int] = None
+) -> str:
+    """Human-readable SLO trend table for terminal output."""
+    if not entries:
+        return ("SLO history is empty; run `repro loadtest --history` to "
+                "start the ledger")
+    trends = summarize_slo_trend(entries, last=last)
+    window = list(entries)[-last:] if last is not None else list(entries)
+    first_sha = str(window[0].get("git_sha", "unknown"))[:12]
+    last_sha = str(window[-1].get("git_sha", "unknown"))[:12]
+    lines = [
+        f"SLO trend over {len(window)} entr"
+        f"{'y' if len(window) == 1 else 'ies'} "
+        f"({first_sha} -> {last_sha})",
+        f"{'metric':<18} {'first':>12} {'last':>12} {'latest':>8} "
+        f"{'overall':>8}  points",
+    ]
+    for trend in trends:
+        latest = (f"{trend.latest_change:+.1%}"
+                  if trend.latest_change is not None else "-")
+        overall = (f"{trend.overall_change:+.1%}"
+                   if trend.overall_change is not None else "-")
+        lines.append(
+            f"{trend.metric:<18} {trend.first:>12.4f} "
+            f"{trend.last:>12.4f} {latest:>8} {overall:>8}  "
+            f"{trend.points}"
+        )
+    return "\n".join(lines)

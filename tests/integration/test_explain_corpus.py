@@ -94,6 +94,33 @@ class TestCorpusDisagreementReports:
         second = explain_case(case, wall_clock_seconds=120.0)
         assert first.canonical_bytes() == second.canonical_bytes()
 
+    @pytest.mark.parametrize(
+        "entry", AGREEMENT_CASES[:1], ids=[case_id(e) for e in
+                                           AGREEMENT_CASES[:1]]
+    )
+    def test_explanation_carries_a_complete_trace_receipt(self, entry):
+        """Explanations replay with an unsampled, uncapped recorder, so
+        both drop counters must read zero — the receipt that the trace
+        under analysis is the whole trace."""
+        import json
+
+        _, case = entry
+        explanation = explain_case(case, wall_clock_seconds=120.0)
+        counters = explanation.trace_counters
+        assert counters is not None
+        assert counters["ring_dropped"] == 0
+        assert counters["pid_events_dropped"] == 0
+        assert counters["retained"] == counters["recorded_total"] \
+            == len(explanation.events)
+        rendered = explanation.render()
+        assert "ring_dropped=0" in rendered
+        assert "pid_events_dropped=0" in rendered
+        # And the counters survive the JSON roundtrip.
+        roundtrip = type(explanation).from_json(
+            json.loads(explanation.canonical_bytes())
+        )
+        assert roundtrip.trace_counters == counters
+
 
 class TestAttributionMatchesTheory:
     """Deterministic sweep over the three paper algorithms (n=4, seed 7)."""

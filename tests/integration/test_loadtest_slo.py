@@ -29,7 +29,15 @@ from repro.service import (
     render_report,
     run_loadtest,
 )
-from repro.service.slo import append_slo_history, slo_history_entry
+from repro.service.slo import (
+    SLO_TREND_METRICS,
+    append_slo_history,
+    load_slo_history,
+    render_slo_trend,
+    slo_history_entry,
+    summarize_slo_trend,
+)
+from repro.service.spans import phase_sum, span_digest
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(__file__), "..", "..", "benchmarks", "SLO_baseline.json"
@@ -195,6 +203,248 @@ class TestHistoryLedger:
     def test_non_report_is_refused(self):
         with pytest.raises(ConfigurationError, match="not an SLO report"):
             slo_history_entry({"v": 1})
+
+
+class TestLatencyAttribution:
+    """The tentpole acceptance gate: per-session phase times sum exactly
+    to the session latency, under overload and chaos, at any worker
+    count, and the whole section sits inside the deterministic view."""
+
+    @pytest.mark.parametrize("workers_per_shard", [1, 2, 4])
+    def test_phases_sum_bit_exactly_to_latency_for_every_session(
+        self, workers_per_shard
+    ):
+        result = run_loadtest(
+            profile="burst",
+            sessions=400,
+            seed=0,
+            config=ServiceConfig(workers_per_shard=workers_per_shard),
+            chaos=get_service_chaos("baseline"),
+        )
+        by_id = {t.attrs["session_id"]: t for t in result.spans}
+        checked = 0
+        for response in result.responses:
+            if response.status == "rejected":
+                continue
+            phases = by_id[response.session_id].attrs["phases"]
+            assert phase_sum(phases) == response.latency, (
+                f"session {response.session_id} at "
+                f"workers_per_shard={workers_per_shard}: phases "
+                f"{phases} do not sum to latency {response.latency!r}"
+            )
+            checked += 1
+        assert checked > 100  # the invariant was actually exercised
+
+    def test_every_session_emits_exactly_one_tree(self):
+        result = baseline_run(sessions=300)
+        assert len(result.spans) == 300
+        ids = sorted(t.attrs["session_id"] for t in result.spans)
+        assert ids == list(range(300))
+
+    def test_attribution_section_is_in_the_deterministic_view(self):
+        report = build_report(baseline_run(sessions=300))
+        view = deterministic_view(report)
+        attribution = view["latency_attribution"]
+        assert attribution is not None
+        assert set(attribution["phases"]) == {
+            "stall", "queue-wait", "worker-call", "backoff", "unattributed"
+        }
+        # Shares are fractions of the summed latency and cover it.
+        shares = sum(
+            phase["share"] for phase in attribution["phases"].values()
+        )
+        assert shares == pytest.approx(1.0)
+        assert attribution["sessions_unmatched"] == 0
+
+    def test_percentile_rows_name_real_sessions_with_phase_breakdowns(self):
+        report = build_report(baseline_run(sessions=300))
+        attribution = report["latency_attribution"]
+        for label in ("p50", "p95", "p99"):
+            row = attribution["percentiles"][label]
+            assert row["phases"] is not None
+            assert phase_sum(row["phases"]) == row["latency"]
+
+    def test_breaker_timelines_record_the_full_cycle(self):
+        report = build_report(baseline_run())
+        timelines = report["latency_attribution"]["breaker_timelines"]
+        states = [
+            state for timeline in timelines.values()
+            for _, state in timeline
+        ]
+        # The burst+chaos baseline drives at least one shard through
+        # open -> half-open -> closed.
+        assert {"open", "half-open", "closed"} <= set(states)
+
+    def test_spans_digest_matches_the_trees(self):
+        result = baseline_run(sessions=300)
+        report = build_report(result)
+        assert report["latency_attribution"]["spans"]["digest"] \
+            == span_digest(result.spans)
+
+    def test_attribution_is_none_without_spans(self):
+        import dataclasses
+
+        result = baseline_run(sessions=100)
+        stripped = dataclasses.replace(result, spans=None)
+        assert build_report(stripped)["latency_attribution"] is None
+
+    def test_render_report_shows_the_budget_lines(self):
+        text = render_report(build_report(baseline_run(sessions=300)))
+        assert "budget" in text
+        assert "spans" in text
+        assert "digest=sha256:" in text
+
+
+class TestSLOTrend:
+    def make_history(self, tmp_path, runs=3):
+        path = tmp_path / "SLO_history.jsonl"
+        for seed in range(runs):
+            report = build_report(
+                baseline_run(sessions=150, seed=seed), label=f"run{seed}",
+            )
+            append_slo_history(report, str(path))
+        return path
+
+    def test_load_summarize_roundtrip(self, tmp_path):
+        path = self.make_history(tmp_path)
+        entries = load_slo_history(path)
+        assert len(entries) == 3
+        trends = summarize_slo_trend(entries)
+        assert [t.metric for t in trends] == list(SLO_TREND_METRICS)
+        assert all(t.points == 3 for t in trends)
+
+    def test_last_windows_the_ledger(self, tmp_path):
+        entries = load_slo_history(self.make_history(tmp_path))
+        trends = summarize_slo_trend(entries, last=1)
+        assert all(t.points == 1 for t in trends)
+        assert all(t.latest_change is None for t in trends)
+
+    def test_missing_file_is_an_empty_history(self, tmp_path):
+        assert load_slo_history(tmp_path / "absent.jsonl") == []
+        assert "empty" in render_slo_trend([])
+
+    def test_torn_final_line_is_tolerated_with_a_warning(self, tmp_path):
+        path = self.make_history(tmp_path, runs=2)
+        with open(path, "a") as handle:
+            handle.write('{"v": 1, "kind": "repro-slo-his')
+        with pytest.warns(RuntimeWarning, match="torn"):
+            entries = load_slo_history(path)
+        assert len(entries) == 2
+
+    def test_torn_interior_line_is_an_error(self, tmp_path):
+        path = self.make_history(tmp_path, runs=1)
+        good = path.read_text()
+        path.write_text('{"torn\n' + good)
+        with pytest.raises(ConfigurationError, match="line 1"):
+            load_slo_history(path)
+
+    def test_foreign_version_is_rejected(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps({"v": 9, "kind": "repro-slo-history"}) + "\n"
+        )
+        with pytest.raises(ConfigurationError, match="version 9"):
+            load_slo_history(path)
+
+    def test_foreign_kind_is_rejected(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps({"v": 1, "kind": "repro-bench-history"}) + "\n"
+        )
+        with pytest.raises(ConfigurationError, match="kind"):
+            load_slo_history(path)
+
+    def test_render_names_every_metric(self, tmp_path):
+        text = render_slo_trend(load_slo_history(self.make_history(tmp_path)))
+        for metric in SLO_TREND_METRICS:
+            assert metric in text
+
+    def test_cli_trend_renders_and_exits_zero(self, tmp_path, capsys):
+        path = self.make_history(tmp_path, runs=2)
+        assert main(["slo", "trend", "--history", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO trend over 2 entries" in out
+
+    def test_cli_trend_json_mode(self, tmp_path, capsys):
+        path = self.make_history(tmp_path, runs=2)
+        assert main(["slo", "trend", "--history", str(path), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {row["metric"] for row in rows} == set(SLO_TREND_METRICS)
+
+
+class TestSpansCli:
+    def run_with_spans(self, tmp_path):
+        spans_dir = tmp_path / "spans"
+        out = tmp_path / "report.json"
+        code = main([
+            "loadtest", "--profile", "burst", "--sessions", "120",
+            "--seed", "0", "--chaos", "baseline", "--label", "spans-ci",
+            "--out", str(out), "--spans", str(spans_dir),
+        ])
+        return code, out, spans_dir / "SPANS_spans-ci.jsonl"
+
+    def test_spans_flag_persists_one_tree_per_session(self, tmp_path,
+                                                      capsys):
+        from repro.service.spans import read_spans_jsonl
+
+        code, _, spans_path = self.run_with_spans(tmp_path)
+        assert code == 0
+        assert "wrote 120 span tree(s)" in capsys.readouterr().out
+        assert len(read_spans_jsonl(spans_path)) == 120
+
+    def test_report_digest_re_verifies_against_the_spans_file(
+        self, tmp_path, capsys
+    ):
+        """The digest in the SLO report is sha256 over exactly the bytes
+        the --spans file holds, so artifacts cross-check offline."""
+        import hashlib
+
+        code, out, spans_path = self.run_with_spans(tmp_path)
+        assert code == 0
+        report = load_report(str(out))
+        digest = report["latency_attribution"]["spans"]["digest"]
+        on_disk = hashlib.sha256(spans_path.read_bytes()).hexdigest()
+        assert digest == f"sha256:{on_disk}"
+
+    def test_waterfall_renders_a_session_from_the_spans_file(
+        self, tmp_path, capsys
+    ):
+        code, out, spans_path = self.run_with_spans(tmp_path)
+        assert code == 0
+        report = load_report(str(out))
+        session = report["latency_attribution"]["percentiles"]["p99"][
+            "session_id"]
+        capsys.readouterr()
+        assert main([
+            "slo", "waterfall", str(spans_path),
+            "--session", str(session),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert f"session {session}:" in text
+        assert "worker-call" in text
+
+    def test_waterfall_html_writes_a_self_contained_page(self, tmp_path,
+                                                         capsys):
+        code, out, spans_path = self.run_with_spans(tmp_path)
+        assert code == 0
+        page = tmp_path / "waterfall.html"
+        assert main([
+            "slo", "waterfall", str(spans_path), "--session", "0",
+            "--html", "--out", str(page),
+        ]) == 0
+        content = page.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert "<script" not in content
+
+    def test_waterfall_unknown_session_is_a_clean_error(self, tmp_path,
+                                                        capsys):
+        code, _, spans_path = self.run_with_spans(tmp_path)
+        assert code == 0
+        capsys.readouterr()
+        assert main([
+            "slo", "waterfall", str(spans_path), "--session", "99999",
+        ]) == 1
+        assert "no session 99999" in capsys.readouterr().err
 
 
 class TestLoadtestCli:

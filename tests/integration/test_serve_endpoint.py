@@ -2,13 +2,21 @@
 
 Binds a real server on an ephemeral port and speaks the wire protocol:
 one request object per line in, one response (or error) object per line
-out, connection survives malformed input.
+out, connection survives malformed input.  Control verbs
+(``{"cmd": "stats"}`` / ``{"cmd": "health"}``) share the stream and are
+pinned here: they answer from the live :meth:`ConsensusService.snapshot`
+and never perturb in-flight sessions.
 """
 
 import asyncio
 import json
 
-from repro.service import ServiceConfig, ServiceServer, SessionRequest
+from repro.service import (
+    ServiceConfig,
+    ServiceServer,
+    SessionRequest,
+    run_virtual,
+)
 
 
 def talk(lines, config=None):
@@ -113,3 +121,112 @@ class TestWireProtocol:
         server = ServiceServer()
         with pytest.raises(RuntimeError, match="not started"):
             server.port
+
+
+class TestControlVerbs:
+    def test_stats_round_trips_the_live_snapshot(self):
+        """``{"cmd": "stats"}`` over TCP is the snapshot() document —
+        same keys, valid JSON, spans accounting included."""
+        replies = talk([request_line(0), json.dumps({"cmd": "stats"})])
+        assert replies[0]["status"] == "completed"
+        stats = replies[1]
+        for key in ("breakers", "breaker_timelines", "degraded_mode",
+                    "occupancy", "sessions", "spans"):
+            assert key in stats, f"stats reply missing {key}"
+        assert stats["sessions"]["completed"] == 1
+        assert stats["spans"]["recorded_total"] == 1
+        assert stats["occupancy"]["total"] == 0  # nothing in flight now
+
+    def test_health_summarizes_status_breakers_and_occupancy(self):
+        reply = talk([json.dumps({"cmd": "health"})])[0]
+        assert reply == {
+            "cmd": "health",
+            "status": "ok",
+            "breakers": {"0": "closed", "1": "closed"},
+            "occupancy": 0,
+        }
+
+    def test_unknown_verb_names_the_supported_set(self):
+        reply = talk([json.dumps({"cmd": "reboot"})])[0]
+        assert "error" in reply
+        assert "health" in reply["error"] and "stats" in reply["error"]
+
+    def test_malformed_cmd_is_reported_not_fatal(self):
+        replies = talk([
+            json.dumps({"cmd": 7}),
+            json.dumps({"cmd": None}),
+            request_line(1),
+        ])
+        assert "must be a string" in replies[0]["error"]
+        assert "must be a string" in replies[1]["error"]
+        # The connection survived both bad verbs.
+        assert replies[2]["status"] == "completed"
+
+    def test_verbs_and_sessions_interleave_on_one_connection(self):
+        replies = talk([
+            request_line(0),
+            json.dumps({"cmd": "health"}),
+            request_line(1),
+            json.dumps({"cmd": "stats"}),
+            request_line(2),
+        ])
+        assert [r["status"] for r in (replies[0], replies[2], replies[4])] \
+            == ["completed"] * 3
+        assert replies[1]["cmd"] == "health"
+        assert replies[1]["status"] == "ok"
+        assert replies[3]["sessions"]["completed"] == 2
+
+    def test_stats_mid_burst_is_deterministic_under_virtual_time(self):
+        """Ask for stats while an overloaded burst is in flight, on the
+        virtual-time loop: the reply is a pure function of the seeds, and
+        asking does not change any session's outcome."""
+
+        def burst(with_stats):
+            async def main():
+                server = ServiceServer(ServiceConfig(queue_capacity=8))
+
+                async def one(session_id):
+                    request = SessionRequest(
+                        session_id=session_id, algorithm="sifting", n=4,
+                        schedule_family="round-robin", deadline=5.0, seed=0,
+                    )
+                    return await server.service.submit(request)
+
+                async def probe():
+                    # Land mid-burst: all sessions are submitted at t=0
+                    # and queue behind 2 workers/shard for several
+                    # virtual milliseconds.
+                    await asyncio.sleep(0.001)
+                    return [
+                        await server._answer(b'{"cmd": "stats"}'),
+                        await server._answer(b'{"cmd": "health"}'),
+                    ]
+
+                tasks = [one(i) for i in range(12)]
+                if with_stats:
+                    responses_and_stats = await asyncio.gather(
+                        *tasks, probe()
+                    )
+                    return responses_and_stats[:-1], responses_and_stats[-1]
+                return await asyncio.gather(*tasks), None
+
+            return run_virtual(main())
+
+        first_responses, first_stats = burst(with_stats=True)
+        second_responses, second_stats = burst(with_stats=True)
+        bare_responses, _ = burst(with_stats=False)
+
+        # Deterministic: same seeds, byte-identical stats replies.
+        assert first_stats == second_stats
+        stats = json.loads(first_stats[0])
+        assert stats["occupancy"]["total"] > 0  # genuinely mid-burst
+        assert json.loads(first_stats[1])["cmd"] == "health"
+
+        # Non-perturbing: the session stream is identical with and
+        # without the probe.
+        def outcomes(responses):
+            return [(r.session_id, r.status, r.code, r.latency)
+                    for r in responses]
+
+        assert outcomes(first_responses) == outcomes(second_responses)
+        assert outcomes(first_responses) == outcomes(bare_responses)

@@ -200,6 +200,37 @@ class TestTraceRecorder:
         # The tail of the run survives eviction.
         assert recorder.events[-1].kind == "run-end"
 
+    def test_ring_dropped_counts_evictions_exactly(self):
+        recorder = _run_traced(n=3, ops=6, capacity=5)
+        assert recorder.ring_dropped == recorder.recorded_total - 5
+        assert recorder.ring_dropped > 0
+
+    def test_unbounded_recorder_never_ring_drops(self):
+        recorder = _run_traced(n=3, ops=6)
+        assert recorder.ring_dropped == 0
+        assert recorder.recorded_total == len(recorder)
+
+    def test_ring_dropped_is_distinct_from_pid_filter_drops(self):
+        # The pid filter drops events *before* recording; the ring drops
+        # them *after*.  An unbounded pid-sampled recorder must count
+        # only the former.
+        recorder = _run_traced(n=6, ops=3, pid_sample_every=3)
+        assert recorder.pid_events_dropped > 0
+        assert recorder.ring_dropped == 0
+
+    def test_metadata_reports_all_retention_counters(self):
+        recorder = _run_traced(n=3, ops=6, capacity=5)
+        metadata = recorder.metadata()
+        assert metadata == {
+            "recorded_total": recorder.recorded_total,
+            "retained": 5,
+            "steps_observed": recorder.steps_observed,
+            "ring_dropped": recorder.ring_dropped,
+            "pid_events_dropped": 0,
+        }
+        assert metadata["recorded_total"] - metadata["ring_dropped"] \
+            == metadata["retained"]
+
     def test_sampling_thins_step_events_only(self):
         full = _run_traced(n=3, ops=6)
         sampled = _run_traced(n=3, ops=6, sample_every=4)
